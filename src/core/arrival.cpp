@@ -1,0 +1,392 @@
+#include "core/arrival.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/expect.hpp"
+#include "util/strings.hpp"
+
+namespace wharf {
+
+namespace {
+
+class PeriodicModel final : public ArrivalModel {
+ public:
+  explicit PeriodicModel(Time period) : period_(period) {
+    WHARF_EXPECT(period >= 1, "period must be >= 1, got " << period);
+  }
+
+  Count eta_plus(Time window) const override {
+    if (window <= 0) return 0;
+    if (is_infinite(window)) return kCountInfinity;
+    return ceil_div(window, period_);
+  }
+
+  Count eta_minus(Time window) const override {
+    if (window <= 0) return 0;
+    if (is_infinite(window)) return kCountInfinity;
+    return floor_div(window, period_);
+  }
+
+  Time delta_minus(Count q) const override {
+    if (q <= 1) return 0;
+    return sat_mul(q - 1, period_);
+  }
+
+  Time delta_plus(Count q) const override {
+    if (q <= 1) return 0;
+    return sat_mul(q - 1, period_);
+  }
+
+  double rate_upper() const override { return 1.0 / static_cast<double>(period_); }
+
+  std::string describe() const override { return util::cat("periodic(", period_, ")"); }
+
+ private:
+  Time period_;
+};
+
+class PeriodicJitterModel final : public ArrivalModel {
+ public:
+  PeriodicJitterModel(Time period, Time jitter, Time min_distance)
+      : period_(period), jitter_(jitter), min_distance_(min_distance) {
+    WHARF_EXPECT(period >= 1, "period must be >= 1, got " << period);
+    WHARF_EXPECT(jitter >= 0, "jitter must be >= 0, got " << jitter);
+    WHARF_EXPECT(min_distance >= 1, "min_distance must be >= 1, got " << min_distance);
+    WHARF_EXPECT(min_distance <= period,
+                 "min_distance (" << min_distance << ") must not exceed period (" << period
+                                  << ")");
+  }
+
+  Count eta_plus(Time window) const override {
+    if (window <= 0) return 0;
+    if (is_infinite(window)) return kCountInfinity;
+    const Count by_period = ceil_div(sat_add(window, jitter_), period_);
+    const Count by_distance = ceil_div(window, min_distance_);
+    return std::min(by_period, by_distance);
+  }
+
+  Count eta_minus(Time window) const override {
+    if (window <= jitter_) return 0;
+    if (is_infinite(window)) return kCountInfinity;
+    return floor_div(window - jitter_, period_);
+  }
+
+  Time delta_minus(Count q) const override {
+    if (q <= 1) return 0;
+    const Time by_period = sat_mul(q - 1, period_) <= jitter_
+                               ? 0
+                               : sat_mul(q - 1, period_) - jitter_;
+    const Time by_distance = sat_mul(q - 1, min_distance_);
+    return std::max(by_period, by_distance);
+  }
+
+  Time delta_plus(Count q) const override {
+    if (q <= 1) return 0;
+    return sat_add(sat_mul(q - 1, period_), jitter_);
+  }
+
+  double rate_upper() const override { return 1.0 / static_cast<double>(period_); }
+
+  std::string describe() const override {
+    return util::cat("periodic_jitter(", period_, ",", jitter_, ",", min_distance_, ")");
+  }
+
+ private:
+  Time period_;
+  Time jitter_;
+  Time min_distance_;
+};
+
+class SporadicModel final : public ArrivalModel {
+ public:
+  explicit SporadicModel(Time min_distance) : min_distance_(min_distance) {
+    WHARF_EXPECT(min_distance >= 1, "min_distance must be >= 1, got " << min_distance);
+  }
+
+  Count eta_plus(Time window) const override {
+    if (window <= 0) return 0;
+    if (is_infinite(window)) return kCountInfinity;
+    return ceil_div(window, min_distance_);
+  }
+
+  Count eta_minus(Time) const override { return 0; }
+
+  Time delta_minus(Count q) const override {
+    if (q <= 1) return 0;
+    return sat_mul(q - 1, min_distance_);
+  }
+
+  Time delta_plus(Count q) const override { return q <= 1 ? 0 : kTimeInfinity; }
+
+  double rate_upper() const override { return 1.0 / static_cast<double>(min_distance_); }
+
+  std::string describe() const override { return util::cat("sporadic(", min_distance_, ")"); }
+
+ private:
+  Time min_distance_;
+};
+
+class DeltaCurveModel final : public ArrivalModel {
+ public:
+  DeltaCurveModel(std::vector<Time> prefix, Time tail_period)
+      : prefix_(std::move(prefix)), tail_period_(tail_period) {
+    WHARF_EXPECT(!prefix_.empty(), "delta_curve prefix must not be empty");
+    WHARF_EXPECT(tail_period_ >= 1, "tail period must be >= 1, got " << tail_period_);
+    Time prev = 0;
+    for (Time d : prefix_) {
+      WHARF_EXPECT(d >= prev, "delta_curve prefix must be non-decreasing");
+      prev = d;
+    }
+  }
+
+  DeltaCurveModel(std::vector<Time> prefix, Time tail_period, std::vector<Time> plus_prefix,
+                  Time plus_tail)
+      : DeltaCurveModel(std::move(prefix), tail_period) {
+    WHARF_EXPECT(!plus_prefix.empty(), "delta_plus prefix must not be empty");
+    WHARF_EXPECT(plus_tail >= tail_period_,
+                 "delta_plus tail slope (" << plus_tail << ") must be >= delta_minus tail slope ("
+                                           << tail_period_ << ")");
+    Time prev = 0;
+    for (std::size_t i = 0; i < plus_prefix.size(); ++i) {
+      WHARF_EXPECT(plus_prefix[i] >= prev, "delta_plus prefix must be non-decreasing");
+      prev = plus_prefix[i];
+    }
+    plus_prefix_ = std::move(plus_prefix);
+    plus_tail_ = plus_tail;
+    // Pointwise dominance delta_plus(q) >= delta_minus(q) over a generous
+    // range (both curves are eventually linear).
+    const Count check = static_cast<Count>(prefix_.size() + plus_prefix_.size()) + 4;
+    for (Count q = 1; q <= check; ++q) {
+      WHARF_EXPECT(delta_plus(q) >= delta_minus(q),
+                   "delta_plus(" << q << ") < delta_minus(" << q << ")");
+    }
+  }
+
+  Count eta_plus(Time window) const override {
+    if (window <= 0) return 0;
+    if (is_infinite(window)) return kCountInfinity;
+    // eta_plus(dt) = max{ q | delta_minus(q) < dt }; delta_minus(1) = 0 < dt.
+    Count q = 1;
+    for (std::size_t i = 0; i < prefix_.size(); ++i) {
+      if (prefix_[i] < window) {
+        q = static_cast<Count>(i) + 2;
+      } else {
+        return q;
+      }
+    }
+    // Beyond the prefix: delta_minus(q) = back + (q - n - 1) * tail, where
+    // n = prefix length + 1 is the largest q covered by the prefix.
+    const Count n = static_cast<Count>(prefix_.size()) + 1;
+    const Time back = prefix_.back();
+    // Largest q with back + (q - n) * tail < window:
+    const Time room = window - back;  // > 0 here
+    const Count extra = ceil_div(room, tail_period_) - 1;
+    return n + std::max<Count>(extra, 0);
+  }
+
+  Count eta_minus(Time window) const override {
+    if (plus_prefix_.empty() || window <= 0) return 0;
+    if (is_infinite(window)) return kCountInfinity;
+    // Largest q >= 0 with delta_plus(q + 1) <= window: any window of that
+    // length must contain at least q activations.
+    Count q = 0;
+    for (std::size_t i = 0; i < plus_prefix_.size(); ++i) {
+      if (plus_prefix_[i] <= window) {
+        q = static_cast<Count>(i) + 1;
+      } else {
+        return q;
+      }
+    }
+    const Count n = static_cast<Count>(plus_prefix_.size()) + 1;
+    const Count extra = floor_div(window - plus_prefix_.back(), plus_tail_);
+    return n + extra - 1;
+  }
+
+  Time delta_minus(Count q) const override {
+    if (q <= 1) return 0;
+    const std::size_t idx = static_cast<std::size_t>(q - 2);
+    if (idx < prefix_.size()) return prefix_[idx];
+    const Count n = static_cast<Count>(prefix_.size()) + 1;
+    return sat_add(prefix_.back(), sat_mul(q - n, tail_period_));
+  }
+
+  Time delta_plus(Count q) const override {
+    if (q <= 1) return 0;
+    if (plus_prefix_.empty()) return kTimeInfinity;
+    const std::size_t idx = static_cast<std::size_t>(q - 2);
+    if (idx < plus_prefix_.size()) return plus_prefix_[idx];
+    const Count n = static_cast<Count>(plus_prefix_.size()) + 1;
+    return sat_add(plus_prefix_.back(), sat_mul(q - n, plus_tail_));
+  }
+
+  double rate_upper() const override { return 1.0 / static_cast<double>(tail_period_); }
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "curve(";
+    for (std::size_t i = 0; i < prefix_.size(); ++i) {
+      if (i != 0) os << ',';
+      os << prefix_[i];
+    }
+    os << ';' << tail_period_;
+    if (!plus_prefix_.empty()) {
+      os << '|';
+      for (std::size_t i = 0; i < plus_prefix_.size(); ++i) {
+        if (i != 0) os << ',';
+        os << plus_prefix_[i];
+      }
+      os << ';' << plus_tail_;
+    }
+    os << ')';
+    return os.str();
+  }
+
+ private:
+  std::vector<Time> prefix_;  // delta_minus(2), delta_minus(3), ...
+  Time tail_period_;
+  std::vector<Time> plus_prefix_;  // delta_plus(2), ... (empty: unbounded)
+  Time plus_tail_ = 0;
+};
+
+class SporadicBurstModel final : public ArrivalModel {
+ public:
+  SporadicBurstModel(Time outer_period, Count burst_size, Time inner_distance)
+      : period_(outer_period), burst_(burst_size), inner_(inner_distance) {
+    WHARF_EXPECT(period_ >= 1, "outer period must be >= 1, got " << period_);
+    WHARF_EXPECT(burst_ >= 1, "burst size must be >= 1, got " << burst_);
+    WHARF_EXPECT(inner_ >= 1, "inner distance must be >= 1, got " << inner_);
+    WHARF_EXPECT(period_ >= sat_mul(burst_ - 1, inner_),
+                 "outer period " << period_ << " too short for " << burst_
+                                 << " events spaced " << inner_);
+  }
+
+  Count eta_plus(Time window) const override {
+    if (window <= 0) return 0;
+    if (is_infinite(window)) return kCountInfinity;
+    // max{q | delta_minus(q) < window}: full bursts plus a partial one.
+    const Count full_periods = floor_div(window - 1, period_);
+    const Time rest = window - sat_mul(full_periods, period_);  // >= 1
+    const Count partial = std::min<Count>(burst_, ceil_div(rest, inner_));
+    return full_periods * burst_ + partial;
+  }
+
+  Count eta_minus(Time) const override { return 0; }
+
+  Time delta_minus(Count q) const override {
+    if (q <= 1) return 0;
+    const Count a = (q - 1) / burst_;
+    const Count r = (q - 1) % burst_;
+    return sat_add(sat_mul(a, period_), sat_mul(r, inner_));
+  }
+
+  Time delta_plus(Count q) const override { return q <= 1 ? 0 : kTimeInfinity; }
+
+  double rate_upper() const override {
+    return static_cast<double>(burst_) / static_cast<double>(period_);
+  }
+
+  std::string describe() const override {
+    return util::cat("burst(", period_, ",", burst_, ",", inner_, ")");
+  }
+
+ private:
+  Time period_;
+  Count burst_;
+  Time inner_;
+};
+
+/// Splits "name(args)" into name and the raw argument string.
+bool split_call(const std::string& spec, std::string& name, std::string& args) {
+  const auto open = spec.find('(');
+  if (open == std::string::npos || spec.back() != ')') return false;
+  name = std::string(util::trim(spec.substr(0, open)));
+  args = spec.substr(open + 1, spec.size() - open - 2);
+  return !name.empty();
+}
+
+Time parse_time_or_throw(const std::string& field, const std::string& spec) {
+  long long v = 0;
+  WHARF_EXPECT(util::parse_int64(util::trim(field), v),
+               "cannot parse integer '" << field << "' in arrival spec '" << spec << "'");
+  return static_cast<Time>(v);
+}
+
+}  // namespace
+
+ArrivalModelPtr periodic(Time period) { return std::make_shared<PeriodicModel>(period); }
+
+ArrivalModelPtr periodic_jitter(Time period, Time jitter, Time min_distance) {
+  return std::make_shared<PeriodicJitterModel>(period, jitter, min_distance);
+}
+
+ArrivalModelPtr sporadic(Time min_distance) { return std::make_shared<SporadicModel>(min_distance); }
+
+ArrivalModelPtr delta_curve(std::vector<Time> prefix, Time tail_period) {
+  return std::make_shared<DeltaCurveModel>(std::move(prefix), tail_period);
+}
+
+ArrivalModelPtr delta_curve_with_plus(std::vector<Time> prefix, Time tail_period,
+                                      std::vector<Time> plus_prefix, Time plus_tail) {
+  return std::make_shared<DeltaCurveModel>(std::move(prefix), tail_period,
+                                           std::move(plus_prefix), plus_tail);
+}
+
+ArrivalModelPtr sporadic_burst(Time outer_period, Count burst_size, Time inner_distance) {
+  return std::make_shared<SporadicBurstModel>(outer_period, burst_size, inner_distance);
+}
+
+ArrivalModelPtr parse_arrival(const std::string& spec) {
+  std::string name;
+  std::string args;
+  WHARF_EXPECT(split_call(std::string(util::trim(spec)), name, args),
+               "arrival spec must look like name(args), got '" << spec << "'");
+
+  if (name == "periodic") {
+    return periodic(parse_time_or_throw(args, spec));
+  }
+  if (name == "periodic_jitter") {
+    const auto fields = util::split(args, ',');
+    WHARF_EXPECT(fields.size() == 2 || fields.size() == 3,
+                 "periodic_jitter expects 2 or 3 arguments in '" << spec << "'");
+    const Time period = parse_time_or_throw(fields[0], spec);
+    const Time jitter = parse_time_or_throw(fields[1], spec);
+    const Time dmin = fields.size() == 3 ? parse_time_or_throw(fields[2], spec) : 1;
+    return periodic_jitter(period, jitter, dmin);
+  }
+  if (name == "sporadic") {
+    return sporadic(parse_time_or_throw(args, spec));
+  }
+  if (name == "burst") {
+    const auto fields = util::split(args, ',');
+    WHARF_EXPECT(fields.size() == 3, "burst expects 3 arguments in '" << spec << "'");
+    return sporadic_burst(parse_time_or_throw(fields[0], spec),
+                          parse_time_or_throw(fields[1], spec),
+                          parse_time_or_throw(fields[2], spec));
+  }
+  if (name == "curve") {
+    const auto parts = util::split(args, '|');
+    WHARF_EXPECT(parts.size() == 1 || parts.size() == 2,
+                 "curve expects 'd...;t' or 'd...;t|p...;pt' in '" << spec << "'");
+    const auto parse_half = [&spec](const std::string& half, std::vector<Time>& prefix,
+                                    Time& tail) {
+      const auto halves = util::split(half, ';');
+      WHARF_EXPECT(halves.size() == 2, "curve expects 'd2,d3,...;tail' in '" << spec << "'");
+      for (const std::string& f : util::split(halves[0], ',')) {
+        prefix.push_back(parse_time_or_throw(f, spec));
+      }
+      tail = parse_time_or_throw(halves[1], spec);
+    };
+    std::vector<Time> prefix;
+    Time tail = 0;
+    parse_half(parts[0], prefix, tail);
+    if (parts.size() == 1) return delta_curve(std::move(prefix), tail);
+    std::vector<Time> plus_prefix;
+    Time plus_tail = 0;
+    parse_half(parts[1], plus_prefix, plus_tail);
+    return delta_curve_with_plus(std::move(prefix), tail, std::move(plus_prefix), plus_tail);
+  }
+  throw InvalidArgument(util::cat("unknown arrival model '", name, "' in spec '", spec, "'"));
+}
+
+}  // namespace wharf

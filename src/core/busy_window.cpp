@@ -1,0 +1,245 @@
+#include "core/busy_window.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+#include "util/strings.hpp"
+
+namespace wharf {
+
+namespace {
+
+/// Interference contributed by one other chain σ_a over a window of
+/// length `window`, per Eq. (1)/(3)/(4):
+///  * arbitrarily interfering (or `naive`):  η⁺_a(window) · C_a;
+///  * deferred, asynchronous:  η⁺_a(window) · C_header_{a,b} + Σ_s C_s;
+///  * deferred, synchronous:   C_{s_crit_{a,b}}.
+Time chain_interference(const System& system, const ChainInterference& info, Time window,
+                        bool naive) {
+  const Chain& a = system.chain(info.chain);
+  if (naive || !info.deferred) {
+    const Count eta = a.arrival().eta_plus(window);
+    if (eta == kCountInfinity) return kTimeInfinity;
+    return sat_mul(eta, a.total_wcet());
+  }
+  if (a.is_asynchronous()) {
+    const Count eta = a.arrival().eta_plus(window);
+    if (eta == kCountInfinity) return kTimeInfinity;
+    return sat_add(sat_mul(eta, info.header_segment_cost), info.segments_total_cost);
+  }
+  return info.critical ? info.critical->cost : 0;
+}
+
+/// Self-interference of an asynchronous analyzed chain (2nd line of
+/// Eq. 1): activations beyond the q under analysis may run up to the
+/// chain's own header subchain before stalling at its lowest-priority
+/// task.
+Time self_interference(const Chain& b, const InterferenceContext& ctx, Time window, Count q) {
+  if (!b.is_asynchronous() || ctx.self_header_cost == 0) return 0;
+  const Count eta = b.arrival().eta_plus(window);
+  if (eta == kCountInfinity) return kTimeInfinity;
+  const Count extra = std::max<Count>(0, eta - q);
+  return sat_mul(extra, ctx.self_header_cost);
+}
+
+bool contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+/// Full right-hand side of Eq. (1) evaluated at busy-time guess `window`.
+Time busy_rhs(const System& system, const InterferenceContext& ctx, Count q, Time window,
+              const AnalysisOptions& options, const std::vector<int>& exclude) {
+  const Chain& b = system.chain(ctx.target);
+  Time total = sat_mul(q, b.total_wcet());
+  total = sat_add(total, self_interference(b, ctx, window, q));
+  for (const ChainInterference& info : ctx.others) {
+    if (contains(exclude, info.chain)) continue;
+    total = sat_add(total, chain_interference(system, info, window, options.naive_arbitrary));
+  }
+  return total;
+}
+
+}  // namespace
+
+std::optional<Time> busy_time(const System& system, const InterferenceContext& ctx, Count q,
+                              const AnalysisOptions& options, const std::vector<int>& exclude) {
+  WHARF_EXPECT(q >= 1, "busy_time requires q >= 1, got " << q);
+  // Kleene iteration from the constant part: Eq. (1) is monotone in B, so
+  // this converges to the least fixed point whenever one exists.
+  Time current = sat_mul(q, system.chain(ctx.target).total_wcet());
+  for (int iter = 0; iter < options.max_fixed_point_iterations; ++iter) {
+    const Time next = busy_rhs(system, ctx, q, current, options, exclude);
+    if (next >= options.divergence_guard || is_infinite(next)) return std::nullopt;
+    if (next == current) return current;
+    WHARF_ASSERT(next > current);  // monotone iteration
+    current = next;
+  }
+  return std::nullopt;  // iteration cap: treat as divergent
+}
+
+std::vector<BusyTimeTerm> busy_time_breakdown(const System& system,
+                                              const InterferenceContext& ctx, Count q, Time busy,
+                                              const AnalysisOptions& options,
+                                              const std::vector<int>& exclude) {
+  const Chain& b = system.chain(ctx.target);
+  std::vector<BusyTimeTerm> terms;
+  terms.push_back(BusyTimeTerm{util::cat(q, " x C_", b.name(), " (demand)"),
+                               sat_mul(q, b.total_wcet())});
+  if (b.is_asynchronous()) {
+    const Time self = self_interference(b, ctx, busy, q);
+    if (self > 0) {
+      terms.push_back(BusyTimeTerm{util::cat(b.name(), " header pile-up (async self)"), self});
+    }
+  }
+  for (const ChainInterference& info : ctx.others) {
+    if (contains(exclude, info.chain)) continue;
+    const Chain& a = system.chain(info.chain);
+    const Time amount = chain_interference(system, info, busy, options.naive_arbitrary);
+    if (amount == 0) continue;
+    std::string kind;
+    if (options.naive_arbitrary || !info.deferred) {
+      kind = "arbitrary interference";
+    } else if (a.is_asynchronous()) {
+      kind = "deferred async (header pile-up + one per segment)";
+    } else {
+      kind = "deferred sync (critical segment)";
+    }
+    terms.push_back(BusyTimeTerm{util::cat(a.name(), " — ", kind), amount});
+  }
+  return terms;
+}
+
+LatencyResult latency_analysis(const System& system, int target, const AnalysisOptions& options,
+                               const std::vector<int>& exclude) {
+  const InterferenceContext ctx = make_interference_context(system, target);
+  const Chain& b = system.chain(target);
+
+  LatencyResult result;
+  result.wcl = 0;
+  result.worst_q = 0;
+
+  Count misses = 0;
+  for (Count q = 1; q <= options.max_busy_windows; ++q) {
+    const std::optional<Time> bq = busy_time(system, ctx, q, options, exclude);
+    if (!bq.has_value()) {
+      result.bounded = false;
+      result.reason = util::cat("busy-time fixed point diverged at q=", q,
+                                " (processor overloaded or guard exceeded)");
+      return result;
+    }
+    result.busy_times.push_back(*bq);
+
+    const Time latency = *bq - b.arrival().delta_minus(q);
+    if (latency > result.wcl || result.worst_q == 0) {
+      result.wcl = latency;
+      result.worst_q = q;
+    }
+    if (b.deadline().has_value() && latency > *b.deadline()) ++misses;
+
+    if (*bq <= b.arrival().delta_minus(q + 1)) {
+      result.K = q;
+      result.bounded = true;
+      if (b.deadline().has_value()) {
+        result.misses_per_window = misses;
+        result.schedulable = result.wcl <= *b.deadline();
+      }
+      return result;
+    }
+  }
+  result.bounded = false;
+  result.reason = util::cat("no maximal busy window within ", options.max_busy_windows,
+                            " activations (K_b search cap)");
+  return result;
+}
+
+std::optional<Time> busy_time_with_combination(const System& system,
+                                               const InterferenceContext& ctx, Count q,
+                                               Time combination_cost,
+                                               const AnalysisOptions& options) {
+  WHARF_EXPECT(q >= 1, "busy_time_with_combination requires q >= 1, got " << q);
+  WHARF_EXPECT(combination_cost >= 0, "combination cost must be >= 0");
+  // Note: the paper's Eq. (3) literally writes eta_a(B_b(q)) (the *full*
+  // busy time) inside the deferred-async term; we evaluate all eta terms
+  // at the self-consistent fixed point B^c(q) <= B_b(q), which is the
+  // standard busy-window argument and only tightens the bound.
+  const std::vector<int>& overload = system.overload_indices();
+  Time current =
+      sat_add(sat_mul(q, system.chain(ctx.target).total_wcet()), combination_cost);
+  for (int iter = 0; iter < options.max_fixed_point_iterations; ++iter) {
+    const Time next =
+        sat_add(busy_rhs(system, ctx, q, current, options, overload), combination_cost);
+    if (next >= options.divergence_guard || is_infinite(next)) return std::nullopt;
+    if (next == current) return current;
+    WHARF_ASSERT(next > current);
+    current = next;
+  }
+  return std::nullopt;
+}
+
+Time exact_combination_slack(const System& system, const InterferenceContext& ctx, Count K,
+                             Time max_cost, const AnalysisOptions& options) {
+  WHARF_EXPECT(K >= 1, "exact_combination_slack requires K >= 1, got " << K);
+  WHARF_EXPECT(max_cost >= 0, "max_cost must be >= 0");
+  const Chain& b = system.chain(ctx.target);
+  WHARF_EXPECT(b.deadline().has_value(),
+               "exact_combination_slack requires chain '" << b.name() << "' to have a deadline");
+  const Time deadline = *b.deadline();
+
+  const auto schedulable_at = [&](Time cost) {
+    for (Count q = 1; q <= K; ++q) {
+      const std::optional<Time> busy = busy_time_with_combination(system, ctx, q, cost, options);
+      if (!busy.has_value()) return false;
+      if (*busy - b.arrival().delta_minus(q) > deadline) return false;
+    }
+    return true;
+  };
+
+  if (!schedulable_at(0)) return -1;
+  if (schedulable_at(max_cost)) return max_cost;
+  // Largest schedulable cost in [0, max_cost): binary search on the
+  // monotone predicate.
+  Time lo = 0;              // schedulable
+  Time hi = max_cost;       // unschedulable
+  while (lo + 1 < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (schedulable_at(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Time typical_bound(const System& system, const InterferenceContext& ctx, Count q,
+                   const AnalysisOptions& options) {
+  const Chain& b = system.chain(ctx.target);
+  WHARF_EXPECT(b.deadline().has_value(),
+               "typical_bound requires chain '" << b.name() << "' to have a deadline");
+  WHARF_EXPECT(q >= 1, "typical_bound requires q >= 1, got " << q);
+
+  const Time window = sat_add(b.arrival().delta_minus(q), *b.deadline());
+  Time total = sat_mul(q, b.total_wcet());
+  total = sat_add(total, self_interference(b, ctx, window, q));
+  for (const ChainInterference& info : ctx.others) {
+    if (system.chain(info.chain).is_overload()) continue;  // Eq. (4): Cover excluded
+    total = sat_add(total, chain_interference(system, info, window, options.naive_arbitrary));
+  }
+  return total;
+}
+
+Time typical_slack(const System& system, const InterferenceContext& ctx, Count K,
+                   const AnalysisOptions& options) {
+  const Chain& b = system.chain(ctx.target);
+  WHARF_EXPECT(K >= 1, "typical_slack requires K >= 1, got " << K);
+  Time slack = kTimeInfinity;
+  for (Count q = 1; q <= K; ++q) {
+    const Time bound = sat_add(b.arrival().delta_minus(q), *b.deadline());
+    const Time load = typical_bound(system, ctx, q, options);
+    const Time slack_q = is_infinite(load) ? -options.divergence_guard : bound - load;
+    slack = std::min(slack, slack_q);
+  }
+  return slack;
+}
+
+}  // namespace wharf

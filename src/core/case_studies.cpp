@@ -1,0 +1,57 @@
+#include "core/case_studies.hpp"
+
+namespace wharf::case_studies {
+
+namespace {
+
+Chain make_chain(std::string name, ChainKind kind, ArrivalModelPtr arrival,
+                 std::optional<Time> deadline, bool overload, std::vector<Task> tasks) {
+  Chain::Spec spec;
+  spec.name = std::move(name);
+  spec.kind = kind;
+  spec.arrival = std::move(arrival);
+  spec.deadline = deadline;
+  spec.overload = overload;
+  spec.tasks = std::move(tasks);
+  return Chain(std::move(spec));
+}
+
+}  // namespace
+
+System figure1_system() {
+  std::vector<Chain> chains;
+  chains.push_back(make_chain(
+      "sigma_a", ChainKind::kSynchronous, periodic(100), Time{100}, false,
+      {Task{"tau1_a", 7, 1}, Task{"tau2_a", 9, 1}, Task{"tau3_a", 5, 1}, Task{"tau4_a", 2, 1},
+       Task{"tau5_a", 4, 1}, Task{"tau6_a", 1, 1}}));
+  chains.push_back(make_chain("sigma_b", ChainKind::kSynchronous, periodic(100), Time{100}, false,
+                              {Task{"tau1_b", 8, 1}, Task{"tau2_b", 3, 1}, Task{"tau3_b", 6, 1}}));
+  return System("figure1", std::move(chains));
+}
+
+System date17_case_study(OverloadModel model) {
+  const bool rare = model == OverloadModel::kRareOverload;
+  // Calibrated long-window behaviour of the industrial overload curve;
+  // see OverloadModel::kRareOverload for the derivation.
+  const auto overload_arrival = [rare](Time d2) -> ArrivalModelPtr {
+    if (!rare) return sporadic(d2);
+    return delta_curve({d2, 15200, 50000}, 35000);
+  };
+
+  std::vector<Chain> chains;
+  chains.push_back(make_chain(
+      "sigma_d", ChainKind::kSynchronous, periodic(200), Time{200}, false,
+      {Task{"tau1_d", 11, 38}, Task{"tau2_d", 10, 6}, Task{"tau3_d", 9, 27}, Task{"tau4_d", 5, 6},
+       Task{"tau5_d", 2, 38}}));
+  chains.push_back(make_chain("sigma_c", ChainKind::kSynchronous, periodic(200), Time{200}, false,
+                              {Task{"tau1_c", 8, 4}, Task{"tau2_c", 7, 6}, Task{"tau3_c", 1, 41}}));
+  chains.push_back(make_chain(
+      "sigma_b", ChainKind::kSynchronous, overload_arrival(600), std::nullopt, true,
+      {Task{"tau1_b", 13, 10}, Task{"tau2_b", 12, 10}, Task{"tau3_b", 6, 10}}));
+  chains.push_back(make_chain("sigma_a", ChainKind::kSynchronous, overload_arrival(700),
+                              std::nullopt, true,
+                              {Task{"tau1_a", 4, 10}, Task{"tau2_a", 3, 10}}));
+  return System("date17_case_study", std::move(chains));
+}
+
+}  // namespace wharf::case_studies

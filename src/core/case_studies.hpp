@@ -1,0 +1,62 @@
+/// \file case_studies.hpp
+/// The systems used in the paper, built in code so tests, examples and
+/// benchmarks share one source of truth.
+
+#ifndef WHARF_CORE_CASE_STUDIES_HPP
+#define WHARF_CORE_CASE_STUDIES_HPP
+
+#include "core/system.hpp"
+
+namespace wharf::case_studies {
+
+/// Figure 1 of the paper: two chains used to illustrate segments and
+/// active segments.
+///   σ_a = (τ1a/7, τ2a/9, τ3a/5, τ4a/2, τ5a/4, τ6a/1)
+///   σ_b = (τ1b/8, τ2b/3, τ3b/6)
+/// (name/priority; the paper gives no WCETs or activation models here, so
+/// each task gets WCET 1 and each chain periodic(100) — the in-text
+/// examples depend only on the priority structure).
+///
+/// Expected structure (paper, Section IV/V examples):
+///   segments of σ_a w.r.t. σ_b:        (τ1a,τ2a,τ3a), (τ5a)
+///   active segments of σ_a w.r.t. σ_b: (τ1a,τ2a), (τ3a), (τ5a)
+///   valid combinations of σ_a's active segments: 4
+[[nodiscard]] System figure1_system();
+
+/// Chain indices of figure1_system().
+inline constexpr int kFig1SigmaA = 0;
+inline constexpr int kFig1SigmaB = 1;
+
+/// Arrival model used for the sporadic overload chains of the Figure 4
+/// case study.
+enum class OverloadModel {
+  /// Take Figure 4 literally: sporadic with min inter-arrival 700 (σa)
+  /// and 600 (σb).  Reproduces Table I and dmm_c(3)=3 of Table II, but
+  /// not the long-horizon Table II entries (no pure sporadic curve can —
+  /// see EXPERIMENTS.md).
+  kLiteralSporadic,
+  /// "Rarely activated" overload: delta-curve with delta_minus(2) as in
+  /// Figure 4, delta_minus(3)=15200, delta_minus(4)=50000, tail 35000 —
+  /// calibrated so *all* of Table II is matched exactly, including the
+  /// dmm breakpoints at k=76 and k=250.  Under the breakpoint reading of
+  /// Table II (k=76/250 are the first k at each dmm level), the paper
+  /// pins the (unpublished) industrial curve into intervals of width
+  /// 200: delta_minus(3) in [15131, 15331), delta_minus(4) in
+  /// [49931, 50131); see bench_sensitivity.
+  kRareOverload,
+};
+
+/// Figure 4 of the paper: the Thales-derived industrial case study.
+/// Chains (in figure order): σd, σc periodic [δ⁻(2)=200, D=200]; σb, σa
+/// sporadic overload chains; all chains synchronous; priorities 1..13.
+[[nodiscard]] System date17_case_study(OverloadModel model = OverloadModel::kLiteralSporadic);
+
+/// Chain indices of date17_case_study().
+inline constexpr int kSigmaD = 0;
+inline constexpr int kSigmaC = 1;
+inline constexpr int kSigmaB = 2;
+inline constexpr int kSigmaA = 3;
+
+}  // namespace wharf::case_studies
+
+#endif  // WHARF_CORE_CASE_STUDIES_HPP

@@ -1,0 +1,36 @@
+#include "core/interference.hpp"
+
+#include "util/expect.hpp"
+
+namespace wharf {
+
+InterferenceContext make_interference_context(const System& system, int target) {
+  WHARF_EXPECT(target >= 0 && target < system.size(),
+               "chain index " << target << " out of range [0, " << system.size() << ")");
+  InterferenceContext ctx;
+  ctx.target = target;
+  const Chain& b = system.chain(target);
+  ctx.self_header = header_subchain(b);
+  ctx.self_header_cost = cost_of(b, ctx.self_header);
+
+  for (int a = 0; a < system.size(); ++a) {
+    if (a == target) continue;
+    const Chain& chain_a = system.chain(a);
+    ChainInterference info;
+    info.chain = a;
+    info.deferred = is_deferred(chain_a, b);
+    if (info.deferred) {
+      info.segments = segments_wrt(chain_a, b);
+      info.critical = critical_segment(chain_a, b);
+      info.header_segment = header_segment_wrt(chain_a, b);
+      info.header_segment_cost = cost_of(chain_a, info.header_segment);
+      for (const Segment& s : info.segments) {
+        info.segments_total_cost = sat_add(info.segments_total_cost, s.cost);
+      }
+    }
+    ctx.others.push_back(std::move(info));
+  }
+  return ctx;
+}
+
+}  // namespace wharf

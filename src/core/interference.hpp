@@ -1,0 +1,47 @@
+/// \file interference.hpp
+/// Per-target-chain interference classification, precomputed once and
+/// shared by the busy-window fixed point (Theorem 1), the typical bound
+/// L_b(q) (Eq. 4) and the TWCA combination machinery.
+
+#ifndef WHARF_CORE_INTERFERENCE_HPP
+#define WHARF_CORE_INTERFERENCE_HPP
+
+#include <optional>
+#include <vector>
+
+#include "core/segments.hpp"
+#include "core/system.hpp"
+
+namespace wharf {
+
+/// How one other chain σ_a interferes with the analyzed chain σ_b.
+struct ChainInterference {
+  int chain = -1;          ///< index of σ_a in the system
+  bool deferred = false;   ///< Def. 2: σ_a ∈ DC(b)?  (else σ_a ∈ IC(b))
+  /// Filled only when deferred:
+  std::vector<Segment> segments;       ///< Def. 3, S^a_b
+  std::optional<Segment> critical;     ///< Def. 4
+  std::vector<int> header_segment;     ///< Def. 5 (w.r.t. b), task indices
+  Time header_segment_cost = 0;        ///< C_{s_header_{a,b}}
+  Time segments_total_cost = 0;        ///< Σ_{s ∈ S^a_b} C_s
+};
+
+/// Everything the latency analysis of chain σ_b needs to know about the
+/// rest of the system.
+struct InterferenceContext {
+  int target = -1;  ///< index of σ_b
+  /// Def. 5 (first bullet) for σ_b itself: prefix before σ_b's own
+  /// lowest-priority task; used by the asynchronous self-interference
+  /// term of Eq. (1).
+  std::vector<int> self_header;
+  Time self_header_cost = 0;
+  /// One entry per chain other than σ_b, in chain order.
+  std::vector<ChainInterference> others;
+};
+
+/// Builds the interference context of chain `target`.
+[[nodiscard]] InterferenceContext make_interference_context(const System& system, int target);
+
+}  // namespace wharf
+
+#endif  // WHARF_CORE_INTERFERENCE_HPP

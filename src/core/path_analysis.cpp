@@ -1,0 +1,193 @@
+#include "core/path_analysis.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/expect.hpp"
+#include "util/strings.hpp"
+
+namespace wharf {
+
+namespace {
+
+/// Copy of `system` with the deadline of chain `target` replaced.
+System with_deadline(const System& system, int target, Time deadline) {
+  std::vector<Chain> chains;
+  chains.reserve(static_cast<std::size_t>(system.size()));
+  for (int c = 0; c < system.size(); ++c) {
+    const Chain& chain = system.chain(c);
+    Chain::Spec spec;
+    spec.name = chain.name();
+    spec.kind = chain.kind();
+    spec.arrival = chain.arrival_ptr();
+    spec.deadline = c == target ? std::optional<Time>(deadline) : chain.deadline();
+    spec.overload = chain.is_overload();
+    spec.tasks = chain.tasks();
+    chains.emplace_back(std::move(spec));
+  }
+  return System(system.name(), std::move(chains));
+}
+
+}  // namespace
+
+PathAnalyzer::PathAnalyzer(System system, TwcaOptions options)
+    : system_(std::move(system)), options_(options) {}
+
+void PathAnalyzer::validate_path(const PathSpec& path) const {
+  WHARF_EXPECT(!path.chains.empty(), "a path needs at least one chain");
+  std::unordered_set<int> seen;
+  for (int c : path.chains) {
+    WHARF_EXPECT(c >= 0 && c < system_.size(),
+                 "path chain index " << c << " out of range [0, " << system_.size() << ")");
+    WHARF_EXPECT(seen.insert(c).second, "path lists chain '" << system_.chain(c).name()
+                                                             << "' twice (chains in a path "
+                                                                "must be distinct)");
+    WHARF_EXPECT(!system_.chain(c).is_overload(),
+                 "overload chain '" << system_.chain(c).name() << "' cannot be on a path");
+  }
+}
+
+PathLatencyResult PathAnalyzer::latency(const PathSpec& path) const {
+  validate_path(path);
+  PathLatencyResult result;
+  for (int c : path.chains) {
+    const LatencyResult chain_result = latency_analysis(system_, c, options_.analysis);
+    if (!chain_result.bounded) {
+      result.bounded = false;
+      result.reason = util::cat("chain '", system_.chain(c).name(),
+                                "' has no latency bound: ", chain_result.reason);
+      return result;
+    }
+    result.per_chain_wcl.push_back(chain_result.wcl);
+    result.wcl = sat_add(result.wcl, chain_result.wcl);
+  }
+  result.bounded = true;
+  return result;
+}
+
+std::vector<Time> PathAnalyzer::resolve_budgets(const PathSpec& path,
+                                                const std::vector<Time>& wcls) const {
+  const Time deadline = *path.deadline;
+  const auto n = static_cast<Time>(path.chains.size());
+  if (!path.budgets.empty()) {
+    WHARF_EXPECT(path.budgets.size() == path.chains.size(),
+                 "expected " << path.chains.size() << " budgets, got " << path.budgets.size());
+    Time sum = 0;
+    for (Time b : path.budgets) {
+      WHARF_EXPECT(b >= 1, "per-chain budget must be >= 1, got " << b);
+      sum = sat_add(sum, b);
+    }
+    WHARF_EXPECT(sum == deadline, "budgets sum to " << sum << ", path deadline is " << deadline);
+    return path.budgets;
+  }
+
+  WHARF_EXPECT(deadline >= n,
+               "path deadline " << deadline << " cannot be split over " << n << " chains");
+  // Proportional to standalone WCLs (weight >= 1 so that zero-cost chains
+  // still receive a budget).
+  Time total_weight = 0;
+  std::vector<Time> weights;
+  for (Time w : wcls) {
+    weights.push_back(std::max<Time>(w, 1));
+    total_weight += weights.back();
+  }
+  std::vector<Time> budgets(path.chains.size(), 1);
+  Time assigned = 0;
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    budgets[i] = std::max<Time>(1, deadline * weights[i] / total_weight);
+    assigned += budgets[i];
+  }
+  // Fix the rounding drift on the last chain (keeping every budget >= 1).
+  Time drift = deadline - assigned;
+  for (std::size_t i = budgets.size(); i-- > 0 && drift != 0;) {
+    const Time adjusted = std::max<Time>(1, budgets[i] + drift);
+    drift -= adjusted - budgets[i];
+    budgets[i] = adjusted;
+  }
+  WHARF_ASSERT(std::accumulate(budgets.begin(), budgets.end(), Time{0}) == deadline);
+  return budgets;
+}
+
+PathDmmResult PathAnalyzer::dmm(const PathSpec& path, Count k) const {
+  validate_path(path);
+  WHARF_EXPECT(k >= 1, "dmm requires k >= 1, got " << k);
+  WHARF_EXPECT(path.deadline.has_value(), "path DMM requires an end-to-end deadline");
+
+  PathDmmResult result;
+  result.k = k;
+
+  const PathLatencyResult lat = latency(path);
+  if (!lat.bounded) {
+    result.status = DmmStatus::kNoGuarantee;
+    result.reason = lat.reason;
+    result.dmm = k;
+    return result;
+  }
+  if (lat.wcl <= *path.deadline) {
+    result.status = DmmStatus::kAlwaysMeets;
+    result.dmm = 0;
+    return result;
+  }
+
+  result.budgets = resolve_budgets(path, lat.per_chain_wcl);
+
+  Count total = 0;
+  for (std::size_t i = 0; i < path.chains.size(); ++i) {
+    const int c = path.chains[i];
+    const System budgeted = with_deadline(system_, c, result.budgets[i]);
+    TwcaAnalyzer analyzer{budgeted, options_};
+    const DmmResult chain_dmm = analyzer.dmm(c, k);
+    if (chain_dmm.status == DmmStatus::kNoGuarantee) {
+      result.status = DmmStatus::kNoGuarantee;
+      result.reason = util::cat("chain '", system_.chain(c).name(), "' with budget ",
+                                result.budgets[i], ": ", chain_dmm.reason);
+      result.dmm = k;
+      return result;
+    }
+    result.per_chain.push_back(chain_dmm.dmm);
+    total += chain_dmm.dmm;
+  }
+  result.status = DmmStatus::kBounded;
+  result.dmm = std::min<Count>(total, k);
+  return result;
+}
+
+ArrivalModelPtr derived_output_model(const Chain& chain, const LatencyResult& latency) {
+  WHARF_EXPECT(latency.bounded, "derived_output_model requires a bounded latency for chain '"
+                                    << chain.name() << "'");
+  const Time shift = latency.wcl - chain.total_wcet();
+  WHARF_ASSERT(shift >= 0);
+
+  const ArrivalModel& in = chain.arrival();
+  // Lower curve: completions c_n = a_n + L_n with L_n in [C, WCL], so
+  // any q consecutive outputs span at least delta_in(q) - (WCL - C).
+  // Beyond a fixed prefix every library model grows linearly, so the
+  // tail slope is exact.
+  constexpr Count kPrefix = 64;
+  std::vector<Time> prefix;
+  for (Count q = 2; q <= kPrefix + 1; ++q) {
+    const Time d = in.delta_minus(q);
+    prefix.push_back(d > shift ? d - shift : 0);
+  }
+  const Time slope = in.delta_minus(kPrefix + 2) - in.delta_minus(kPrefix + 1);
+  WHARF_EXPECT(slope >= 1, "input arrival model of chain '"
+                               << chain.name()
+                               << "' has a non-increasing long-run delta curve");
+
+  // Upper curve: outputs span at most delta_plus_in(q) + (WCL - C).
+  // Preserved only when the input bounds it (finite delta_plus), which
+  // is what keeps Lemma 4 applicable downstream on a path.
+  if (is_infinite(in.delta_plus(2))) {
+    return delta_curve(std::move(prefix), slope);
+  }
+  std::vector<Time> plus_prefix;
+  for (Count q = 2; q <= kPrefix + 1; ++q) {
+    plus_prefix.push_back(sat_add(in.delta_plus(q), shift));
+  }
+  const Time plus_slope = in.delta_plus(kPrefix + 2) - in.delta_plus(kPrefix + 1);
+  return delta_curve_with_plus(std::move(prefix), slope, std::move(plus_prefix),
+                               std::max(plus_slope, slope));
+}
+
+}  // namespace wharf

@@ -1,0 +1,178 @@
+#include "core/segments.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace wharf {
+
+namespace {
+
+/// qualifies[i] == true iff task i of `a` has priority strictly above the
+/// minimum priority of `b` (the membership test of Def. 3).
+std::vector<bool> qualifying_tasks(const Chain& a, const Chain& b) {
+  std::vector<bool> q(static_cast<std::size_t>(a.size()), false);
+  const Priority min_b = b.min_priority();
+  for (int i = 0; i < a.size(); ++i) {
+    q[static_cast<std::size_t>(i)] = a.task(i).priority > min_b;
+  }
+  return q;
+}
+
+Segment make_segment(const Chain& a, std::vector<int> tasks, bool wraps) {
+  Segment s;
+  s.cost = cost_of(a, tasks);
+  s.tasks = std::move(tasks);
+  s.wraps = wraps;
+  return s;
+}
+
+}  // namespace
+
+Time cost_of(const Chain& a, const std::vector<int>& task_indices) {
+  Time cost = 0;
+  for (int i : task_indices) cost = sat_add(cost, a.task(i).wcet);
+  return cost;
+}
+
+std::string format_task_list(const Chain& a, const std::vector<int>& task_indices) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < task_indices.size(); ++i) {
+    if (i != 0) out += ',';
+    out += a.task(task_indices[i]).name;
+  }
+  out += ')';
+  return out;
+}
+
+bool is_deferred(const Chain& a, const Chain& b) {
+  const Priority min_b = b.min_priority();
+  return std::any_of(a.tasks().begin(), a.tasks().end(),
+                     [min_b](const Task& t) { return t.priority < min_b; });
+}
+
+std::vector<Segment> segments_wrt(const Chain& a, const Chain& b) {
+  const std::vector<bool> qualifies = qualifying_tasks(a, b);
+  const int n = a.size();
+
+  const bool all = std::all_of(qualifies.begin(), qualifies.end(), [](bool v) { return v; });
+  if (all) {
+    // The whole chain is one segment; no wrap is needed (a wrap would
+    // only duplicate tasks, and Def. 3 requires distinct tasks).
+    std::vector<int> tasks(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) tasks[static_cast<std::size_t>(i)] = i;
+    return {make_segment(a, std::move(tasks), false)};
+  }
+
+  // Collect maximal linear runs of qualifying tasks.
+  std::vector<std::vector<int>> runs;
+  int i = 0;
+  while (i < n) {
+    if (!qualifies[static_cast<std::size_t>(i)]) {
+      ++i;
+      continue;
+    }
+    std::vector<int> run;
+    while (i < n && qualifies[static_cast<std::size_t>(i)]) run.push_back(i++);
+    runs.push_back(std::move(run));
+  }
+  if (runs.empty()) return {};
+
+  // Def. 3 reads identifiers modulo n_a: a run ending at the tail task
+  // joins a run starting at the header task into one wrapping segment.
+  const bool wrap = runs.size() >= 2 && runs.front().front() == 0 && runs.back().back() == n - 1;
+  std::vector<Segment> out;
+  if (wrap) {
+    std::vector<int> tasks = runs.back();
+    tasks.insert(tasks.end(), runs.front().begin(), runs.front().end());
+    // The wrapped segment is listed where its first task lies (i.e. last).
+    for (std::size_t r = 1; r + 1 < runs.size(); ++r) {
+      out.push_back(make_segment(a, runs[r], false));
+    }
+    out.push_back(make_segment(a, std::move(tasks), true));
+  } else {
+    for (auto& run : runs) out.push_back(make_segment(a, std::move(run), false));
+  }
+  return out;
+}
+
+std::optional<Segment> critical_segment(const Chain& a, const Chain& b) {
+  const std::vector<Segment> segs = segments_wrt(a, b);
+  if (segs.empty()) return std::nullopt;
+  const auto it = std::max_element(segs.begin(), segs.end(),
+                                   [](const Segment& x, const Segment& y) { return x.cost < y.cost; });
+  return *it;
+}
+
+std::vector<int> header_subchain(const Chain& a) {
+  const int lowest = a.lowest_priority_index();
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(lowest));
+  for (int i = 0; i < lowest; ++i) out.push_back(i);
+  return out;
+}
+
+std::vector<int> header_segment_wrt(const Chain& a, const Chain& b) {
+  WHARF_EXPECT(is_deferred(a, b), "header_segment_wrt requires '" << a.name()
+                                                                  << "' to be deferred by '"
+                                                                  << b.name() << "'");
+  const Priority min_b = b.min_priority();
+  std::vector<int> out;
+  for (int i = 0; i < a.size(); ++i) {
+    if (a.task(i).priority < min_b) break;
+    out.push_back(i);
+  }
+  // The break above always triggers (a is deferred), so out.size() < n_a.
+  return out;
+}
+
+std::vector<ActiveSegment> active_segments_wrt(const Chain& a, const Chain& b) {
+  const Priority tail_b = b.tail().priority;
+  std::vector<ActiveSegment> out;
+  const std::vector<Segment> segs = segments_wrt(a, b);
+  for (std::size_t si = 0; si < segs.size(); ++si) {
+    const Segment& seg = segs[si];
+
+    // Footnote 3: active segments never wrap; split a wrapping segment
+    // into its two linear pieces first.
+    std::vector<std::vector<int>> pieces;
+    if (seg.wraps) {
+      std::vector<int> first_piece;
+      std::vector<int> second_piece;
+      bool wrapped = false;
+      for (std::size_t j = 0; j < seg.tasks.size(); ++j) {
+        if (j > 0 && seg.tasks[j] < seg.tasks[j - 1]) wrapped = true;
+        (wrapped ? second_piece : first_piece).push_back(seg.tasks[j]);
+      }
+      pieces.push_back(std::move(first_piece));
+      pieces.push_back(std::move(second_piece));
+    } else {
+      pieces.push_back(seg.tasks);
+    }
+
+    for (const std::vector<int>& piece : pieces) {
+      if (piece.empty()) continue;
+      // Def. 8: within a piece, every task *after the first* must have
+      // priority above b's tail task; greedily extend, else start anew.
+      ActiveSegment cur;
+      cur.segment_index = static_cast<int>(si);
+      cur.tasks.push_back(piece.front());
+      for (std::size_t j = 1; j < piece.size(); ++j) {
+        if (a.task(piece[j]).priority > tail_b) {
+          cur.tasks.push_back(piece[j]);
+        } else {
+          cur.cost = cost_of(a, cur.tasks);
+          out.push_back(std::move(cur));
+          cur = ActiveSegment{};
+          cur.segment_index = static_cast<int>(si);
+          cur.tasks.push_back(piece[j]);
+        }
+      }
+      cur.cost = cost_of(a, cur.tasks);
+      out.push_back(std::move(cur));
+    }
+  }
+  return out;
+}
+
+}  // namespace wharf

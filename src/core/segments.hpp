@@ -1,0 +1,94 @@
+/// \file segments.hpp
+/// Segments, active segments, header segments and critical segments
+/// (paper Definitions 2–8).
+///
+/// These objects quantify how a chain σ_a interferes with an analyzed
+/// chain σ_b under SPP:
+///  * σ_a is *deferred* by σ_b when some task of σ_a has lower priority
+///    than every task of σ_b (Def. 2) — execution of σ_a then stalls at
+///    that task until σ_b's busy window closes.
+///  * A *segment* of σ_a w.r.t. σ_b (Def. 3) is a maximal run of tasks of
+///    σ_a all with priority above σ_b's minimum; identifiers are read
+///    modulo n_a, so a segment may wrap from the tail to the header
+///    (conservatively spanning two consecutive instances of σ_a).
+///  * The *critical segment* (Def. 4) is the segment of maximum total
+///    execution time.
+///  * The *header segment* (Def. 5) is the prefix of σ_a that can run
+///    before σ_a first reaches a task of lower priority (than σ_a's own
+///    minimum, or than σ_b's minimum for the "w.r.t. σ_b" variant).
+///  * An *active segment* (Def. 8) is a maximal subchain of a segment in
+///    which every task except possibly the first has priority above the
+///    priority of σ_b's tail task; its execution cannot span more than
+///    one σ_b-busy-window (Lemma 2).  Active segments never wrap
+///    (footnote 3 of the paper).
+
+#ifndef WHARF_CORE_SEGMENTS_HPP
+#define WHARF_CORE_SEGMENTS_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/chain.hpp"
+
+namespace wharf {
+
+/// A (possibly wrapping) run of consecutive tasks of a chain.
+struct Segment {
+  /// Task indices of chain σ_a in execution order; when `wraps` is true
+  /// the list crosses the n_a -> 1 boundary (e.g. {3, 0, 1}).
+  std::vector<int> tasks;
+  bool wraps = false;
+  /// Sum of the WCETs of `tasks` (the paper's C_s).
+  Time cost = 0;
+};
+
+/// A non-wrapping subchain of a segment whose execution fits into one
+/// σ_b-busy-window (Def. 8 / Lemma 2).
+struct ActiveSegment {
+  /// Index into the segments_wrt() result identifying the parent segment.
+  /// Active segments may be combined within one busy window if and only
+  /// if they share this parent (Def. 9 / Lemma 1).
+  int segment_index = -1;
+  std::vector<int> tasks;
+  Time cost = 0;
+};
+
+/// Def. 2: true iff σ_a is deferred by σ_b (some task of `a` has lower
+/// priority than all tasks of `b`); otherwise σ_a arbitrarily interferes.
+[[nodiscard]] bool is_deferred(const Chain& a, const Chain& b);
+
+/// Def. 3: all segments of `a` w.r.t. `b`, in chain order (a wrapping
+/// segment, if any, is listed where its first task lies).  Empty when no
+/// task of `a` exceeds `b`'s minimum priority.  When *all* tasks qualify,
+/// the single segment is the whole chain (no wrap).
+[[nodiscard]] std::vector<Segment> segments_wrt(const Chain& a, const Chain& b);
+
+/// Def. 4: the segment maximizing total execution time (first such on
+/// ties); std::nullopt when there are no segments.
+[[nodiscard]] std::optional<Segment> critical_segment(const Chain& a, const Chain& b);
+
+/// Def. 5 (first bullet): task indices of s_header_a — the prefix of `a`
+/// before its own lowest-priority task.  Empty when the header task is
+/// the lowest-priority task.
+[[nodiscard]] std::vector<int> header_subchain(const Chain& a);
+
+/// Def. 5 (second bullet): task indices of s_header_{a,b} — the prefix of
+/// `a` before the first task with priority lower than all tasks of `b`.
+/// Precondition: `a` is deferred by `b`.
+[[nodiscard]] std::vector<int> header_segment_wrt(const Chain& a, const Chain& b);
+
+/// Def. 8: all active segments of `a` w.r.t. `b`, in chain order.  Active
+/// segments partition each segment (wrapping segments are split at the
+/// wrap point first, per footnote 3).
+[[nodiscard]] std::vector<ActiveSegment> active_segments_wrt(const Chain& a, const Chain& b);
+
+/// Sum of the WCETs of the given task indices of chain `a`.
+[[nodiscard]] Time cost_of(const Chain& a, const std::vector<int>& task_indices);
+
+/// Pretty "(tau1,tau2)" rendering of a task-index list (for reports).
+[[nodiscard]] std::string format_task_list(const Chain& a, const std::vector<int>& task_indices);
+
+}  // namespace wharf
+
+#endif  // WHARF_CORE_SEGMENTS_HPP

@@ -1,0 +1,73 @@
+/// \file system.hpp
+/// A uniprocessor SPP system: a finite set of disjoint task chains.
+
+#ifndef WHARF_CORE_SYSTEM_HPP
+#define WHARF_CORE_SYSTEM_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/chain.hpp"
+
+namespace wharf {
+
+/// Identifies a task by chain index and task position within the chain.
+struct TaskRef {
+  int chain = -1;
+  int task = -1;
+
+  friend bool operator==(const TaskRef&, const TaskRef&) = default;
+};
+
+/// The system model of Section II: disjoint task chains on one processor
+/// under Static Priority Preemptive scheduling.  Validation enforces the
+/// paper's standing assumptions: globally unique task priorities (the
+/// paper's strict comparisons presume a total priority order) and
+/// synchronous overload chains.
+class System {
+ public:
+  /// Validates and builds; see class comment for the invariants.
+  System(std::string name, std::vector<Chain> chains);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Chain>& chains() const { return chains_; }
+  /// Number of chains m.
+  [[nodiscard]] int size() const { return static_cast<int>(chains_.size()); }
+  [[nodiscard]] const Chain& chain(int i) const { return chains_[static_cast<std::size_t>(i)]; }
+  /// Index of the chain with the given name, if any.
+  [[nodiscard]] std::optional<int> chain_index(const std::string& chain_name) const;
+
+  /// Total number of tasks across all chains.
+  [[nodiscard]] int task_count() const { return task_count_; }
+  /// Indices of overload chains (the paper's C_over), in chain order.
+  [[nodiscard]] const std::vector<int>& overload_indices() const { return overload_indices_; }
+  /// Indices of non-overload chains, in chain order.
+  [[nodiscard]] const std::vector<int>& regular_indices() const { return regular_indices_; }
+
+  /// Long-run processor utilization upper bound: Σ_a C_a · rate⁺_a.
+  [[nodiscard]] double utilization() const;
+
+  /// Priorities of all tasks in flat order (chains in order, tasks in
+  /// order).  Companion of with_priorities() for Experiment 2.
+  [[nodiscard]] std::vector<Priority> flat_priorities() const;
+
+  /// Returns a copy of this system with task priorities replaced by
+  /// `priorities` (flat order, size == task_count()).  Used to explore
+  /// random priority assignments (paper Experiment 2).
+  [[nodiscard]] System with_priorities(const std::vector<Priority>& priorities) const;
+
+  /// Resolves a "chain.task" dotted name; returns std::nullopt if unknown.
+  [[nodiscard]] std::optional<TaskRef> find_task(const std::string& dotted) const;
+
+ private:
+  std::string name_;
+  std::vector<Chain> chains_;
+  int task_count_ = 0;
+  std::vector<int> overload_indices_;
+  std::vector<int> regular_indices_;
+};
+
+}  // namespace wharf
+
+#endif  // WHARF_CORE_SYSTEM_HPP

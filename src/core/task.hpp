@@ -1,0 +1,24 @@
+/// \file task.hpp
+/// A single task of a task chain.
+
+#ifndef WHARF_CORE_TASK_HPP
+#define WHARF_CORE_TASK_HPP
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace wharf {
+
+/// One task τ of a chain: a name, an arbitrary static priority π (larger
+/// value = higher priority, globally unique within a System) and an upper
+/// bound C on its execution time (the paper takes 0 as the lower bound).
+struct Task {
+  std::string name;
+  Priority priority = 0;
+  Time wcet = 0;
+};
+
+}  // namespace wharf
+
+#endif  // WHARF_CORE_TASK_HPP

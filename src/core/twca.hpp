@@ -1,0 +1,122 @@
+/// \file twca.hpp
+/// Typical Worst-Case Analysis for task chains (paper Section V) — the
+/// core contribution: deadline miss models dmm_b(k) via the packing ILP
+/// of Theorem 3.
+
+#ifndef WHARF_CORE_TWCA_HPP
+#define WHARF_CORE_TWCA_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/busy_window.hpp"
+#include "core/combinations.hpp"
+#include "core/system.hpp"
+
+namespace wharf {
+
+/// Which schedulability test classifies combinations (Section V-C).
+enum class SchedulabilityCriterion {
+  /// The paper's efficient sufficient condition (Eq. 5): a combination is
+  /// unschedulable iff its cost exceeds the typical slack theta_b.
+  kSufficientEq5,
+  /// Exact per-q fixed-point evaluation of Eq. (3); never classifies more
+  /// combinations as unschedulable than Eq. 5, so the resulting dmm is at
+  /// most the Eq.-5 dmm (ablation: bench_ablation_ilp).
+  kExactEq3,
+};
+
+/// Knobs of the DMM computation.
+struct TwcaOptions {
+  AnalysisOptions analysis;
+  /// Combination classification test (Section V-C).
+  SchedulabilityCriterion criterion = SchedulabilityCriterion::kSufficientEq5;
+  /// Cap on combination enumeration (Def. 9 can be exponential).
+  std::size_t max_combinations = 1'000'000;
+  /// Keep only minimal unschedulable combinations (provably optimum-
+  /// preserving; see combinations.hpp).  Disable for ablation studies.
+  bool minimal_only = true;
+  /// Additionally cap dmm(k) at k (trivially sound; the raw ILP bound can
+  /// exceed k for tiny k).
+  bool cap_at_k = true;
+  /// Solve the packing with the exhaustive DFS solver instead of the
+  /// branch-and-bound ILP (cross-check / ablation path).
+  bool use_dfs_packer = false;
+};
+
+/// Classification of a DMM query outcome.
+enum class DmmStatus {
+  /// WCL_b <= D_b: the chain never misses; dmm == 0 for every k.
+  kAlwaysMeets,
+  /// A non-trivial bound was computed via Theorem 3.
+  kBounded,
+  /// TWCA cannot bound the misses (diverging busy window, negative
+  /// typical slack, unbounded delta_plus, ...): dmm(k) = k.
+  kNoGuarantee,
+};
+
+/// Human-readable status name.
+[[nodiscard]] std::string to_string(DmmStatus status);
+
+/// Result of one dmm_b(k) query, with the intermediate quantities the
+/// paper reports (useful for tables and debugging).
+struct DmmResult {
+  Count k = 0;
+  /// The deadline miss model value: max misses in k consecutive runs.
+  Count dmm = 0;
+  DmmStatus status = DmmStatus::kNoGuarantee;
+  /// Explanation when status == kNoGuarantee.
+  std::string reason;
+
+  // Diagnostics (meaningful for kBounded / kAlwaysMeets):
+  Time wcl = 0;           ///< WCL_b (Theorem 2)
+  Count K = 0;            ///< K_b (Theorem 2)
+  Count n_b = 0;          ///< N_b (Lemma 3)
+  Time slack = 0;         ///< theta_b (Eq. 5 threshold)
+  std::vector<Count> omegas;  ///< Ω^a_b per overload chain (Lemma 4)
+  std::size_t combination_count = 0;     ///< combinations enumerated
+  std::size_t unschedulable_count = 0;   ///< |U| handed to the ILP
+  Count packing_optimum = 0;             ///< ILP optimum (Σ x_c̄)
+  long long solver_nodes = 0;            ///< B&B / DFS nodes
+};
+
+/// Façade bundling latency analysis and DMM computation with caching of
+/// the per-chain artefacts that do not depend on k (interference context,
+/// K/WCL/N_b, slack, active segments, unschedulable combinations).
+class TwcaAnalyzer {
+ public:
+  explicit TwcaAnalyzer(System system, TwcaOptions options = {});
+  ~TwcaAnalyzer();
+
+  TwcaAnalyzer(TwcaAnalyzer&&) noexcept;
+  TwcaAnalyzer& operator=(TwcaAnalyzer&&) noexcept;
+
+  [[nodiscard]] const System& system() const;
+  [[nodiscard]] const TwcaOptions& options() const;
+
+  /// Full latency analysis (Theorem 2), cached per chain.
+  [[nodiscard]] const LatencyResult& latency(int chain) const;
+
+  /// Latency analysis with all overload chains abstracted away (the
+  /// paper's "second analysis" in Experiment 1), cached per chain.
+  [[nodiscard]] const LatencyResult& latency_without_overload(int chain) const;
+
+  /// dmm_chain(k) per Theorem 3.  The chain must have a deadline and must
+  /// not itself be an overload chain.
+  [[nodiscard]] DmmResult dmm(int chain, Count k) const;
+
+  /// Batch helper: dmm for several k values (shares all per-chain work).
+  [[nodiscard]] std::vector<DmmResult> dmm_curve(int chain, const std::vector<Count>& ks) const;
+
+  /// Weakly-hard (m,k) verification: true iff dmm(k) <= m.
+  [[nodiscard]] bool satisfies_weakly_hard(int chain, Count m, Count k) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace wharf
+
+#endif  // WHARF_CORE_TWCA_HPP

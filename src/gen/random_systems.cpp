@@ -1,0 +1,129 @@
+#include "gen/random_systems.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/expect.hpp"
+#include "util/strings.hpp"
+
+namespace wharf::gen {
+
+std::vector<double> uunifast(int n, double total, std::mt19937_64& rng) {
+  WHARF_EXPECT(n >= 1, "uunifast needs n >= 1, got " << n);
+  WHARF_EXPECT(total >= 0.0, "uunifast needs total >= 0, got " << total);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  double sum = total;
+  for (int i = 1; i < n; ++i) {
+    const double next = sum * std::pow(uniform(rng), 1.0 / static_cast<double>(n - i));
+    out[static_cast<std::size_t>(i - 1)] = sum - next;
+    sum = next;
+  }
+  out[static_cast<std::size_t>(n - 1)] = sum;
+  return out;
+}
+
+std::vector<Priority> shuffled_priorities(int count, std::mt19937_64& rng) {
+  WHARF_EXPECT(count >= 1, "need at least one priority");
+  std::vector<Priority> out(static_cast<std::size_t>(count));
+  std::iota(out.begin(), out.end(), 1);
+  std::shuffle(out.begin(), out.end(), rng);
+  return out;
+}
+
+System with_random_priorities(const System& system, std::mt19937_64& rng) {
+  return system.with_priorities(shuffled_priorities(system.task_count(), rng));
+}
+
+namespace {
+
+int uniform_int(std::mt19937_64& rng, int lo, int hi) {
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(rng);
+}
+
+/// Splits `total >= parts` into `parts` positive integers, uniformly-ish.
+std::vector<Time> random_composition(Time total, int parts, std::mt19937_64& rng) {
+  WHARF_ASSERT(total >= parts);
+  std::vector<Time> out(static_cast<std::size_t>(parts), 1);
+  Time remaining = total - parts;
+  // Distribute the remainder with independent uniform picks.
+  std::uniform_int_distribution<int> pick(0, parts - 1);
+  // Spread in chunks to keep this O(parts) rather than O(total).
+  while (remaining > 0) {
+    const Time chunk = std::max<Time>(1, remaining / parts);
+    out[static_cast<std::size_t>(pick(rng))] += chunk;
+    remaining -= chunk;
+  }
+  return out;
+}
+
+}  // namespace
+
+System random_system(const RandomSystemSpec& spec, std::mt19937_64& rng,
+                     const std::string& name) {
+  WHARF_EXPECT(spec.min_chains >= 1 && spec.max_chains >= spec.min_chains,
+               "invalid chain-count range");
+  WHARF_EXPECT(spec.min_tasks >= 1 && spec.max_tasks >= spec.min_tasks,
+               "invalid task-count range");
+  WHARF_EXPECT(!spec.periods.empty(), "need at least one period");
+  WHARF_EXPECT(spec.utilization > 0.0 && spec.utilization < 1.0,
+               "regular utilization must be in (0, 1), got " << spec.utilization);
+
+  const int regular = uniform_int(rng, spec.min_chains, spec.max_chains);
+  const std::vector<double> shares = uunifast(regular, spec.utilization, rng);
+
+  std::vector<Chain::Spec> specs;
+  std::uniform_real_distribution<double> uniform01(0.0, 1.0);
+
+  for (int c = 0; c < regular; ++c) {
+    Chain::Spec s;
+    s.name = util::cat("chain", c);
+    s.kind = uniform01(rng) < spec.async_fraction ? ChainKind::kAsynchronous
+                                                  : ChainKind::kSynchronous;
+    const Time period =
+        spec.periods[static_cast<std::size_t>(uniform_int(rng, 0, static_cast<int>(spec.periods.size()) - 1))];
+    s.arrival = periodic(period);
+    s.deadline = std::max<Time>(1, static_cast<Time>(std::llround(
+                                       spec.deadline_factor * static_cast<double>(period))));
+    const int tasks = uniform_int(rng, spec.min_tasks, spec.max_tasks);
+    const Time budget = std::max<Time>(
+        tasks, static_cast<Time>(std::llround(shares[static_cast<std::size_t>(c)] *
+                                              static_cast<double>(period))));
+    const std::vector<Time> wcets = random_composition(budget, tasks, rng);
+    for (int t = 0; t < tasks; ++t) {
+      s.tasks.push_back(Task{util::cat("c", c, "t", t), 0, wcets[static_cast<std::size_t>(t)]});
+    }
+    specs.push_back(std::move(s));
+  }
+
+  for (int o = 0; o < spec.overload_chains; ++o) {
+    Chain::Spec s;
+    s.name = util::cat("overload", o);
+    s.kind = ChainKind::kSynchronous;
+    s.arrival = sporadic(spec.overload_gap);
+    s.overload = true;
+    const int tasks = uniform_int(rng, 1, spec.overload_tasks_max);
+    for (int t = 0; t < tasks; ++t) {
+      s.tasks.push_back(Task{util::cat("o", o, "t", t), 0,
+                             static_cast<Time>(uniform_int(
+                                 rng, 1, static_cast<int>(spec.overload_wcet_max)))});
+    }
+    specs.push_back(std::move(s));
+  }
+
+  int task_count = 0;
+  for (const auto& s : specs) task_count += static_cast<int>(s.tasks.size());
+  const std::vector<Priority> priorities = shuffled_priorities(task_count, rng);
+  std::size_t next = 0;
+  std::vector<Chain> chains;
+  chains.reserve(specs.size());
+  for (auto& s : specs) {
+    for (Task& t : s.tasks) t.priority = priorities[next++];
+    chains.emplace_back(std::move(s));
+  }
+  return System(name, std::move(chains));
+}
+
+}  // namespace wharf::gen

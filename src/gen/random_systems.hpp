@@ -1,0 +1,53 @@
+/// \file random_systems.hpp
+/// Random system generation: priority shuffles (paper Experiment 2) and
+/// fully synthetic chain systems for property tests and scalability
+/// benchmarks ("derived synthetic test cases" in the paper's abstract).
+
+#ifndef WHARF_GEN_RANDOM_SYSTEMS_HPP
+#define WHARF_GEN_RANDOM_SYSTEMS_HPP
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace wharf::gen {
+
+/// UUniFast (Bini & Buttazzo): draws `n` utilizations summing to `total`.
+[[nodiscard]] std::vector<double> uunifast(int n, double total, std::mt19937_64& rng);
+
+/// A uniformly random permutation of the priorities 1..count.
+[[nodiscard]] std::vector<Priority> shuffled_priorities(int count, std::mt19937_64& rng);
+
+/// Experiment 2 sampler: returns a copy of `system` whose task priorities
+/// are a fresh random permutation of 1..task_count (flat task order).
+[[nodiscard]] System with_random_priorities(const System& system, std::mt19937_64& rng);
+
+/// Parameters of the synthetic system generator.
+struct RandomSystemSpec {
+  int min_chains = 2;        ///< regular (non-overload) chains, lower bound
+  int max_chains = 4;        ///< regular chains, upper bound
+  int min_tasks = 1;         ///< tasks per regular chain, lower bound
+  int max_tasks = 5;         ///< tasks per regular chain, upper bound
+  double utilization = 0.7;  ///< total utilization of the regular chains
+  std::vector<Time> periods = {200, 400, 500, 800, 1000};
+  double deadline_factor = 1.0;  ///< D = round(factor * period)
+  double async_fraction = 0.0;   ///< probability a regular chain is asynchronous
+
+  int overload_chains = 1;      ///< number of sporadic overload chains
+  int overload_tasks_max = 3;   ///< tasks per overload chain, in [1, max]
+  Time overload_gap = 20'000;   ///< delta_minus(2) of overload chains
+  Time overload_wcet_max = 30;  ///< per-task WCET of overload chains, in [1, max]
+};
+
+/// Generates a random system: regular periodic chains with UUniFast
+/// utilization split, plus rare sporadic overload chains; priorities are
+/// a random permutation of 1..task_count.
+[[nodiscard]] System random_system(const RandomSystemSpec& spec, std::mt19937_64& rng,
+                                   const std::string& name = "random");
+
+}  // namespace wharf::gen
+
+#endif  // WHARF_GEN_RANDOM_SYSTEMS_HPP

@@ -1,0 +1,137 @@
+#include "ilp/branch_and_bound.hpp"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "util/expect.hpp"
+
+namespace wharf::ilp {
+
+namespace {
+
+/// One additional bound introduced by branching.
+struct Branch {
+  int var = 0;
+  bool is_upper = false;  // true: x_var <= value; false: x_var >= value
+  double value = 0.0;
+};
+
+struct Node {
+  std::vector<Branch> branches;
+  double bound = std::numeric_limits<double>::infinity();
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const { return a.bound < b.bound; }
+};
+
+lp::Problem with_branches(const lp::Problem& base, const std::vector<Branch>& branches) {
+  lp::Problem p = base;
+  for (const Branch& br : branches) {
+    if (br.is_upper) {
+      p.add_upper_bound(br.var, br.value);
+    } else {
+      p.add_lower_bound(br.var, br.value);
+    }
+  }
+  return p;
+}
+
+/// Index of the first integral variable with a fractional relaxation
+/// value, or -1 when the point is integral.
+int first_fractional(const std::vector<double>& x, const std::vector<bool>& integrality,
+                     double eps) {
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (!integrality[j]) continue;
+    const double frac = std::abs(x[j] - std::round(x[j]));
+    if (frac > eps) return static_cast<int>(j);
+  }
+  return -1;
+}
+
+}  // namespace
+
+Solution solve(const Problem& problem, const Options& options) {
+  WHARF_EXPECT(problem.integrality.size() ==
+                   static_cast<std::size_t>(problem.relaxation.num_vars()),
+               "integrality mask size must equal the number of variables");
+
+  Solution best;
+  best.status = Status::kInfeasible;
+  best.objective = -std::numeric_limits<double>::infinity();
+  best.nodes_explored = 0;
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  open.push(Node{});
+
+  bool any_feasible_relaxation = false;
+
+  while (!open.empty()) {
+    Node node = open.top();
+    open.pop();
+
+    if (best.nodes_explored >= options.max_nodes) {
+      best.status = Status::kNodeLimit;
+      return best;
+    }
+
+    // Bound-based pruning (valid because bounds only tighten down the tree).
+    double prune_bound = node.bound;
+    if (options.objective_is_integral && std::isfinite(prune_bound)) {
+      prune_bound = std::floor(prune_bound + options.integrality_eps);
+    }
+    if (prune_bound <= best.objective + options.integrality_eps && !best.x.empty()) continue;
+
+    const lp::Problem node_lp = with_branches(problem.relaxation, node.branches);
+    const lp::Solution relax = lp::solve(node_lp, options.lp_options);
+    ++best.nodes_explored;
+
+    if (relax.status == lp::Status::kIterationLimit) {
+      best.status = Status::kNodeLimit;
+      return best;
+    }
+    if (relax.status == lp::Status::kInfeasible) continue;
+    if (relax.status == lp::Status::kUnbounded) {
+      // With integral variables an unbounded relaxation at any node means
+      // the ILP itself is unbounded along that ray (costs are rational).
+      best.status = Status::kUnbounded;
+      return best;
+    }
+    any_feasible_relaxation = true;
+
+    double bound = relax.objective;
+    if (options.objective_is_integral) bound = std::floor(bound + options.integrality_eps);
+    if (!best.x.empty() && bound <= best.objective + options.integrality_eps) continue;
+
+    const int frac = first_fractional(relax.x, problem.integrality, options.integrality_eps);
+    if (frac < 0) {
+      if (relax.objective > best.objective + options.integrality_eps || best.x.empty()) {
+        best.objective = relax.objective;
+        best.x = relax.x;
+        best.status = Status::kOptimal;
+      }
+      continue;
+    }
+
+    const double v = relax.x[static_cast<std::size_t>(frac)];
+    Node down = node;
+    down.bound = relax.objective;
+    down.branches.push_back(Branch{frac, /*is_upper=*/true, std::floor(v)});
+    Node up = node;
+    up.bound = relax.objective;
+    up.branches.push_back(Branch{frac, /*is_upper=*/false, std::floor(v) + 1.0});
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  if (best.x.empty()) {
+    best.status = Status::kInfeasible;
+    best.objective = 0.0;
+    (void)any_feasible_relaxation;
+  }
+  return best;
+}
+
+}  // namespace wharf::ilp

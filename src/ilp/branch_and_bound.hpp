@@ -1,0 +1,55 @@
+/// \file branch_and_bound.hpp
+/// Integer linear programming by LP-relaxation branch and bound.
+///
+/// Together with `lp/simplex.hpp` this forms the in-repo substitute for
+/// the MILP solver used by the paper's authors for Theorem 3.  Nodes are
+/// explored best-bound-first; when the objective is known to be integral
+/// (true for the TWCA packing ILP, whose costs are all 1) bounds are
+/// floored before pruning, which closes the gap quickly.
+
+#ifndef WHARF_ILP_BRANCH_AND_BOUND_HPP
+#define WHARF_ILP_BRANCH_AND_BOUND_HPP
+
+#include <vector>
+
+#include "lp/simplex.hpp"
+
+namespace wharf::ilp {
+
+/// An ILP: the LP relaxation plus per-variable integrality flags.
+struct Problem {
+  lp::Problem relaxation;
+  /// integrality[j] == true forces x_j integral.  Must match num_vars().
+  std::vector<bool> integrality;
+};
+
+/// Solver knobs.
+struct Options {
+  /// Branch-and-bound node cap; exceeded => Status::kNodeLimit.
+  int max_nodes = 200'000;
+  /// Tolerance for deciding that a relaxation value is integral.
+  double integrality_eps = 1e-6;
+  /// Declared when every feasible objective value is an integer, enabling
+  /// floor-based pruning.
+  bool objective_is_integral = false;
+  lp::Options lp_options;
+};
+
+/// Outcome classification.
+enum class Status { kOptimal, kInfeasible, kUnbounded, kNodeLimit };
+
+/// Result of `solve`.
+struct Solution {
+  Status status = Status::kNodeLimit;
+  double objective = 0.0;
+  std::vector<double> x;
+  /// Number of branch-and-bound nodes whose relaxation was solved.
+  int nodes_explored = 0;
+};
+
+/// Solves the ILP exactly (within tolerances).
+[[nodiscard]] Solution solve(const Problem& problem, const Options& options = {});
+
+}  // namespace wharf::ilp
+
+#endif  // WHARF_ILP_BRANCH_AND_BOUND_HPP

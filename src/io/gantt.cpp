@@ -1,0 +1,72 @@
+#include "io/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace wharf::io {
+
+std::string render_gantt(const System& system, const std::vector<sim::ExecSlice>& trace,
+                         const GanttOptions& options) {
+  WHARF_EXPECT(options.ticks_per_char >= 1, "ticks_per_char must be >= 1");
+  Time end = options.to;
+  if (end == 0) {
+    for (const sim::ExecSlice& s : trace) end = std::max(end, s.end);
+  }
+  const Time begin = options.from;
+  WHARF_EXPECT(end >= begin, "gantt window must not be empty");
+  const Time span = end - begin;
+  const std::size_t columns =
+      static_cast<std::size_t>(ceil_div(std::max<Time>(span, 1), options.ticks_per_char));
+
+  // Row per task, labelled "chain.task".
+  std::vector<std::string> labels;
+  std::vector<std::pair<int, int>> row_of;  // (chain, task) per row
+  std::size_t label_width = 0;
+  for (int c = 0; c < system.size(); ++c) {
+    for (int t = 0; t < system.chain(c).size(); ++t) {
+      labels.push_back(system.chain(c).name() + "." + system.chain(c).task(t).name);
+      row_of.emplace_back(c, t);
+      label_width = std::max(label_width, labels.back().size());
+    }
+  }
+  std::vector<std::string> rows(labels.size(), std::string(columns, '.'));
+
+  for (const sim::ExecSlice& s : trace) {
+    const Time lo = std::max(s.begin, begin);
+    const Time hi = std::min(s.end, end);
+    if (lo >= hi) continue;
+    std::size_t row = 0;
+    for (std::size_t r = 0; r < row_of.size(); ++r) {
+      if (row_of[r].first == s.chain && row_of[r].second == s.task) {
+        row = r;
+        break;
+      }
+    }
+    const std::size_t c0 = static_cast<std::size_t>((lo - begin) / options.ticks_per_char);
+    const std::size_t c1 = static_cast<std::size_t>(
+        ceil_div(hi - begin, options.ticks_per_char));
+    for (std::size_t c = c0; c < std::max(c1, c0 + 1) && c < columns; ++c) rows[row][c] = '#';
+  }
+
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    os << labels[r] << std::string(label_width - labels[r].size(), ' ') << " |" << rows[r]
+       << "|\n";
+  }
+  // Time axis with a marker every 10 characters.
+  os << std::string(label_width, ' ') << " +";
+  for (std::size_t c = 0; c < columns; ++c) os << (c % 10 == 0 ? '+' : '-');
+  os << "+\n";
+  os << std::string(label_width, ' ') << "  ";
+  for (std::size_t c = 0; c < columns; c += 10) {
+    const std::string mark = std::to_string(begin + static_cast<Time>(c) * options.ticks_per_char);
+    os << mark;
+    if (mark.size() < 10 && c + 10 < columns + 1) os << std::string(10 - mark.size(), ' ');
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace wharf::io

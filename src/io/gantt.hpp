@@ -1,0 +1,32 @@
+/// \file gantt.hpp
+/// ASCII Gantt rendering of simulator traces (the visual counterpart of
+/// the paper's Figure 3, which shows active segments of one chain
+/// executing inside busy windows of another).
+
+#ifndef WHARF_IO_GANTT_HPP
+#define WHARF_IO_GANTT_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "sim/simulator.hpp"
+
+namespace wharf::io {
+
+/// Gantt rendering knobs.
+struct GanttOptions {
+  Time from = 0;            ///< first tick shown
+  Time to = 0;              ///< one past the last tick shown (0: trace end)
+  Time ticks_per_char = 1;  ///< horizontal compression factor
+};
+
+/// Renders one row per task (chain order), marking execution with '#',
+/// plus a time axis.  Slices outside [from, to) are clipped.
+[[nodiscard]] std::string render_gantt(const System& system,
+                                       const std::vector<sim::ExecSlice>& trace,
+                                       const GanttOptions& options = {});
+
+}  // namespace wharf::io
+
+#endif  // WHARF_IO_GANTT_HPP

@@ -1,0 +1,63 @@
+/// \file json.hpp
+/// Minimal streaming JSON writer (no external dependencies) plus
+/// converters for the analysis result types.  Used by benchmarks and
+/// examples to emit machine-readable results next to the ASCII tables.
+
+#ifndef WHARF_IO_JSON_HPP
+#define WHARF_IO_JSON_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/busy_window.hpp"
+#include "core/twca.hpp"
+
+namespace wharf::io {
+
+/// Streaming JSON writer with automatic comma placement and string
+/// escaping.  Usage:
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("name"); w.value("sigma_c");
+///   w.key("values"); w.begin_array(); w.value(1); w.value(2); w.end_array();
+///   w.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(const std::string& k);
+
+  void value(const std::string& v);
+  void value(const char* v);
+  void value(long long v);
+  void value(long v) { value(static_cast<long long>(v)); }
+  void value(int v) { value(static_cast<long long>(v)); }
+  void value(double v);
+  void value(bool v);
+  void null();
+
+ private:
+  void prefix();
+  void write_string(const std::string& s);
+
+  std::ostream& os_;
+  /// One frame per open container: true once a first element was emitted.
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+/// Serializes a LatencyResult as a JSON object.
+[[nodiscard]] std::string to_json(const LatencyResult& result);
+
+/// Serializes a DmmResult as a JSON object.
+[[nodiscard]] std::string to_json(const DmmResult& result);
+
+}  // namespace wharf::io
+
+#endif  // WHARF_IO_JSON_HPP

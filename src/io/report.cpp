@@ -1,0 +1,66 @@
+#include "io/report.hpp"
+
+#include <sstream>
+
+#include "io/tables.hpp"
+#include "util/strings.hpp"
+
+namespace wharf::io {
+
+std::string render_system_report(const TwcaAnalyzer& analyzer, std::vector<Count> ks) {
+  if (ks.empty()) ks.push_back(10);
+  const System& system = analyzer.system();
+
+  std::ostringstream out;
+  out << "System '" << system.name() << "': " << system.size() << " chains, "
+      << system.task_count() << " tasks, utilization upper bound " << system.utilization()
+      << "\n\n";
+
+  std::vector<std::string> headers = {"chain", "D", "WCL", "WCL w/o overload", "verdict"};
+  for (Count k : ks) headers.push_back(util::cat("dmm(", k, ")"));
+  TextTable table(std::move(headers));
+
+  for (int c : system.regular_indices()) {
+    const Chain& chain = system.chain(c);
+    std::vector<std::string> row;
+    row.push_back(chain.name());
+    row.push_back(chain.deadline().has_value() ? util::cat(*chain.deadline()) : "-");
+
+    const LatencyResult& full = analyzer.latency(c);
+    const LatencyResult& typical = analyzer.latency_without_overload(c);
+    row.push_back(full.bounded ? util::cat(full.wcl) : "unbounded");
+    row.push_back(typical.bounded ? util::cat(typical.wcl) : "unbounded");
+
+    if (!chain.deadline().has_value()) {
+      row.push_back("no deadline");
+      for (std::size_t i = 0; i < ks.size(); ++i) row.push_back("-");
+    } else if (!full.bounded) {
+      row.push_back("no guarantee");
+      for (Count k : ks) row.push_back(util::cat(k));
+    } else if (full.schedulable) {
+      row.push_back("always meets");
+      for (std::size_t i = 0; i < ks.size(); ++i) row.push_back("0");
+    } else {
+      row.push_back("weakly hard");
+      for (Count k : ks) {
+        const DmmResult r = analyzer.dmm(c, k);
+        row.push_back(r.status == DmmStatus::kNoGuarantee ? util::cat(r.dmm, " (no guar.)")
+                                                          : util::cat(r.dmm));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  out << table.render();
+
+  if (!system.overload_indices().empty()) {
+    out << "\nOverload chains (C_over):\n";
+    for (int c : system.overload_indices()) {
+      const Chain& chain = system.chain(c);
+      out << "  " << chain.name() << ": " << chain.arrival().describe() << ", total WCET "
+          << chain.total_wcet() << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace wharf::io

@@ -1,0 +1,24 @@
+/// \file report.hpp
+/// Human-readable full-system analysis reports: the one-call overview a
+/// downstream user wants after loading a system description.
+
+#ifndef WHARF_IO_REPORT_HPP
+#define WHARF_IO_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/twca.hpp"
+
+namespace wharf::io {
+
+/// Renders a complete analysis report: per non-overload chain the
+/// latency results (with and without overload), the schedulability
+/// verdict, and dmm(k) for each requested horizon; followed by the
+/// overload chain inventory.  `ks` defaults to {10} when empty.
+[[nodiscard]] std::string render_system_report(const TwcaAnalyzer& analyzer,
+                                               std::vector<Count> ks = {});
+
+}  // namespace wharf::io
+
+#endif  // WHARF_IO_REPORT_HPP

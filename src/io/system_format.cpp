@@ -1,0 +1,166 @@
+#include "io/system_format.hpp"
+
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "util/expect.hpp"
+#include "util/strings.hpp"
+
+namespace wharf::io {
+
+namespace {
+
+struct PendingChain {
+  Chain::Spec spec;
+  int line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& message) { throw ParseError(message, line); }
+
+/// Splits "key=value"; returns false when there is no '='.
+bool split_kv(const std::string& token, std::string& key, std::string& value) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos) return false;
+  key = token.substr(0, eq);
+  value = token.substr(eq + 1);
+  return true;
+}
+
+Time parse_time_field(const std::string& value, const std::string& key, int line) {
+  long long v = 0;
+  if (!util::parse_int64(value, v)) {
+    fail(line, util::cat("cannot parse integer value '", value, "' for '", key, "'"));
+  }
+  return static_cast<Time>(v);
+}
+
+void finish_chain(std::vector<Chain>& chains, std::optional<PendingChain>& pending) {
+  if (!pending.has_value()) return;
+  if (pending->spec.tasks.empty()) {
+    fail(pending->line, util::cat("chain '", pending->spec.name, "' has no tasks"));
+  }
+  chains.emplace_back(std::move(pending->spec));
+  pending.reset();
+}
+
+}  // namespace
+
+System parse_system(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+
+  std::string system_name;
+  std::vector<Chain> chains;
+  std::optional<PendingChain> pending;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto tokens = util::split_whitespace(line);
+    if (tokens.empty()) continue;
+
+    const std::string& head = tokens[0];
+    if (head == "system") {
+      if (tokens.size() != 2) fail(line_no, "expected: system <name>");
+      if (!system_name.empty()) fail(line_no, "duplicate 'system' line");
+      system_name = tokens[1];
+    } else if (head == "chain") {
+      if (system_name.empty()) fail(line_no, "'chain' before 'system'");
+      if (tokens.size() < 2) fail(line_no, "expected: chain <name> key=value...");
+      finish_chain(chains, pending);
+      PendingChain pc;
+      pc.line = line_no;
+      pc.spec.name = tokens[1];
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        if (tokens[i] == "overload") {
+          pc.spec.overload = true;
+          continue;
+        }
+        std::string key;
+        std::string value;
+        if (!split_kv(tokens[i], key, value)) {
+          fail(line_no, util::cat("unexpected token '", tokens[i], "' (expected key=value)"));
+        }
+        if (key == "kind") {
+          if (value == "sync") {
+            pc.spec.kind = ChainKind::kSynchronous;
+          } else if (value == "async") {
+            pc.spec.kind = ChainKind::kAsynchronous;
+          } else {
+            fail(line_no, util::cat("kind must be sync|async, got '", value, "'"));
+          }
+        } else if (key == "activation") {
+          try {
+            pc.spec.arrival = parse_arrival(value);
+          } catch (const InvalidArgument& e) {
+            fail(line_no, e.what());
+          }
+        } else if (key == "deadline") {
+          pc.spec.deadline = parse_time_field(value, key, line_no);
+        } else {
+          fail(line_no, util::cat("unknown chain attribute '", key, "'"));
+        }
+      }
+      if (pc.spec.arrival == nullptr) {
+        fail(line_no, util::cat("chain '", pc.spec.name, "' needs activation=..."));
+      }
+      pending = std::move(pc);
+    } else if (head == "task") {
+      if (!pending.has_value()) fail(line_no, "'task' outside of a chain");
+      if (tokens.size() < 2) fail(line_no, "expected: task <name> prio=N wcet=N");
+      Task task;
+      task.name = tokens[1];
+      bool have_prio = false;
+      bool have_wcet = false;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        std::string key;
+        std::string value;
+        if (!split_kv(tokens[i], key, value)) {
+          fail(line_no, util::cat("unexpected token '", tokens[i], "' (expected key=value)"));
+        }
+        if (key == "prio") {
+          task.priority = static_cast<Priority>(parse_time_field(value, key, line_no));
+          have_prio = true;
+        } else if (key == "wcet") {
+          task.wcet = parse_time_field(value, key, line_no);
+          have_wcet = true;
+        } else {
+          fail(line_no, util::cat("unknown task attribute '", key, "'"));
+        }
+      }
+      if (!have_prio || !have_wcet) {
+        fail(line_no, util::cat("task '", task.name, "' needs both prio= and wcet="));
+      }
+      pending->spec.tasks.push_back(std::move(task));
+    } else {
+      fail(line_no, util::cat("unknown directive '", head, "'"));
+    }
+  }
+  finish_chain(chains, pending);
+  if (system_name.empty()) fail(line_no, "missing 'system <name>' line");
+  if (chains.empty()) fail(line_no, "system has no chains");
+  return System(system_name, std::move(chains));
+}
+
+std::string serialize_system(const System& system) {
+  std::ostringstream out;
+  out << "# wharf system description\n";
+  out << "system " << system.name() << '\n';
+  for (const Chain& chain : system.chains()) {
+    out << "chain " << chain.name()
+        << " kind=" << (chain.is_synchronous() ? "sync" : "async")
+        << " activation=" << chain.arrival().describe();
+    if (chain.deadline().has_value()) out << " deadline=" << *chain.deadline();
+    if (chain.is_overload()) out << " overload";
+    out << '\n';
+    for (const Task& task : chain.tasks()) {
+      out << "  task " << task.name << " prio=" << task.priority << " wcet=" << task.wcet << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace wharf::io

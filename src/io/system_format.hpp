@@ -1,0 +1,36 @@
+/// \file system_format.hpp
+/// Line-oriented textual description of systems: parse and serialize.
+///
+/// Format (comments with '#', blank lines ignored):
+///
+///     system date17_case_study
+///     chain sigma_d kind=sync activation=periodic(200) deadline=200
+///       task tau1_d prio=11 wcet=38
+///       task tau2_d prio=10 wcet=6
+///     chain sigma_a kind=sync activation=sporadic(700) overload
+///       task tau1_a prio=4 wcet=10
+///
+/// `kind` is `sync` or `async`; `deadline` is optional; the flag
+/// `overload` marks members of C_over.  Arrival specs use the syntax of
+/// wharf::parse_arrival.  Round-trips with serialize_system().
+
+#ifndef WHARF_IO_SYSTEM_FORMAT_HPP
+#define WHARF_IO_SYSTEM_FORMAT_HPP
+
+#include <string>
+
+#include "core/system.hpp"
+
+namespace wharf::io {
+
+/// Parses a system description; throws wharf::ParseError (with a 1-based
+/// line number) on malformed input and wharf::InvalidArgument when the
+/// described system violates model invariants.
+[[nodiscard]] System parse_system(const std::string& text);
+
+/// Serializes to the same format parse_system() accepts.
+[[nodiscard]] std::string serialize_system(const System& system);
+
+}  // namespace wharf::io
+
+#endif  // WHARF_IO_SYSTEM_FORMAT_HPP

@@ -1,0 +1,99 @@
+#include "io/tables.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace wharf::io {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  WHARF_EXPECT(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  WHARF_EXPECT(cells.size() == headers_.size(),
+               "row has " << cells.size() << " cells, table has " << headers_.size()
+                          << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream os;
+  const auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  rule();
+  emit(headers_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+  return os.str();
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string TextTable::render_csv() const {
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ',';
+      os << csv_escape(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string render_histogram(const std::vector<std::string>& labels,
+                             const std::vector<Count>& counts, int width) {
+  WHARF_EXPECT(labels.size() == counts.size(), "labels and counts must have equal size");
+  WHARF_EXPECT(width >= 1, "histogram width must be >= 1");
+  Count max_count = 1;
+  std::size_t label_width = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    max_count = std::max(max_count, counts[i]);
+    label_width = std::max(label_width, labels[i].size());
+  }
+  std::ostringstream os;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const int bar = static_cast<int>((counts[i] * width + max_count - 1) / max_count);
+    os << labels[i] << std::string(label_width - labels[i].size(), ' ') << " | "
+       << std::string(static_cast<std::size_t>(counts[i] > 0 ? std::max(bar, 1) : 0), '#') << ' '
+       << counts[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace wharf::io

@@ -1,0 +1,41 @@
+/// \file tables.hpp
+/// ASCII tables, histograms and CSV output for the benchmark harness —
+/// the pieces that print the same rows/series the paper reports.
+
+#ifndef WHARF_IO_TABLES_HPP
+#define WHARF_IO_TABLES_HPP
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace wharf::io {
+
+/// Column-aligned ASCII table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; must have as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with aligned columns and +---+ borders.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as CSV (RFC-4180-style quoting of commas/quotes/newlines).
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a histogram as rows "label | ### count" scaled to `width`
+/// characters for the largest bucket.  `labels` and `counts` must agree.
+[[nodiscard]] std::string render_histogram(const std::vector<std::string>& labels,
+                                           const std::vector<Count>& counts, int width = 50);
+
+}  // namespace wharf::io
+
+#endif  // WHARF_IO_TABLES_HPP

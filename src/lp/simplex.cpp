@@ -1,0 +1,313 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expect.hpp"
+
+namespace wharf::lp {
+
+void Problem::add(std::vector<double> coeffs, Relation rel, double rhs) {
+  WHARF_EXPECT(static_cast<int>(coeffs.size()) == num_vars(),
+               "constraint has " << coeffs.size() << " coefficients, problem has " << num_vars()
+                                 << " variables");
+  WHARF_EXPECT(std::isfinite(rhs), "constraint rhs must be finite");
+  for (double c : coeffs) WHARF_EXPECT(std::isfinite(c), "constraint coefficient must be finite");
+  constraints_.push_back(Constraint{std::move(coeffs), rel, rhs});
+}
+
+void Problem::add_le(std::vector<double> coeffs, double rhs) {
+  add(std::move(coeffs), Relation::kLessEqual, rhs);
+}
+
+void Problem::add_ge(std::vector<double> coeffs, double rhs) {
+  add(std::move(coeffs), Relation::kGreaterEqual, rhs);
+}
+
+void Problem::add_eq(std::vector<double> coeffs, double rhs) {
+  add(std::move(coeffs), Relation::kEqual, rhs);
+}
+
+void Problem::add_upper_bound(int var, double bound) {
+  WHARF_EXPECT(var >= 0 && var < num_vars(), "variable index " << var << " out of range");
+  std::vector<double> coeffs(static_cast<std::size_t>(num_vars()), 0.0);
+  coeffs[static_cast<std::size_t>(var)] = 1.0;
+  add_le(std::move(coeffs), bound);
+}
+
+void Problem::add_lower_bound(int var, double bound) {
+  WHARF_EXPECT(var >= 0 && var < num_vars(), "variable index " << var << " out of range");
+  std::vector<double> coeffs(static_cast<std::size_t>(num_vars()), 0.0);
+  coeffs[static_cast<std::size_t>(var)] = 1.0;
+  add_ge(std::move(coeffs), bound);
+}
+
+std::string to_string(Status status) {
+  switch (status) {
+    case Status::kOptimal: return "optimal";
+    case Status::kInfeasible: return "infeasible";
+    case Status::kUnbounded: return "unbounded";
+    case Status::kIterationLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Dense tableau state shared by both phases.
+///
+/// Column layout: [0, n) structural, [n, n+s) slack/surplus, [n+s, total)
+/// artificial.  Rows may be dropped (marked inactive) when an artificial
+/// variable cannot be pivoted out after phase 1 (redundant constraint).
+class Tableau {
+ public:
+  Tableau(const Problem& problem, double eps) : eps_(eps), n_(problem.num_vars()) {
+    const auto& cons = problem.constraints();
+    const int m = static_cast<int>(cons.size());
+
+    // Count auxiliary columns.
+    int num_slack = 0;
+    int num_artificial = 0;
+    for (const Constraint& c : cons) {
+      const bool flip = c.rhs < 0.0;
+      Relation rel = c.relation;
+      if (flip && rel != Relation::kEqual) {
+        rel = rel == Relation::kLessEqual ? Relation::kGreaterEqual : Relation::kLessEqual;
+      }
+      if (rel != Relation::kEqual) ++num_slack;
+      if (rel != Relation::kLessEqual) ++num_artificial;
+    }
+    slack_begin_ = n_;
+    artificial_begin_ = n_ + num_slack;
+    total_cols_ = artificial_begin_ + num_artificial;
+
+    rows_.assign(static_cast<std::size_t>(m),
+                 std::vector<double>(static_cast<std::size_t>(total_cols_) + 1, 0.0));
+    basis_.assign(static_cast<std::size_t>(m), -1);
+
+    int next_slack = slack_begin_;
+    int next_artificial = artificial_begin_;
+    for (int i = 0; i < m; ++i) {
+      const Constraint& c = cons[static_cast<std::size_t>(i)];
+      auto& row = rows_[static_cast<std::size_t>(i)];
+      const bool flip = c.rhs < 0.0;
+      const double sign = flip ? -1.0 : 1.0;
+      for (int j = 0; j < n_; ++j) row[static_cast<std::size_t>(j)] = sign * c.coeffs[static_cast<std::size_t>(j)];
+      row[static_cast<std::size_t>(total_cols_)] = sign * c.rhs;
+
+      Relation rel = c.relation;
+      if (flip && rel != Relation::kEqual) {
+        rel = rel == Relation::kLessEqual ? Relation::kGreaterEqual : Relation::kLessEqual;
+      }
+      switch (rel) {
+        case Relation::kLessEqual:
+          row[static_cast<std::size_t>(next_slack)] = 1.0;
+          basis_[static_cast<std::size_t>(i)] = next_slack++;
+          break;
+        case Relation::kGreaterEqual:
+          row[static_cast<std::size_t>(next_slack++)] = -1.0;
+          row[static_cast<std::size_t>(next_artificial)] = 1.0;
+          basis_[static_cast<std::size_t>(i)] = next_artificial++;
+          break;
+        case Relation::kEqual:
+          row[static_cast<std::size_t>(next_artificial)] = 1.0;
+          basis_[static_cast<std::size_t>(i)] = next_artificial++;
+          break;
+      }
+    }
+    active_.assign(static_cast<std::size_t>(m), true);
+  }
+
+  [[nodiscard]] bool has_artificials() const { return artificial_begin_ < total_cols_; }
+  [[nodiscard]] bool is_artificial(int col) const { return col >= artificial_begin_; }
+  [[nodiscard]] int num_rows() const { return static_cast<int>(rows_.size()); }
+  [[nodiscard]] int total_cols() const { return total_cols_; }
+  [[nodiscard]] int num_structural() const { return n_; }
+
+  [[nodiscard]] double rhs(int row) const {
+    return rows_[static_cast<std::size_t>(row)][static_cast<std::size_t>(total_cols_)];
+  }
+  [[nodiscard]] int basis(int row) const { return basis_[static_cast<std::size_t>(row)]; }
+  [[nodiscard]] bool active(int row) const { return active_[static_cast<std::size_t>(row)]; }
+
+  /// Runs simplex with objective coefficients `cost` (size total_cols_)
+  /// using Bland's rule.  Returns kOptimal or kUnbounded / kIterationLimit.
+  /// `forbid_artificials` excludes artificial columns from entering.
+  Status optimize(const std::vector<double>& cost, bool forbid_artificials, int max_iterations,
+                  int& iterations) {
+    // Reduced cost row r_j = c_B B^{-1} A_j - c_j, maintained implicitly:
+    // recompute from scratch (m and n are small in wharf workloads).
+    while (true) {
+      std::vector<double> reduced(static_cast<std::size_t>(total_cols_), 0.0);
+      compute_reduced_costs(cost, reduced);
+
+      // Bland: choose the lowest-index improving column (r_j < -eps).
+      int entering = -1;
+      for (int j = 0; j < total_cols_; ++j) {
+        if (forbid_artificials && is_artificial(j)) continue;
+        if (reduced[static_cast<std::size_t>(j)] < -eps_) {
+          entering = j;
+          break;
+        }
+      }
+      if (entering < 0) return Status::kOptimal;
+
+      // Ratio test; Bland tie-break on the smallest basis variable index.
+      int leaving_row = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < num_rows(); ++i) {
+        if (!active(i)) continue;
+        const double a = rows_[static_cast<std::size_t>(i)][static_cast<std::size_t>(entering)];
+        if (a > eps_) {
+          const double ratio = rhs(i) / a;
+          if (ratio < best_ratio - eps_ ||
+              (ratio < best_ratio + eps_ &&
+               (leaving_row < 0 || basis(i) < basis(leaving_row)))) {
+            best_ratio = ratio;
+            leaving_row = i;
+          }
+        }
+      }
+      if (leaving_row < 0) return Status::kUnbounded;
+
+      pivot(leaving_row, entering);
+      if (++iterations > max_iterations) return Status::kIterationLimit;
+    }
+  }
+
+  /// Gaussian pivot making column `col` basic in row `row`.
+  void pivot(int row, int col) {
+    auto& prow = rows_[static_cast<std::size_t>(row)];
+    const double p = prow[static_cast<std::size_t>(col)];
+    for (double& v : prow) v /= p;
+    for (int i = 0; i < num_rows(); ++i) {
+      if (i == row || !active(i)) continue;
+      auto& r = rows_[static_cast<std::size_t>(i)];
+      const double factor = r[static_cast<std::size_t>(col)];
+      if (factor == 0.0) continue;
+      for (int j = 0; j <= total_cols_; ++j) {
+        r[static_cast<std::size_t>(j)] -= factor * prow[static_cast<std::size_t>(j)];
+      }
+      // Clamp tiny residue on the pivot column to exactly zero.
+      r[static_cast<std::size_t>(col)] = 0.0;
+    }
+    basis_[static_cast<std::size_t>(row)] = col;
+  }
+
+  /// After phase 1: pivot artificial variables out of the basis where
+  /// possible; deactivate redundant rows otherwise.
+  void eliminate_basic_artificials() {
+    for (int i = 0; i < num_rows(); ++i) {
+      if (!active(i) || !is_artificial(basis(i))) continue;
+      int col = -1;
+      for (int j = 0; j < artificial_begin_; ++j) {
+        if (std::abs(rows_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]) > eps_) {
+          col = j;
+          break;
+        }
+      }
+      if (col >= 0) {
+        pivot(i, col);
+      } else {
+        active_[static_cast<std::size_t>(i)] = false;  // redundant constraint
+      }
+    }
+  }
+
+  /// Current value of structural variable `j`.
+  [[nodiscard]] double value_of(int j) const {
+    for (int i = 0; i < num_rows(); ++i) {
+      if (active(i) && basis(i) == j) return rhs(i);
+    }
+    return 0.0;
+  }
+
+ private:
+  void compute_reduced_costs(const std::vector<double>& cost, std::vector<double>& reduced) const {
+    for (int j = 0; j < total_cols_; ++j) {
+      double v = -cost[static_cast<std::size_t>(j)];
+      for (int i = 0; i < num_rows(); ++i) {
+        if (!active(i)) continue;
+        const double cb = cost[static_cast<std::size_t>(basis(i))];
+        if (cb != 0.0) {
+          v += cb * rows_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+        }
+      }
+      reduced[static_cast<std::size_t>(j)] = v;
+    }
+  }
+
+  double eps_;
+  int n_ = 0;
+  int slack_begin_ = 0;
+  int artificial_begin_ = 0;
+  int total_cols_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> basis_;
+  std::vector<bool> active_;
+};
+
+}  // namespace
+
+Solution solve(const Problem& problem, const Options& options) {
+  WHARF_EXPECT(problem.num_vars() > 0, "LP must have at least one variable");
+
+  Tableau tableau(problem, options.eps);
+  Solution solution;
+  solution.iterations = 0;
+
+  // Phase 1: maximize -(sum of artificials); feasible iff optimum is 0.
+  if (tableau.has_artificials()) {
+    std::vector<double> phase1(static_cast<std::size_t>(tableau.total_cols()), 0.0);
+    for (int j = 0; j < tableau.total_cols(); ++j) {
+      if (tableau.is_artificial(j)) phase1[static_cast<std::size_t>(j)] = -1.0;
+    }
+    const Status s =
+        tableau.optimize(phase1, /*forbid_artificials=*/false, options.max_iterations,
+                         solution.iterations);
+    if (s == Status::kIterationLimit) {
+      solution.status = s;
+      return solution;
+    }
+    // Unbounded phase 1 is impossible (objective bounded above by 0); an
+    // optimum below zero means the original problem is infeasible.
+    double artificial_sum = 0.0;
+    for (int i = 0; i < tableau.num_rows(); ++i) {
+      if (tableau.active(i) && tableau.is_artificial(tableau.basis(i))) {
+        artificial_sum += tableau.rhs(i);
+      }
+    }
+    if (artificial_sum > 1e-7) {
+      solution.status = Status::kInfeasible;
+      return solution;
+    }
+    tableau.eliminate_basic_artificials();
+  }
+
+  // Phase 2: maximize the real objective, artificial columns barred.
+  std::vector<double> phase2(static_cast<std::size_t>(tableau.total_cols()), 0.0);
+  for (int j = 0; j < tableau.num_structural(); ++j) {
+    phase2[static_cast<std::size_t>(j)] = problem.objective()[static_cast<std::size_t>(j)];
+  }
+  const Status s = tableau.optimize(phase2, /*forbid_artificials=*/true, options.max_iterations,
+                                    solution.iterations);
+  if (s != Status::kOptimal) {
+    solution.status = s;
+    return solution;
+  }
+
+  solution.status = Status::kOptimal;
+  solution.x.resize(static_cast<std::size_t>(problem.num_vars()), 0.0);
+  for (int j = 0; j < problem.num_vars(); ++j) {
+    solution.x[static_cast<std::size_t>(j)] = tableau.value_of(j);
+  }
+  solution.objective = 0.0;
+  for (int j = 0; j < problem.num_vars(); ++j) {
+    solution.objective +=
+        problem.objective()[static_cast<std::size_t>(j)] * solution.x[static_cast<std::size_t>(j)];
+  }
+  return solution;
+}
+
+}  // namespace wharf::lp

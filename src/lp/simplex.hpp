@@ -1,0 +1,99 @@
+/// \file simplex.hpp
+/// Dense two-phase primal simplex for small linear programs.
+///
+/// This is the in-repo replacement for the MILP solver library the paper's
+/// authors used: the TWCA packing ILP (Theorem 3) is tiny and dense, so a
+/// textbook tableau simplex under a branch-and-bound wrapper (see
+/// `ilp/branch_and_bound.hpp`) reproduces the same optima.
+///
+/// Problems are stated as:  maximize  cᵀx  subject to  Aᵢx {≤,≥,=} bᵢ,
+/// x ≥ 0.  Two-phase initialization handles arbitrary right-hand sides and
+/// relations; Bland's rule guarantees termination on degenerate problems.
+
+#ifndef WHARF_LP_SIMPLEX_HPP
+#define WHARF_LP_SIMPLEX_HPP
+
+#include <string>
+#include <vector>
+
+namespace wharf::lp {
+
+/// Relation of one linear constraint.
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+/// One row `coeffs · x  rel  rhs` of a linear program.
+struct Constraint {
+  std::vector<double> coeffs;
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// A linear program in "maximize" form with non-negative variables.
+class Problem {
+ public:
+  /// Creates a maximization problem over `num_vars` non-negative variables
+  /// with the given objective coefficients.
+  explicit Problem(std::vector<double> objective) : objective_(std::move(objective)) {}
+
+  /// Number of structural variables.
+  [[nodiscard]] int num_vars() const { return static_cast<int>(objective_.size()); }
+
+  /// Number of constraints added so far.
+  [[nodiscard]] int num_constraints() const { return static_cast<int>(constraints_.size()); }
+
+  /// Appends `coeffs · x <= rhs`.  `coeffs` must have num_vars() entries.
+  void add_le(std::vector<double> coeffs, double rhs);
+
+  /// Appends `coeffs · x >= rhs`.
+  void add_ge(std::vector<double> coeffs, double rhs);
+
+  /// Appends `coeffs · x == rhs`.
+  void add_eq(std::vector<double> coeffs, double rhs);
+
+  /// Appends a single-variable upper bound `x[var] <= bound`.
+  void add_upper_bound(int var, double bound);
+
+  /// Appends a single-variable lower bound `x[var] >= bound`.
+  void add_lower_bound(int var, double bound);
+
+  [[nodiscard]] const std::vector<double>& objective() const { return objective_; }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const { return constraints_; }
+
+ private:
+  void add(std::vector<double> coeffs, Relation rel, double rhs);
+
+  std::vector<double> objective_;
+  std::vector<Constraint> constraints_;
+};
+
+/// Outcome classification of a solve.
+enum class Status { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+/// Human-readable status name ("optimal", "infeasible", ...).
+[[nodiscard]] std::string to_string(Status status);
+
+/// Result of `solve`.
+struct Solution {
+  Status status = Status::kIterationLimit;
+  /// Objective value at `x` (only meaningful when status == kOptimal).
+  double objective = 0.0;
+  /// Structural variable values (size == num_vars when optimal, else empty).
+  std::vector<double> x;
+  /// Simplex pivot count across both phases (diagnostics).
+  int iterations = 0;
+};
+
+/// Solver knobs.
+struct Options {
+  /// Pivot cap across both phases; exceeded => Status::kIterationLimit.
+  int max_iterations = 50'000;
+  /// Numeric tolerance for reduced costs, ratios and feasibility.
+  double eps = 1e-9;
+};
+
+/// Solves the LP with a two-phase dense tableau simplex.
+[[nodiscard]] Solution solve(const Problem& problem, const Options& options = {});
+
+}  // namespace wharf::lp
+
+#endif  // WHARF_LP_SIMPLEX_HPP

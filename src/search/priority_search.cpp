@@ -1,0 +1,147 @@
+#include "search/priority_search.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "gen/random_systems.hpp"
+#include "util/expect.hpp"
+
+namespace wharf::search {
+
+namespace {
+
+std::vector<int> default_targets(const System& system) {
+  std::vector<int> targets;
+  for (int c : system.regular_indices()) {
+    if (system.chain(c).deadline().has_value()) targets.push_back(c);
+  }
+  return targets;
+}
+
+Objective evaluate_with_targets(const System& system, const std::vector<int>& targets, Count k,
+                                const TwcaOptions& options) {
+  TwcaAnalyzer analyzer{system, options};
+  Objective obj;
+  for (int c : targets) {
+    const DmmResult r = analyzer.dmm(c, k);
+    if (r.dmm > 0) ++obj.chains_missing;
+    obj.total_dmm += r.dmm;
+    const LatencyResult& lat = analyzer.latency(c);
+    obj.total_wcl = sat_add(obj.total_wcl,
+                            lat.bounded ? lat.wcl : options.analysis.divergence_guard);
+  }
+  return obj;
+}
+
+}  // namespace
+
+Objective evaluate_assignment(const System& system, const EvaluationSpec& spec,
+                              const TwcaOptions& options) {
+  WHARF_EXPECT(spec.k >= 1, "evaluation horizon k must be >= 1, got " << spec.k);
+  const std::vector<int> targets =
+      spec.targets.empty() ? default_targets(system) : spec.targets;
+  WHARF_EXPECT(!targets.empty(), "no evaluable chains (need non-overload chains with deadlines)");
+  return evaluate_with_targets(system, targets, spec.k, options);
+}
+
+SearchResult exhaustive_search(const System& system, const EvaluationSpec& spec,
+                               long long max_permutations, const TwcaOptions& options) {
+  std::vector<Priority> priorities = system.flat_priorities();
+  std::sort(priorities.begin(), priorities.end());
+
+  long long permutations = 1;
+  for (std::size_t i = 2; i <= priorities.size(); ++i) {
+    permutations *= static_cast<long long>(i);
+    WHARF_EXPECT(permutations <= max_permutations,
+                 "exhaustive search over " << priorities.size()
+                                           << " tasks exceeds max_permutations="
+                                           << max_permutations);
+  }
+
+  SearchResult result;
+  bool first = true;
+  do {
+    const System candidate = system.with_priorities(priorities);
+    const Objective obj = evaluate_assignment(candidate, spec, options);
+    ++result.evaluations;
+    if (first || obj < result.best_objective) {
+      first = false;
+      result.best_objective = obj;
+      result.best_priorities = priorities;
+    }
+  } while (std::next_permutation(priorities.begin(), priorities.end()));
+  return result;
+}
+
+SearchResult random_search(const System& system, const EvaluationSpec& spec, int samples,
+                           std::uint64_t seed, const TwcaOptions& options) {
+  WHARF_EXPECT(samples >= 1, "need at least one sample");
+  std::mt19937_64 rng(seed);
+  SearchResult result;
+  bool first = true;
+  for (int i = 0; i < samples; ++i) {
+    const std::vector<Priority> priorities =
+        gen::shuffled_priorities(system.task_count(), rng);
+    const System candidate = system.with_priorities(priorities);
+    const Objective obj = evaluate_assignment(candidate, spec, options);
+    ++result.evaluations;
+    if (first || obj < result.best_objective) {
+      first = false;
+      result.best_objective = obj;
+      result.best_priorities = priorities;
+    }
+  }
+  return result;
+}
+
+SearchResult hill_climb(const System& system, const EvaluationSpec& spec,
+                        const HillClimbOptions& options, const TwcaOptions& twca_options) {
+  WHARF_EXPECT(options.restarts >= 1, "need at least one restart");
+  WHARF_EXPECT(options.max_steps >= 1, "need at least one step");
+  std::mt19937_64 rng(options.seed);
+  const int n = system.task_count();
+
+  SearchResult result;
+  bool have_best = false;
+
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    std::vector<Priority> current = gen::shuffled_priorities(n, rng);
+    Objective current_obj =
+        evaluate_assignment(system.with_priorities(current), spec, twca_options);
+    ++result.evaluations;
+
+    for (int step = 0; step < options.max_steps; ++step) {
+      // Steepest ascent over all pairwise swaps.
+      Objective best_neighbor_obj = current_obj;
+      int best_i = -1;
+      int best_j = -1;
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+          std::swap(current[static_cast<std::size_t>(i)], current[static_cast<std::size_t>(j)]);
+          const Objective obj =
+              evaluate_assignment(system.with_priorities(current), spec, twca_options);
+          ++result.evaluations;
+          if (obj < best_neighbor_obj) {
+            best_neighbor_obj = obj;
+            best_i = i;
+            best_j = j;
+          }
+          std::swap(current[static_cast<std::size_t>(i)], current[static_cast<std::size_t>(j)]);
+        }
+      }
+      if (best_i < 0) break;  // local optimum
+      std::swap(current[static_cast<std::size_t>(best_i)],
+                current[static_cast<std::size_t>(best_j)]);
+      current_obj = best_neighbor_obj;
+    }
+
+    if (!have_best || current_obj < result.best_objective) {
+      have_best = true;
+      result.best_objective = current_obj;
+      result.best_priorities = current;
+    }
+  }
+  return result;
+}
+
+}  // namespace wharf::search

@@ -1,0 +1,86 @@
+/// \file priority_search.hpp
+/// Priority-assignment synthesis for weakly-hard systems.
+///
+/// The paper's Experiment 2 demonstrates that the priority assignment
+/// decides both schedulability and the quality of the deadline miss
+/// model; this module turns that observation into a design tool: search
+/// the space of priority permutations for the assignment with the best
+/// weakly-hard guarantees.  Three strategies with one shared objective:
+///
+///  * exhaustive enumeration (exact, factorial — small systems only);
+///  * random sampling (the paper's Experiment 2 loop, kept as baseline);
+///  * steepest-ascent hill climbing over pairwise priority swaps with
+///    random restarts (scales to realistic task counts).
+
+#ifndef WHARF_SEARCH_PRIORITY_SEARCH_HPP
+#define WHARF_SEARCH_PRIORITY_SEARCH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/twca.hpp"
+
+namespace wharf::search {
+
+/// Lexicographic quality of one priority assignment; *smaller is better*
+/// and comparisons go field by field in declaration order:
+/// fewer chains missing deadlines, then fewer total misses per horizon,
+/// then lower total latency.
+struct Objective {
+  Count chains_missing = 0;  ///< #evaluated chains with dmm(k) > 0
+  Count total_dmm = 0;       ///< sum of dmm(k) over evaluated chains
+  Time total_wcl = 0;        ///< sum of WCL (divergence counts as a large penalty)
+
+  friend auto operator<=>(const Objective&, const Objective&) = default;
+};
+
+/// What to evaluate: which chains (default: all non-overload chains with
+/// a deadline) and at which dmm horizon k.
+struct EvaluationSpec {
+  Count k = 10;
+  /// Chain indices to include; empty = all non-overload chains that have
+  /// a deadline.
+  std::vector<int> targets;
+};
+
+/// Scores one system (one priority assignment).
+[[nodiscard]] Objective evaluate_assignment(const System& system, const EvaluationSpec& spec,
+                                            const TwcaOptions& options = {});
+
+/// Search outcome: the best priorities found (flat task order, apply via
+/// System::with_priorities), their objective and the evaluation count.
+struct SearchResult {
+  std::vector<Priority> best_priorities;
+  Objective best_objective;
+  long long evaluations = 0;
+};
+
+/// Exhaustively scores every permutation of the existing priority set.
+/// Throws wharf::InvalidArgument when the permutation count exceeds
+/// `max_permutations` (guard against factorial blow-up).
+[[nodiscard]] SearchResult exhaustive_search(const System& system, const EvaluationSpec& spec,
+                                             long long max_permutations = 50'000,
+                                             const TwcaOptions& options = {});
+
+/// Samples `samples` uniformly random permutations (Experiment 2 style).
+[[nodiscard]] SearchResult random_search(const System& system, const EvaluationSpec& spec,
+                                         int samples, std::uint64_t seed,
+                                         const TwcaOptions& options = {});
+
+/// Options of the local search.
+struct HillClimbOptions {
+  int restarts = 4;             ///< independent random starting points
+  int max_steps = 200;          ///< improving steps per restart
+  std::uint64_t seed = 1;
+};
+
+/// Steepest-ascent hill climbing: from a random permutation, repeatedly
+/// applies the pairwise priority swap that improves the objective most,
+/// until a local optimum; keeps the best across restarts.
+[[nodiscard]] SearchResult hill_climb(const System& system, const EvaluationSpec& spec,
+                                      const HillClimbOptions& options = {},
+                                      const TwcaOptions& twca_options = {});
+
+}  // namespace wharf::search
+
+#endif  // WHARF_SEARCH_PRIORITY_SEARCH_HPP

@@ -1,0 +1,92 @@
+#include "sim/arrival_sequence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "util/expect.hpp"
+
+namespace wharf::sim {
+
+namespace {
+
+/// Earliest legal time for the next activation given the history so far.
+Time next_legal_time(const std::vector<Time>& history, const ArrivalModel& model) {
+  if (history.empty()) return 0;
+  const Count n = static_cast<Count>(history.size());
+  Time earliest = history.back();  // non-decreasing
+  // With the new event, the last q events are history[n+1-q .. n-1] plus
+  // the new one; they must span at least delta_minus(q).
+  for (Count q = 2; q <= n + 1; ++q) {
+    const Time dq = model.delta_minus(q);
+    if (is_infinite(dq)) continue;
+    const Time anchor = history[static_cast<std::size_t>(n + 1 - q)];
+    earliest = std::max(earliest, sat_add(anchor, dq));
+    // Once the constraint window reaches past the first event with slack
+    // larger than any later constraint can impose, stop early: for the
+    // models in this library delta_minus grows at least linearly beyond
+    // its prefix, so anchors further back cannot bind once dq exceeds
+    // history.back() - anchor by more than the remaining range.
+  }
+  return earliest;
+}
+
+}  // namespace
+
+std::vector<Time> periodic_arrivals(Time period, Time phase, Time horizon) {
+  WHARF_EXPECT(period >= 1, "period must be >= 1, got " << period);
+  WHARF_EXPECT(phase >= 0, "phase must be >= 0, got " << phase);
+  std::vector<Time> out;
+  for (Time t = phase; t < horizon; t = sat_add(t, period)) out.push_back(t);
+  return out;
+}
+
+std::vector<Time> greedy_arrivals(const ArrivalModel& model, Time start, Time horizon) {
+  WHARF_EXPECT(start >= 0, "start must be >= 0, got " << start);
+  std::vector<Time> out;
+  if (start >= horizon) return out;
+  out.push_back(start);
+  while (true) {
+    const Time t = next_legal_time(out, model);
+    if (t >= horizon) break;
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<Time> random_arrivals(const ArrivalModel& model, Time start, Time horizon,
+                                  double mean_extra_gap, std::uint64_t seed) {
+  WHARF_EXPECT(start >= 0, "start must be >= 0, got " << start);
+  WHARF_EXPECT(mean_extra_gap >= 0.0, "mean_extra_gap must be >= 0");
+  std::vector<Time> out;
+  if (start >= horizon) return out;
+  std::mt19937_64 engine(seed);
+  std::exponential_distribution<double> extra(mean_extra_gap > 0 ? 1.0 / mean_extra_gap : 1.0);
+  out.push_back(start);
+  while (true) {
+    Time t = next_legal_time(out, model);
+    if (mean_extra_gap > 0) {
+      t = sat_add(t, static_cast<Time>(std::llround(extra(engine))));
+    }
+    if (t >= horizon) break;
+    out.push_back(t);
+  }
+  return out;
+}
+
+bool is_legal_sequence(const std::vector<Time>& times, const ArrivalModel& model, Count max_q) {
+  if (!std::is_sorted(times.begin(), times.end())) return false;
+  if (!times.empty() && times.front() < 0) return false;
+  const Count n = static_cast<Count>(times.size());
+  const Count q_cap = std::min<Count>(max_q, n);
+  for (Count q = 2; q <= q_cap; ++q) {
+    const Time dq = model.delta_minus(q);
+    for (Count i = 0; i + q - 1 < n; ++i) {
+      const Time span = times[static_cast<std::size_t>(i + q - 1)] - times[static_cast<std::size_t>(i)];
+      if (span < dq) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace wharf::sim

@@ -1,0 +1,48 @@
+/// \file arrival_sequence.hpp
+/// Concrete activation-time generators for the discrete-event simulator.
+///
+/// The analysis consumes arrival *curves*; the simulator consumes arrival
+/// *sequences* (explicit activation times).  Every generator here emits a
+/// sequence that is legal for a given ArrivalModel — i.e. any q
+/// consecutive activations span at least delta_minus(q) — which is what
+/// makes simulation results valid test vectors against the analytic
+/// bounds (any legal sequence must respect them).
+
+#ifndef WHARF_SIM_ARRIVAL_SEQUENCE_HPP
+#define WHARF_SIM_ARRIVAL_SEQUENCE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/arrival.hpp"
+#include "util/types.hpp"
+
+namespace wharf::sim {
+
+/// Activation times of a strictly periodic chain: phase, phase+P, ...
+/// up to (excluding) `horizon`.
+[[nodiscard]] std::vector<Time> periodic_arrivals(Time period, Time phase, Time horizon);
+
+/// The densest sequence legal for `model` starting at `start`:
+///   t_n = max over q of (t_{n+1-q} + delta_minus(q)).
+/// This is the adversarial "as fast as allowed" input that worst-case
+/// analysis must dominate.  Stops at (excluding) `horizon`.
+[[nodiscard]] std::vector<Time> greedy_arrivals(const ArrivalModel& model, Time start,
+                                                Time horizon);
+
+/// A randomized legal sequence: greedy spacing plus non-negative random
+/// extra gaps with the given mean (geometric-ish, derived from the seed).
+/// `mean_extra_gap == 0` reduces to greedy_arrivals.
+[[nodiscard]] std::vector<Time> random_arrivals(const ArrivalModel& model, Time start,
+                                                Time horizon, double mean_extra_gap,
+                                                std::uint64_t seed);
+
+/// Checks that `times` (sorted, non-negative) is legal for `model`: every
+/// window of q consecutive activations spans at least delta_minus(q), for
+/// q up to `max_q` (capped at the sequence length).
+[[nodiscard]] bool is_legal_sequence(const std::vector<Time>& times, const ArrivalModel& model,
+                                     Count max_q = 64);
+
+}  // namespace wharf::sim
+
+#endif  // WHARF_SIM_ARRIVAL_SEQUENCE_HPP

@@ -1,0 +1,54 @@
+#include "sim/busy_windows.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace wharf::sim {
+
+std::vector<BusyWindow> observed_busy_windows(const ChainResult& chain) {
+  std::vector<BusyWindow> intervals;
+  intervals.reserve(chain.instances.size());
+  for (const InstanceRecord& rec : chain.instances) {
+    WHARF_EXPECT(rec.completed, "busy-window extraction requires completed instances (instance "
+                                    << rec.index << " is pending)");
+    intervals.push_back(BusyWindow{rec.activation, rec.finish});
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const BusyWindow& a, const BusyWindow& b) { return a.begin < b.begin; });
+
+  std::vector<BusyWindow> merged;
+  for (const BusyWindow& w : intervals) {
+    if (!merged.empty() && w.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, w.end);
+    } else {
+      merged.push_back(w);
+    }
+  }
+  return merged;
+}
+
+bool at_most_one_arrival_per_window(const std::vector<BusyWindow>& windows,
+                                    const std::vector<Time>& overload_arrivals) {
+  // Both inputs are sorted; sweep them together.
+  std::size_t i = 0;
+  for (const BusyWindow& w : windows) {
+    while (i < overload_arrivals.size() && overload_arrivals[i] < w.begin) ++i;
+    std::size_t in_window = 0;
+    std::size_t j = i;
+    while (j < overload_arrivals.size() && overload_arrivals[j] < w.end) {
+      ++in_window;
+      ++j;
+    }
+    if (in_window > 1) return false;
+  }
+  return true;
+}
+
+Time max_busy_window_length(const std::vector<BusyWindow>& windows) {
+  Time best = 0;
+  for (const BusyWindow& w : windows) best = std::max(best, w.end - w.begin);
+  return best;
+}
+
+}  // namespace wharf::sim

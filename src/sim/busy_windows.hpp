@@ -1,0 +1,44 @@
+/// \file busy_windows.hpp
+/// Observed σ_b-busy-windows (paper Definition 6) extracted from
+/// simulation results, plus the checker for the paper's standing TWCA
+/// assumption that at most one activation of an overload chain falls
+/// into any busy window of the analyzed chain.
+
+#ifndef WHARF_SIM_BUSY_WINDOWS_HPP
+#define WHARF_SIM_BUSY_WINDOWS_HPP
+
+#include <vector>
+
+#include "core/system.hpp"
+#include "sim/simulator.hpp"
+
+namespace wharf::sim {
+
+/// A maximal interval during which at least one instance of the chain
+/// was pending (activated but not finished) — Definition 6.
+struct BusyWindow {
+  Time begin = 0;
+  Time end = 0;
+
+  friend bool operator==(const BusyWindow&, const BusyWindow&) = default;
+};
+
+/// Extracts the observed busy windows of one chain from its instance
+/// records: the union of the pending intervals [activation, finish],
+/// merged where they touch or overlap.  Instances must all be completed
+/// (which simulate() guarantees).
+[[nodiscard]] std::vector<BusyWindow> observed_busy_windows(const ChainResult& chain);
+
+/// Checks the paper's assumption for TWCA soundness: no busy window of
+/// the analyzed chain contains more than one activation of any single
+/// overload chain.  `overload_arrivals` are the activation times of one
+/// overload chain; an arrival lies in a window when begin <= t < end.
+[[nodiscard]] bool at_most_one_arrival_per_window(const std::vector<BusyWindow>& windows,
+                                                  const std::vector<Time>& overload_arrivals);
+
+/// Longest observed busy window, or 0 when there are none.
+[[nodiscard]] Time max_busy_window_length(const std::vector<BusyWindow>& windows);
+
+}  // namespace wharf::sim
+
+#endif  // WHARF_SIM_BUSY_WINDOWS_HPP

@@ -1,0 +1,300 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "util/expect.hpp"
+
+namespace wharf::sim {
+
+Count ChainResult::max_misses_in_window(Count k) const {
+  WHARF_EXPECT(k >= 1, "window size must be >= 1, got " << k);
+  Count best = 0;
+  Count in_window = 0;
+  std::size_t left = 0;
+  for (std::size_t right = 0; right < instances.size(); ++right) {
+    if (instances[right].missed) ++in_window;
+    if (static_cast<Count>(right - left + 1) > k) {
+      if (instances[left].missed) --in_window;
+      ++left;
+    }
+    best = std::max(best, in_window);
+  }
+  return best;
+}
+
+namespace {
+
+/// One released task instance awaiting (or receiving) CPU time.
+struct Job {
+  int chain = -1;
+  Count instance = 0;
+  int task = -1;
+  Time remaining = 0;
+  Priority priority = 0;
+  long long seq = 0;  ///< creation order; FIFO among equal priorities
+};
+
+struct JobOrder {
+  /// Highest priority first; FIFO (lowest seq) among equal priorities.
+  bool operator()(const Job& a, const Job& b) const {
+    if (a.priority != b.priority) return a.priority < b.priority;  // max-heap on priority
+    return a.seq > b.seq;                                          // min-heap on seq
+  }
+};
+
+struct ChainState {
+  bool busy = false;                 ///< synchronous chains: instance in flight?
+  std::deque<Count> pending;         ///< synchronous chains: queued activations
+  Count next_instance = 0;
+};
+
+class Engine {
+ public:
+  Engine(const System& system, const std::vector<std::vector<Time>>& arrivals,
+         const SimOptions& options)
+      : system_(system), arrivals_(arrivals), options_(options) {
+    WHARF_EXPECT(arrivals.size() == static_cast<std::size_t>(system.size()),
+                 "expected one arrival vector per chain (" << system.size() << "), got "
+                                                           << arrivals.size());
+    for (std::size_t c = 0; c < arrivals.size(); ++c) {
+      const auto& v = arrivals[c];
+      WHARF_EXPECT(std::is_sorted(v.begin(), v.end()),
+                   "arrival times of chain '" << system.chain(static_cast<int>(c)).name()
+                                              << "' must be sorted");
+      WHARF_EXPECT(v.empty() || v.front() >= 0, "arrival times must be non-negative");
+    }
+    validate_links();
+    result_.chains.resize(static_cast<std::size_t>(system.size()));
+    chain_state_.resize(static_cast<std::size_t>(system.size()));
+    cursor_.assign(static_cast<std::size_t>(system.size()), 0);
+    for (int c = 0; c < system.size(); ++c) {
+      result_.chains[static_cast<std::size_t>(c)].instances.reserve(
+          arrivals[static_cast<std::size_t>(c)].size());
+    }
+  }
+
+  SimResult run() {
+    Time now = 0;
+    while (true) {
+      const Time next_arr = next_arrival_time();
+      if (ready_.empty()) {
+        if (next_arr == kTimeInfinity) break;  // drained
+        now = std::max(now, next_arr);
+        admit_arrivals(now);
+        continue;
+      }
+      Job job = ready_.top();
+      const Time finish_at = now + job.remaining;
+      if (finish_at <= next_arr) {
+        // The running job completes before (or exactly when) the next
+        // activation arrives; completions are processed first on ties so
+        // that a synchronous chain can immediately accept a coincident
+        // activation.
+        ready_.pop();
+        record_slice(job, now, finish_at);
+        now = finish_at;
+        complete(job, now);
+      } else {
+        // Execute until the arrival, then let preemption re-evaluate.
+        ready_.pop();
+        record_slice(job, now, next_arr);
+        job.remaining -= next_arr - now;
+        now = next_arr;
+        ready_.push(job);
+        admit_arrivals(now);
+      }
+    }
+    finalize_trace();
+    result_.makespan = makespan_;
+    return std::move(result_);
+  }
+
+ private:
+  void validate_links() {
+    std::vector<bool> has_activator(static_cast<std::size_t>(system_.size()), false);
+    for (const ChainLink& link : options_.links) {
+      WHARF_EXPECT(link.from >= 0 && link.from < system_.size(),
+                   "link source " << link.from << " out of range");
+      WHARF_EXPECT(link.to >= 0 && link.to < system_.size(),
+                   "link target " << link.to << " out of range");
+      WHARF_EXPECT(link.from != link.to, "a chain cannot activate itself");
+      WHARF_EXPECT(!has_activator[static_cast<std::size_t>(link.to)],
+                   "chain '" << system_.chain(link.to).name()
+                             << "' has two activators (joins are out of scope)");
+      has_activator[static_cast<std::size_t>(link.to)] = true;
+      WHARF_EXPECT(arrivals_[static_cast<std::size_t>(link.to)].empty(),
+                   "linked chain '" << system_.chain(link.to).name()
+                                    << "' must not also have external arrivals");
+    }
+    // Acyclicity: since every chain has at most one inbound link, walking
+    // the unique activator pointers must terminate for every start chain.
+    for (int start = 0; start < system_.size(); ++start) {
+      int current = start;
+      int steps = 0;
+      while (steps++ <= system_.size()) {
+        int activator = -1;
+        for (const ChainLink& link : options_.links) {
+          if (link.to == current) {
+            activator = link.from;
+            break;
+          }
+        }
+        if (activator < 0) break;
+        current = activator;
+        WHARF_EXPECT(current != start, "link cycle through chain '"
+                                           << system_.chain(start).name() << "'");
+      }
+    }
+  }
+
+  [[nodiscard]] Time next_arrival_time() const {
+    Time t = kTimeInfinity;
+    for (int c = 0; c < system_.size(); ++c) {
+      const auto& v = arrivals_[static_cast<std::size_t>(c)];
+      const std::size_t i = cursor_[static_cast<std::size_t>(c)];
+      if (i < v.size()) t = std::min(t, v[i]);
+    }
+    return t;
+  }
+
+  void admit_arrivals(Time now) {
+    for (int c = 0; c < system_.size(); ++c) {
+      const auto& v = arrivals_[static_cast<std::size_t>(c)];
+      std::size_t& i = cursor_[static_cast<std::size_t>(c)];
+      while (i < v.size() && v[i] <= now) {
+        activate(c, v[i], now);
+        ++i;
+      }
+    }
+  }
+
+  void activate(int c, Time activation_time, Time now) {
+    const Chain& chain = system_.chain(c);
+    ChainState& state = chain_state_[static_cast<std::size_t>(c)];
+    const Count instance = state.next_instance++;
+
+    InstanceRecord record;
+    record.index = instance;
+    record.activation = activation_time;
+    result_.chains[static_cast<std::size_t>(c)].instances.push_back(record);
+
+    if (chain.is_asynchronous()) {
+      release(c, instance, 0, now);
+      return;
+    }
+    if (state.busy) {
+      state.pending.push_back(instance);
+    } else {
+      state.busy = true;
+      release(c, instance, 0, now);
+    }
+  }
+
+  void release(int c, Count instance, int task, Time /*now*/) {
+    const Chain& chain = system_.chain(c);
+    Job job;
+    job.chain = c;
+    job.instance = instance;
+    job.task = task;
+    job.remaining = chain.task(task).wcet;
+    job.priority = chain.task(task).priority;
+    job.seq = next_seq_++;
+    ready_.push(job);
+  }
+
+  void complete(const Job& job, Time now) {
+    makespan_ = std::max(makespan_, now);
+    const Chain& chain = system_.chain(job.chain);
+    if (job.task + 1 < chain.size()) {
+      release(job.chain, job.instance, job.task + 1, now);
+      return;
+    }
+    // Tail task finished: the chain instance completes.
+    ChainResult& cr = result_.chains[static_cast<std::size_t>(job.chain)];
+    InstanceRecord& record = cr.instances[static_cast<std::size_t>(job.instance)];
+    record.finish = now;
+    record.completed = true;
+    ++cr.completed;
+    const Time latency = record.latency();
+    cr.max_latency = std::max(cr.max_latency, latency);
+    if (chain.deadline().has_value() && latency > *chain.deadline()) {
+      record.missed = true;
+      ++cr.miss_count;
+    }
+
+    if (chain.is_synchronous()) {
+      ChainState& state = chain_state_[static_cast<std::size_t>(job.chain)];
+      if (state.pending.empty()) {
+        state.busy = false;
+      } else {
+        const Count next = state.pending.front();
+        state.pending.pop_front();
+        release(job.chain, next, 0, now);
+      }
+    }
+
+    // Linked activation: this completion is the arrival of downstream
+    // chains (paths / forks).
+    for (const ChainLink& link : options_.links) {
+      if (link.from == job.chain) activate(link.to, now, now);
+    }
+  }
+
+  void record_slice(const Job& job, Time begin, Time end) {
+    if (!options_.record_trace || begin == end) return;
+    if (!trace_.empty()) {
+      ExecSlice& last = trace_.back();
+      if (last.chain == job.chain && last.task == job.task && last.instance == job.instance &&
+          last.end == begin) {
+        last.end = end;  // merge contiguous slices of the same job
+        return;
+      }
+    }
+    trace_.push_back(ExecSlice{job.chain, job.task, job.instance, begin, end});
+  }
+
+  void finalize_trace() { result_.trace = std::move(trace_); }
+
+  const System& system_;
+  const std::vector<std::vector<Time>>& arrivals_;
+  SimOptions options_;
+  SimResult result_;
+  std::vector<ChainState> chain_state_;
+  std::vector<std::size_t> cursor_;
+  std::priority_queue<Job, std::vector<Job>, JobOrder> ready_;
+  std::vector<ExecSlice> trace_;
+  long long next_seq_ = 0;
+  Time makespan_ = 0;
+};
+
+}  // namespace
+
+SimResult simulate(const System& system, const std::vector<std::vector<Time>>& arrivals,
+                   const SimOptions& options) {
+  Engine engine(system, arrivals, options);
+  return engine.run();
+}
+
+std::vector<Time> path_latencies(const SimResult& result, const std::vector<int>& chains) {
+  WHARF_EXPECT(!chains.empty(), "path_latencies needs at least one chain");
+  for (int c : chains) {
+    WHARF_EXPECT(c >= 0 && c < static_cast<int>(result.chains.size()),
+                 "chain index " << c << " out of range");
+  }
+  const auto& head = result.chains[static_cast<std::size_t>(chains.front())].instances;
+  const auto& tail = result.chains[static_cast<std::size_t>(chains.back())].instances;
+  WHARF_EXPECT(head.size() == tail.size(),
+               "path chains completed different instance counts (" << head.size() << " vs "
+                                                                   << tail.size() << ")");
+  std::vector<Time> latencies;
+  latencies.reserve(head.size());
+  for (std::size_t n = 0; n < head.size(); ++n) {
+    WHARF_EXPECT(tail[n].completed, "instance " << n << " of the last path chain is pending");
+    latencies.push_back(tail[n].finish - head[n].activation);
+  }
+  return latencies;
+}
+
+}  // namespace wharf::sim

@@ -1,0 +1,104 @@
+/// \file simulator.hpp
+/// Discrete-event simulator for uniprocessor SPP systems of task chains.
+///
+/// Faithful to the paper's execution semantics (Section II):
+///  * Static Priority Preemptive scheduling of task instances; globally
+///    unique task priorities make scheduling deterministic.  Instances of
+///    the same task (possible in asynchronous chains) run FIFO.
+///  * Synchronous chains: an incoming activation is queued until all
+///    previous instances of the chain have finished.
+///  * Asynchronous chains: every activation immediately releases the
+///    header task; instances overlap and may self-interfere.
+///  * When task τ^i finishes, τ^{i+1} of the same instance is released
+///    at that instant.
+///  * The scheduler is deadline-agnostic: instances always run to
+///    completion, even after missing their deadline.
+///
+/// The simulator exists to *validate* the analysis: any legal arrival
+/// sequence must produce latencies <= WCL_b and windowed miss counts
+/// <= dmm_b(k).
+
+#ifndef WHARF_SIM_SIMULATOR_HPP
+#define WHARF_SIM_SIMULATOR_HPP
+
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace wharf::sim {
+
+/// One completed (or still pending) chain instance.
+struct InstanceRecord {
+  Count index = 0;      ///< instance number within its chain, 0-based
+  Time activation = 0;  ///< arrival time at the chain input
+  Time finish = -1;     ///< completion time of the tail task (-1: pending)
+  bool completed = false;
+  bool missed = false;  ///< completed && chain has deadline && latency > D
+
+  /// End-to-end latency (valid when completed).
+  [[nodiscard]] Time latency() const { return finish - activation; }
+};
+
+/// A maximal interval during which one task instance occupied the CPU.
+/// The trace is the exact schedule; the Gantt renderer consumes it.
+struct ExecSlice {
+  int chain = -1;
+  int task = -1;
+  Count instance = 0;
+  Time begin = 0;
+  Time end = 0;
+};
+
+/// Per-chain simulation outcome.
+struct ChainResult {
+  std::vector<InstanceRecord> instances;
+  Time max_latency = 0;   ///< over completed instances
+  Count miss_count = 0;   ///< completed instances with missed deadline
+  Count completed = 0;
+
+  /// Maximum number of misses within any window of `k` consecutive
+  /// completed instances (the empirical counterpart of dmm(k)).
+  [[nodiscard]] Count max_misses_in_window(Count k) const;
+};
+
+/// Whole-run outcome.
+struct SimResult {
+  std::vector<ChainResult> chains;  ///< indexed like System::chains()
+  std::vector<ExecSlice> trace;     ///< filled when SimOptions::record_trace
+  Time makespan = 0;                ///< completion time of the last job
+};
+
+/// Completion of chain `from` immediately activates chain `to` — the
+/// mechanism behind *paths* (paper footnote 1).  A chain may feed several
+/// downstream chains (fork); a chain may have at most one activator
+/// (joins are out of scope, as in the paper), and links must be acyclic.
+struct ChainLink {
+  int from = -1;
+  int to = -1;
+};
+
+/// Simulation knobs.
+struct SimOptions {
+  bool record_trace = false;
+  /// Linked activations; chains that appear as `to` must be fed an empty
+  /// arrival vector.
+  std::vector<ChainLink> links;
+};
+
+/// Simulates the system fed with explicit activation times per chain
+/// (`arrivals[c]` sorted, non-negative).  All released work is drained to
+/// completion, so every activation yields a completed instance.
+[[nodiscard]] SimResult simulate(const System& system,
+                                 const std::vector<std::vector<Time>>& arrivals,
+                                 const SimOptions& options = {});
+
+/// End-to-end latencies of a linked path: for every instance n, the time
+/// from the n-th activation of the first chain to the n-th completion of
+/// the last chain.  All listed chains must have completed equally many
+/// instances (guaranteed after a drained linked simulation).
+[[nodiscard]] std::vector<Time> path_latencies(const SimResult& result,
+                                               const std::vector<int>& chains);
+
+}  // namespace wharf::sim
+
+#endif  // WHARF_SIM_SIMULATOR_HPP

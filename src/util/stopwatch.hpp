@@ -1,0 +1,37 @@
+/// \file stopwatch.hpp
+/// Minimal wall-clock stopwatch used by benchmark harness tables.
+
+#ifndef WHARF_UTIL_STOPWATCH_HPP
+#define WHARF_UTIL_STOPWATCH_HPP
+
+#include <chrono>
+
+namespace wharf::util {
+
+/// Wall-clock stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  [[nodiscard]] double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wharf::util
+
+#endif  // WHARF_UTIL_STOPWATCH_HPP

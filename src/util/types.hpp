@@ -1,0 +1,72 @@
+/// \file types.hpp
+/// Fundamental scalar types and saturating integer arithmetic used across
+/// the library.
+///
+/// All timing quantities in the paper (WCETs, periods, deadlines, busy
+/// times, latencies) are integral; we model them as 64-bit signed tick
+/// counts.  A dedicated sentinel represents "+infinity" (e.g. the maximum
+/// distance delta_plus of a sporadic arrival model), and the arithmetic
+/// helpers below saturate at that sentinel instead of overflowing.
+
+#ifndef WHARF_UTIL_TYPES_HPP
+#define WHARF_UTIL_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace wharf {
+
+/// Discrete time / execution demand, in ticks.
+using Time = std::int64_t;
+
+/// Event counts (activations, busy-window indices, deadline misses).
+using Count = std::int64_t;
+
+/// Scheduling priority.  Larger value means higher priority (matches the
+/// paper's case study, where priority 13 preempts priority 1).
+using Priority = int;
+
+/// Sentinel for an unbounded time value (e.g. delta_plus of a sporadic
+/// model).  All saturating helpers treat this value as absorbing.
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max();
+
+/// Sentinel for an unbounded count (e.g. eta_plus over an infinite window).
+inline constexpr Count kCountInfinity = std::numeric_limits<Count>::max();
+
+/// True if `t` is the infinity sentinel.
+[[nodiscard]] constexpr bool is_infinite(Time t) noexcept { return t == kTimeInfinity; }
+
+/// Saturating addition: infinity is absorbing, finite overflow clamps to
+/// infinity.  Requires non-negative operands (all wharf time quantities
+/// are non-negative once validated).
+[[nodiscard]] constexpr Time sat_add(Time a, Time b) noexcept {
+  if (is_infinite(a) || is_infinite(b)) return kTimeInfinity;
+  if (a > kTimeInfinity - b) return kTimeInfinity;
+  return a + b;
+}
+
+/// Saturating multiplication for non-negative operands; infinity is
+/// absorbing except for multiplication by zero, which yields zero (the
+/// convention that suits `eta * C` terms where a zero cost nullifies an
+/// unbounded activation count).
+[[nodiscard]] constexpr Time sat_mul(Time a, Time b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  if (is_infinite(a) || is_infinite(b)) return kTimeInfinity;
+  if (a > kTimeInfinity / b) return kTimeInfinity;
+  return a * b;
+}
+
+/// Ceiling division for non-negative numerator and positive denominator.
+[[nodiscard]] constexpr Time ceil_div(Time num, Time den) noexcept {
+  return (num + den - 1) / den;
+}
+
+/// Floor division (plain integer division for non-negative operands, kept
+/// for symmetry and readability at call sites).
+[[nodiscard]] constexpr Time floor_div(Time num, Time den) noexcept {
+  return num / den;
+}
+
+}  // namespace wharf
+
+#endif  // WHARF_UTIL_TYPES_HPP

@@ -1,0 +1,177 @@
+// Unit tests for the wharf CLI (src/cli), driven entirely through
+// in-memory streams: every subcommand, exit code and error path.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/cli.hpp"
+#include "core/case_studies.hpp"
+#include "io/system_format.hpp"
+
+namespace wharf::cli {
+namespace {
+
+struct CliRun {
+  int exit_code = -1;
+  std::string out;
+  std::string err;
+};
+
+CliRun invoke(const std::vector<std::string>& args, const std::string& stdin_text = "") {
+  std::istringstream in(stdin_text);
+  std::ostringstream out;
+  std::ostringstream err;
+  CliRun run;
+  run.exit_code = cli::run(args, in, out, err);
+  run.out = out.str();
+  run.err = err.str();
+  return run;
+}
+
+std::string case_study_text() {
+  return io::serialize_system(
+      case_studies::date17_case_study(case_studies::OverloadModel::kRareOverload));
+}
+
+TEST(Cli, HelpAndNoArgs) {
+  const CliRun help = invoke({"help"});
+  EXPECT_EQ(help.exit_code, 0);
+  EXPECT_NE(help.out.find("usage:"), std::string::npos);
+
+  const CliRun none = invoke({});
+  EXPECT_EQ(none.exit_code, 1);
+  EXPECT_NE(none.out.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommand) {
+  const CliRun r = invoke({"frobnicate"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeFromStdin) {
+  const CliRun r = invoke({"analyze", "-", "--k", "3,76,250"}, case_study_text());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("sigma_c"), std::string::npos);
+  EXPECT_NE(r.out.find("331"), std::string::npos);
+  EXPECT_NE(r.out.find("dmm(76)"), std::string::npos);
+  EXPECT_NE(r.out.find("always meets"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeJson) {
+  const CliRun r = invoke({"analyze", "-", "--json", "--k", "3"}, case_study_text());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"system\":\"date17_case_study\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"wcl\":331"), std::string::npos);
+  EXPECT_NE(r.out.find("\"dmm\":3"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeRejectsBadFile) {
+  const CliRun r = invoke({"analyze", "/nonexistent/path.wharf"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeRejectsParseError) {
+  const CliRun r = invoke({"analyze", "-"}, "system x\nbogus line\n");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("line 2"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeRejectsBadK) {
+  const CliRun r = invoke({"analyze", "-", "--k", "3,zero"}, case_study_text());
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(Cli, AnalyzeUsage) {
+  const CliRun r = invoke({"analyze"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("exactly one file"), std::string::npos);
+}
+
+TEST(Cli, DmmPointQuery) {
+  const CliRun r = invoke({"dmm", "-", "sigma_c", "--k", "76"}, case_study_text());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("dmm_sigma_c(76) = 4"), std::string::npos);
+}
+
+TEST(Cli, DmmBreakpoints) {
+  const CliRun r = invoke({"dmm", "-", "sigma_c", "--breakpoints", "300"}, case_study_text());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("76"), std::string::npos);
+  EXPECT_NE(r.out.find("250"), std::string::npos);
+}
+
+TEST(Cli, DmmUnknownChain) {
+  const CliRun r = invoke({"dmm", "-", "sigma_zz"}, case_study_text());
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("unknown chain"), std::string::npos);
+}
+
+TEST(Cli, DmmRejectsOverloadTarget) {
+  const CliRun r = invoke({"dmm", "-", "sigma_a"}, case_study_text());
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(Cli, SimulateGreedy) {
+  const CliRun r = invoke({"simulate", "-", "--horizon", "50000"}, case_study_text());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("sigma_c"), std::string::npos);
+  EXPECT_NE(r.out.find("max latency"), std::string::npos);
+}
+
+TEST(Cli, SimulateWithGantt) {
+  const CliRun r = invoke({"simulate", "-", "--horizon", "1000", "--gantt", "400"},
+                          case_study_text());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("#"), std::string::npos);
+  EXPECT_NE(r.out.find("sigma_d.tau1_d"), std::string::npos);
+}
+
+TEST(Cli, SimulateRandomizedArrivals) {
+  const CliRun r = invoke(
+      {"simulate", "-", "--horizon", "50000", "--extra-gap", "500", "--seed", "9"},
+      case_study_text());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+}
+
+TEST(Cli, SearchClimb) {
+  const CliRun r = invoke({"search", "-", "--k", "10"}, case_study_text());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("nominal:"), std::string::npos);
+  EXPECT_NE(r.out.find("best:"), std::string::npos);
+  EXPECT_NE(r.out.find("missing=0"), std::string::npos);  // climb finds zero-miss
+}
+
+TEST(Cli, SearchRandomStrategy) {
+  const CliRun r = invoke({"search", "-", "--strategy", "random", "--budget", "50", "--seed",
+                           "3"},
+                          case_study_text());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("50 evaluations"), std::string::npos);
+}
+
+TEST(Cli, SearchRejectsBadStrategy) {
+  const CliRun r = invoke({"search", "-", "--strategy", "quantum"}, case_study_text());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown strategy"), std::string::npos);
+}
+
+TEST(Cli, Validate) {
+  const CliRun good = invoke({"validate", "-"}, case_study_text());
+  EXPECT_EQ(good.exit_code, 0);
+  EXPECT_NE(good.out.find("ok:"), std::string::npos);
+
+  const CliRun bad = invoke({"validate", "-"}, "system x\n");
+  EXPECT_EQ(bad.exit_code, 2);
+}
+
+TEST(Cli, MissingOptionValue) {
+  const CliRun r = invoke({"analyze", "-", "--k"}, case_study_text());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("missing value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wharf::cli

@@ -1,0 +1,145 @@
+// Unit tests for the random system generator (src/gen).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "core/case_studies.hpp"
+#include "gen/random_systems.hpp"
+#include "util/expect.hpp"
+
+namespace wharf::gen {
+namespace {
+
+TEST(UUniFast, SumsToTotal) {
+  std::mt19937_64 rng(1);
+  for (int n : {1, 2, 5, 10}) {
+    const auto u = uunifast(n, 0.7, rng);
+    ASSERT_EQ(u.size(), static_cast<std::size_t>(n));
+    const double sum = std::accumulate(u.begin(), u.end(), 0.0);
+    EXPECT_NEAR(sum, 0.7, 1e-9);
+    for (double v : u) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 0.7 + 1e-9);
+    }
+  }
+}
+
+TEST(UUniFast, RejectsBadArgs) {
+  std::mt19937_64 rng(1);
+  EXPECT_THROW(uunifast(0, 0.5, rng), InvalidArgument);
+  EXPECT_THROW(uunifast(3, -0.5, rng), InvalidArgument);
+}
+
+TEST(ShuffledPriorities, IsPermutation) {
+  std::mt19937_64 rng(7);
+  const auto p = shuffled_priorities(13, rng);
+  std::set<Priority> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 13u);
+  EXPECT_EQ(*seen.begin(), 1);
+  EXPECT_EQ(*seen.rbegin(), 13);
+}
+
+TEST(ShuffledPriorities, SeededDeterminism) {
+  std::mt19937_64 a(42);
+  std::mt19937_64 b(42);
+  EXPECT_EQ(shuffled_priorities(13, a), shuffled_priorities(13, b));
+}
+
+TEST(WithRandomPriorities, PreservesStructure) {
+  const System base = case_studies::date17_case_study();
+  std::mt19937_64 rng(3);
+  const System shuffled = with_random_priorities(base, rng);
+  EXPECT_EQ(shuffled.size(), base.size());
+  EXPECT_EQ(shuffled.task_count(), base.task_count());
+  for (int c = 0; c < base.size(); ++c) {
+    EXPECT_EQ(shuffled.chain(c).total_wcet(), base.chain(c).total_wcet());
+    EXPECT_EQ(shuffled.chain(c).is_overload(), base.chain(c).is_overload());
+  }
+  // Priorities remain a permutation of 1..13.
+  const auto p = shuffled.flat_priorities();
+  std::set<Priority> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 13u);
+}
+
+TEST(WithRandomPriorities, EventuallyDiffersFromBase) {
+  const System base = case_studies::date17_case_study();
+  std::mt19937_64 rng(3);
+  bool differs = false;
+  for (int i = 0; i < 5 && !differs; ++i) {
+    differs = with_random_priorities(base, rng).flat_priorities() != base.flat_priorities();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomSystem, ValidAndWithinSpec) {
+  RandomSystemSpec spec;
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 20; ++i) {
+    const System s = random_system(spec, rng, "r");
+    EXPECT_GE(s.size(), spec.min_chains + spec.overload_chains);
+    EXPECT_LE(s.size(), spec.max_chains + spec.overload_chains);
+    EXPECT_EQ(static_cast<int>(s.overload_indices().size()), spec.overload_chains);
+    for (int c : s.regular_indices()) {
+      EXPECT_GE(s.chain(c).size(), spec.min_tasks);
+      EXPECT_LE(s.chain(c).size(), spec.max_tasks);
+      EXPECT_TRUE(s.chain(c).deadline().has_value());
+      for (const Task& t : s.chain(c).tasks()) EXPECT_GE(t.wcet, 1);
+    }
+    // Regular utilization close to the spec (quantization may push it
+    // slightly up since every task gets at least WCET 1).
+    EXPECT_LT(s.utilization(), 1.0);
+  }
+}
+
+TEST(RandomSystem, SeededDeterminism) {
+  RandomSystemSpec spec;
+  std::mt19937_64 a(5);
+  std::mt19937_64 b(5);
+  const System s1 = random_system(spec, a, "x");
+  const System s2 = random_system(spec, b, "x");
+  EXPECT_EQ(s1.flat_priorities(), s2.flat_priorities());
+  EXPECT_EQ(s1.size(), s2.size());
+  for (int c = 0; c < s1.size(); ++c) {
+    EXPECT_EQ(s1.chain(c).total_wcet(), s2.chain(c).total_wcet());
+  }
+}
+
+TEST(RandomSystem, AsyncFractionProducesAsynchronousChains) {
+  RandomSystemSpec spec;
+  spec.async_fraction = 1.0;
+  std::mt19937_64 rng(2);
+  const System s = random_system(spec, rng, "a");
+  for (int c : s.regular_indices()) {
+    EXPECT_TRUE(s.chain(c).is_asynchronous());
+  }
+  for (int c : s.overload_indices()) {
+    EXPECT_TRUE(s.chain(c).is_synchronous());  // overload stays synchronous
+  }
+}
+
+TEST(RandomSystem, RejectsBadSpec) {
+  RandomSystemSpec spec;
+  spec.utilization = 1.5;
+  std::mt19937_64 rng(1);
+  EXPECT_THROW(random_system(spec, rng), InvalidArgument);
+  spec.utilization = 0.5;
+  spec.min_chains = 3;
+  spec.max_chains = 2;
+  EXPECT_THROW(random_system(spec, rng), InvalidArgument);
+}
+
+TEST(RandomSystem, OverloadChainsAreRare) {
+  RandomSystemSpec spec;
+  std::mt19937_64 rng(9);
+  const System s = random_system(spec, rng);
+  for (int c : s.overload_indices()) {
+    EXPECT_EQ(s.chain(c).arrival().delta_minus(2), spec.overload_gap);
+    EXPECT_FALSE(s.chain(c).deadline().has_value());
+  }
+}
+
+}  // namespace
+}  // namespace wharf::gen

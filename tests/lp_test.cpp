@@ -1,0 +1,275 @@
+// Unit tests for the dense two-phase simplex (src/lp), including a
+// brute-force vertex-enumeration cross-check on random small LPs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "lp/simplex.hpp"
+#include "util/expect.hpp"
+
+namespace wharf::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(Simplex, SingleVariableBound) {
+  Problem p({1.0});
+  p.add_le({1.0}, 5.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, kTol);
+  EXPECT_NEAR(s.x[0], 5.0, kTol);
+}
+
+TEST(Simplex, ClassicTwoVariable) {
+  // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18  => x=2, y=6, obj=36.
+  Problem p({3.0, 5.0});
+  p.add_le({1.0, 0.0}, 4.0);
+  p.add_le({0.0, 2.0}, 12.0);
+  p.add_le({3.0, 2.0}, 18.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 36.0, kTol);
+  EXPECT_NEAR(s.x[0], 2.0, kTol);
+  EXPECT_NEAR(s.x[1], 6.0, kTol);
+}
+
+TEST(Simplex, Unbounded) {
+  Problem p({1.0, 0.0});
+  p.add_le({0.0, 1.0}, 1.0);  // x unconstrained above
+  EXPECT_EQ(solve(p).status, Status::kUnbounded);
+}
+
+TEST(Simplex, InfeasibleByContradiction) {
+  Problem p({1.0});
+  p.add_le({1.0}, 1.0);
+  p.add_ge({1.0}, 2.0);
+  EXPECT_EQ(solve(p).status, Status::kInfeasible);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // max x + y st x + y == 3, x <= 1  => obj 3 with x<=1.
+  Problem p({1.0, 1.0});
+  p.add_eq({1.0, 1.0}, 3.0);
+  p.add_le({1.0, 0.0}, 1.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, kTol);
+  EXPECT_LE(s.x[0], 1.0 + kTol);
+}
+
+TEST(Simplex, GreaterEqualConstraint) {
+  // max -x st x >= 2  (i.e. minimize x) => x=2.
+  Problem p({-1.0});
+  p.add_ge({1.0}, 2.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[0], 2.0, kTol);
+  EXPECT_NEAR(s.objective, -2.0, kTol);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // x - y <= -1 with x,y >= 0: feasible (y >= x + 1); max x + y bounded by
+  // y <= 4.
+  Problem p({1.0, 1.0});
+  p.add_le({1.0, -1.0}, -1.0);
+  p.add_le({0.0, 1.0}, 4.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 7.0, kTol);  // x=3, y=4
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  Problem p({1.0, 1.0});
+  p.add_le({1.0, 0.0}, 1.0);
+  p.add_le({1.0, 0.0}, 1.0);
+  p.add_le({0.0, 1.0}, 1.0);
+  p.add_le({1.0, 1.0}, 2.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, kTol);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  Problem p({1.0});
+  p.add_eq({1.0}, 2.0);
+  p.add_eq({1.0}, 2.0);  // duplicate row; phase 1 must drop one
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[0], 2.0, kTol);
+}
+
+TEST(Simplex, ZeroObjective) {
+  Problem p({0.0, 0.0});
+  p.add_le({1.0, 1.0}, 1.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, kTol);
+}
+
+TEST(Simplex, RejectsBadConstraintWidth) {
+  Problem p({1.0, 2.0});
+  EXPECT_THROW(p.add_le({1.0}, 1.0), InvalidArgument);
+}
+
+TEST(Simplex, UpperAndLowerBoundHelpers) {
+  Problem p({1.0, -1.0});
+  p.add_upper_bound(0, 7.0);
+  p.add_lower_bound(1, 3.0);
+  p.add_upper_bound(1, 10.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[0], 7.0, kTol);
+  EXPECT_NEAR(s.x[1], 3.0, kTol);
+}
+
+TEST(Simplex, PackingShapeProblem) {
+  // The TWCA packing LP shape: max sum(x) with 0/1 rows.
+  Problem p({1.0, 1.0, 1.0});
+  p.add_le({1.0, 0.0, 1.0}, 3.0);
+  p.add_le({0.0, 1.0, 1.0}, 2.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, kTol);  // x0=3, x1=2, x2=0
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force cross-check on random 2- and 3-variable LPs.
+// ---------------------------------------------------------------------------
+
+/// Solves Ax = b for small dense systems with partial pivoting; returns
+/// false when singular.
+bool solve_linear(std::vector<std::vector<double>> a, std::vector<double> b,
+                  std::vector<double>& x) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[piv][col])) piv = r;
+    }
+    if (std::abs(a[piv][col]) < 1e-9) return false;
+    std::swap(a[piv], a[col]);
+    std::swap(b[piv], b[col]);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  x.resize(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[i] / a[i][i];
+  return true;
+}
+
+/// Exhaustive vertex enumeration for  max cᵀx, Ax <= b, x >= 0  (all-≤
+/// form): tries every choice of n active constraints (including x_j = 0
+/// walls), keeps the best feasible vertex.  Returns -infinity when
+/// infeasible or when no vertex exists.
+double brute_force_lp(const std::vector<double>& c, const std::vector<std::vector<double>>& rows,
+                      const std::vector<double>& rhs) {
+  const std::size_t n = c.size();
+  const std::size_t m = rows.size();
+  // Build the full constraint list: rows plus coordinate walls.
+  std::vector<std::vector<double>> all = rows;
+  std::vector<double> all_rhs = rhs;
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<double> wall(n, 0.0);
+    wall[j] = -1.0;  // -x_j <= 0
+    all.push_back(wall);
+    all_rhs.push_back(0.0);
+  }
+  double best = -std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> idx(all.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+
+  // Enumerate all n-subsets of constraints (n <= 3, sizes tiny).
+  std::vector<std::size_t> pick(n);
+  const auto feasible = [&](const std::vector<double>& x) {
+    for (std::size_t r = 0; r < m; ++r) {
+      double lhs = 0;
+      for (std::size_t j = 0; j < n; ++j) lhs += rows[r][j] * x[j];
+      if (lhs > rhs[r] + 1e-6) return false;
+    }
+    for (double v : x) {
+      if (v < -1e-6) return false;
+    }
+    return true;
+  };
+  const auto consider = [&](const std::vector<std::size_t>& subset) {
+    std::vector<std::vector<double>> a;
+    std::vector<double> b;
+    for (std::size_t i : subset) {
+      a.push_back(all[i]);
+      b.push_back(all_rhs[i]);
+    }
+    std::vector<double> x;
+    if (!solve_linear(a, b, x)) return;
+    if (!feasible(x)) return;
+    double obj = 0;
+    for (std::size_t j = 0; j < n; ++j) obj += c[j] * x[j];
+    best = std::max(best, obj);
+  };
+  // Recursive n-subset enumeration.
+  const std::function<void(std::size_t, std::size_t)> rec = [&](std::size_t start,
+                                                                std::size_t depth) {
+    if (depth == n) {
+      consider(pick);
+      return;
+    }
+    for (std::size_t i = start; i < all.size(); ++i) {
+      pick[depth] = i;
+      rec(i + 1, depth + 1);
+    }
+  };
+  rec(0, 0);
+  return best;
+}
+
+class SimplexRandomCross : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomCross, MatchesVertexEnumeration) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::uniform_int_distribution<int> coeff(0, 9);
+  std::uniform_int_distribution<int> dims(2, 3);
+  std::uniform_int_distribution<int> rows_dist(2, 5);
+
+  const std::size_t n = static_cast<std::size_t>(dims(rng));
+  const std::size_t m = static_cast<std::size_t>(rows_dist(rng));
+  std::vector<double> c(n);
+  for (double& v : c) v = coeff(rng);
+  std::vector<std::vector<double>> rows(m, std::vector<double>(n));
+  std::vector<double> rhs(m);
+  bool bounded_guard = false;
+  for (std::size_t r = 0; r < m; ++r) {
+    bool nonzero = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      rows[r][j] = coeff(rng);
+      nonzero = nonzero || rows[r][j] > 0;
+    }
+    rhs[r] = 1 + coeff(rng);
+    bounded_guard = bounded_guard || nonzero;
+  }
+  // Ensure boundedness: cap the simplex sum.
+  rows.push_back(std::vector<double>(n, 1.0));
+  rhs.push_back(20.0);
+
+  Problem p(c);
+  for (std::size_t r = 0; r < rows.size(); ++r) p.add_le(rows[r], rhs[r]);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+
+  const double expected = brute_force_lp(c, rows, rhs);
+  EXPECT_NEAR(s.objective, expected, 1e-5) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomCross, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace wharf::lp

@@ -1,0 +1,137 @@
+// Unit tests for priority-assignment synthesis (src/search).
+
+#include <gtest/gtest.h>
+
+#include "core/case_studies.hpp"
+#include "search/priority_search.hpp"
+#include "util/expect.hpp"
+
+namespace wharf::search {
+namespace {
+
+using case_studies::date17_case_study;
+using case_studies::OverloadModel;
+
+/// A small system (5 tasks) where exhaustive search is feasible: one
+/// two-task chain, one single-task chain, one two-task overload chain.
+System small_system() {
+  Chain::Spec x;
+  x.name = "x";
+  x.arrival = periodic(100);
+  x.deadline = 60;
+  x.tasks = {Task{"x1", 1, 10}, Task{"x2", 2, 15}};
+  Chain::Spec y;
+  y.name = "y";
+  y.arrival = periodic(200);
+  y.deadline = 120;
+  y.tasks = {Task{"y1", 3, 30}};
+  Chain::Spec o;
+  o.name = "o";
+  o.arrival = sporadic(5'000);
+  o.overload = true;
+  o.tasks = {Task{"o1", 4, 8}, Task{"o2", 5, 9}};
+  return System("small", {Chain(std::move(x)), Chain(std::move(y)), Chain(std::move(o))});
+}
+
+TEST(Objective, LexicographicOrder) {
+  EXPECT_LT((Objective{0, 5, 100}), (Objective{1, 0, 0}));
+  EXPECT_LT((Objective{1, 2, 100}), (Objective{1, 3, 0}));
+  EXPECT_LT((Objective{1, 2, 50}), (Objective{1, 2, 60}));
+  EXPECT_EQ((Objective{1, 2, 3}), (Objective{1, 2, 3}));
+}
+
+TEST(Evaluate, CaseStudyNominal) {
+  const System sys = date17_case_study(OverloadModel::kRareOverload);
+  const Objective obj = evaluate_assignment(sys, EvaluationSpec{10, {}});
+  // sigma_c misses (dmm 3), sigma_d does not; WCL sum 331 + 175.
+  EXPECT_EQ(obj.chains_missing, 1);
+  EXPECT_EQ(obj.total_dmm, 3);
+  EXPECT_EQ(obj.total_wcl, 331 + 175);
+}
+
+TEST(Evaluate, ExplicitTargets) {
+  const System sys = date17_case_study(OverloadModel::kRareOverload);
+  const Objective only_d = evaluate_assignment(sys, EvaluationSpec{10, {case_studies::kSigmaD}});
+  EXPECT_EQ(only_d.chains_missing, 0);
+  EXPECT_EQ(only_d.total_wcl, 175);
+}
+
+TEST(Evaluate, Validation) {
+  const System sys = date17_case_study();
+  EXPECT_THROW((void)evaluate_assignment(sys, EvaluationSpec{0, {}}), InvalidArgument);
+}
+
+TEST(ExhaustiveSearch, FindsOptimumOnSmallSystem) {
+  const System sys = small_system();
+  const SearchResult result = exhaustive_search(sys, EvaluationSpec{5, {}});
+  EXPECT_EQ(result.evaluations, 120);  // 5! permutations
+  // The optimum must be at least as good as the nominal assignment and
+  // as good as any sampled assignment.
+  const Objective nominal = evaluate_assignment(sys, EvaluationSpec{5, {}});
+  EXPECT_LE(result.best_objective, nominal);
+  const SearchResult sampled = random_search(sys, EvaluationSpec{5, {}}, 50, 3);
+  EXPECT_LE(result.best_objective, sampled.best_objective);
+}
+
+TEST(ExhaustiveSearch, GuardsAgainstFactorialBlowup) {
+  const System sys = date17_case_study();  // 13 tasks -> 13! permutations
+  EXPECT_THROW(exhaustive_search(sys, EvaluationSpec{5, {}}, 10'000), InvalidArgument);
+}
+
+TEST(RandomSearch, DeterministicUnderSeed) {
+  const System sys = small_system();
+  const SearchResult a = random_search(sys, EvaluationSpec{5, {}}, 30, 42);
+  const SearchResult b = random_search(sys, EvaluationSpec{5, {}}, 30, 42);
+  EXPECT_EQ(a.best_priorities, b.best_priorities);
+  EXPECT_EQ(a.best_objective, b.best_objective);
+  EXPECT_EQ(a.evaluations, 30);
+}
+
+TEST(RandomSearch, BestIsAtLeastAsGoodAsAnySample) {
+  const System sys = small_system();
+  const SearchResult r = random_search(sys, EvaluationSpec{5, {}}, 40, 9);
+  const System best = sys.with_priorities(r.best_priorities);
+  EXPECT_EQ(evaluate_assignment(best, EvaluationSpec{5, {}}), r.best_objective);
+}
+
+TEST(HillClimb, ReachesExhaustiveOptimumOnSmallSystem) {
+  const System sys = small_system();
+  const SearchResult exact = exhaustive_search(sys, EvaluationSpec{5, {}});
+  HillClimbOptions options;
+  options.restarts = 4;
+  options.seed = 11;
+  const SearchResult climbed = hill_climb(sys, EvaluationSpec{5, {}}, options);
+  EXPECT_EQ(climbed.best_objective, exact.best_objective);
+}
+
+TEST(HillClimb, ImprovesOnCaseStudy) {
+  // The nominal case-study assignment has dmm_c(10)=3; local search finds
+  // assignments where both chains always meet their deadlines.
+  const System sys = date17_case_study(OverloadModel::kRareOverload);
+  HillClimbOptions options;
+  options.restarts = 2;
+  options.max_steps = 30;
+  options.seed = 5;
+  const SearchResult result = hill_climb(sys, EvaluationSpec{10, {}}, options);
+  const Objective nominal = evaluate_assignment(sys, EvaluationSpec{10, {}});
+  EXPECT_LT(result.best_objective, nominal);
+  EXPECT_EQ(result.best_objective.chains_missing, 0);
+}
+
+TEST(HillClimb, ResultPrioritiesAreAValidPermutation) {
+  const System sys = small_system();
+  const SearchResult r = hill_climb(sys, EvaluationSpec{5, {}});
+  ASSERT_EQ(r.best_priorities.size(), 5u);
+  // Applying them must produce a valid system (unique priorities 1..5).
+  EXPECT_NO_THROW(sys.with_priorities(r.best_priorities));
+}
+
+TEST(HillClimb, Validation) {
+  const System sys = small_system();
+  HillClimbOptions bad;
+  bad.restarts = 0;
+  EXPECT_THROW(hill_climb(sys, EvaluationSpec{5, {}}, bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wharf::search

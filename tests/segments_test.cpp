@@ -1,0 +1,296 @@
+// Unit tests for Definitions 2-8 (src/core/segments): deferred
+// classification, segments, critical/header segments, active segments —
+// validated against the paper's own Figure 1 examples plus wrap-around
+// and edge cases the paper's definitions imply.
+
+#include <gtest/gtest.h>
+
+#include "core/case_studies.hpp"
+#include "core/segments.hpp"
+#include "util/expect.hpp"
+
+namespace wharf {
+namespace {
+
+Chain make_chain(const std::string& name, std::vector<std::pair<Priority, Time>> tasks) {
+  Chain::Spec spec;
+  spec.name = name;
+  spec.kind = ChainKind::kSynchronous;
+  spec.arrival = periodic(1000);
+  int i = 0;
+  for (auto [prio, wcet] : tasks) {
+    spec.tasks.push_back(Task{name + "_t" + std::to_string(i++), prio, wcet});
+  }
+  return Chain(std::move(spec));
+}
+
+std::vector<std::vector<int>> task_lists(const std::vector<Segment>& segments) {
+  std::vector<std::vector<int>> out;
+  for (const Segment& s : segments) out.push_back(s.tasks);
+  return out;
+}
+
+std::vector<std::vector<int>> task_lists(const std::vector<ActiveSegment>& segments) {
+  std::vector<std::vector<int>> out;
+  for (const ActiveSegment& s : segments) out.push_back(s.tasks);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Paper Figure 1 examples
+// ---------------------------------------------------------------------------
+
+class Figure1 : public ::testing::Test {
+ protected:
+  System system = case_studies::figure1_system();
+  const Chain& a = system.chain(case_studies::kFig1SigmaA);
+  const Chain& b = system.chain(case_studies::kFig1SigmaB);
+};
+
+TEST_F(Figure1, SigmaAIsDeferredBySigmaB) {
+  // tau4_a (prio 2) and tau6_a (prio 1) are below sigma_b's min prio 3.
+  EXPECT_TRUE(is_deferred(a, b));
+}
+
+TEST_F(Figure1, SigmaBIsDeferredBySigmaA) {
+  // tau2_b (prio 3) is below ... sigma_a's min prio is 1, so no task of b
+  // is strictly below it: b arbitrarily interferes with a.
+  EXPECT_FALSE(is_deferred(b, a));
+}
+
+TEST_F(Figure1, SegmentsMatchPaperExample) {
+  // Paper: "Chain sigma_a in Figure 1 has 2 segments w.r.t. chain
+  // sigma_b: (tau1,tau2,tau3) and (tau5)."
+  const auto segs = segments_wrt(a, b);
+  EXPECT_EQ(task_lists(segs), (std::vector<std::vector<int>>{{0, 1, 2}, {4}}));
+  EXPECT_FALSE(segs[0].wraps);
+  EXPECT_FALSE(segs[1].wraps);
+  EXPECT_EQ(segs[0].cost, 3);  // WCET 1 each in the built-in system
+  EXPECT_EQ(segs[1].cost, 1);
+}
+
+TEST_F(Figure1, CriticalSegmentIsLargest) {
+  const auto crit = critical_segment(a, b);
+  ASSERT_TRUE(crit.has_value());
+  EXPECT_EQ(crit->tasks, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(Figure1, ActiveSegmentsMatchPaperExample) {
+  // Paper: "chain sigma_a has three active segments: (tau1,tau2), (tau3),
+  // (tau5)" — split at tau3 because prio(tau3)=5 < prio(tail of b)=6.
+  const auto active = active_segments_wrt(a, b);
+  EXPECT_EQ(task_lists(active), (std::vector<std::vector<int>>{{0, 1}, {2}, {4}}));
+  // The first two belong to the same segment, the last to another.
+  EXPECT_EQ(active[0].segment_index, active[1].segment_index);
+  EXPECT_NE(active[0].segment_index, active[2].segment_index);
+}
+
+TEST_F(Figure1, HeaderSubchainOfSigmaA) {
+  // Lowest-priority task of sigma_a is tau6_a (index 5): header = 0..4.
+  EXPECT_EQ(header_subchain(a), (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(Figure1, HeaderSegmentWrtSigmaB) {
+  // First task of a below b's min priority (3) is tau4_a (index 3).
+  EXPECT_EQ(header_segment_wrt(a, b), (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(Figure1, HeaderSegmentRequiresDeferred) {
+  EXPECT_THROW(header_segment_wrt(b, a), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Case study (Figure 4) in-text statements
+// ---------------------------------------------------------------------------
+
+class Figure4 : public ::testing::Test {
+ protected:
+  System system = case_studies::date17_case_study();
+  const Chain& d = system.chain(case_studies::kSigmaD);
+  const Chain& c = system.chain(case_studies::kSigmaC);
+  const Chain& b = system.chain(case_studies::kSigmaB);
+  const Chain& a = system.chain(case_studies::kSigmaA);
+};
+
+TEST_F(Figure4, OverloadChainsArbitrarilyInterfereWithSigmaC) {
+  // Paper: "Both chains sigma_a and sigma_b arbitrarily interfere with
+  // sigma_c because neither has a task with a priority lower than 1."
+  EXPECT_FALSE(is_deferred(a, c));
+  EXPECT_FALSE(is_deferred(b, c));
+  EXPECT_FALSE(is_deferred(d, c));
+}
+
+TEST_F(Figure4, OverloadChainsHaveOneSegmentWrtSigmaC) {
+  const auto segs_a = segments_wrt(a, c);
+  ASSERT_EQ(segs_a.size(), 1u);
+  EXPECT_EQ(segs_a[0].tasks, (std::vector<int>{0, 1}));
+  EXPECT_EQ(segs_a[0].cost, 20);
+
+  const auto segs_b = segments_wrt(b, c);
+  ASSERT_EQ(segs_b.size(), 1u);
+  EXPECT_EQ(segs_b[0].tasks, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(segs_b[0].cost, 30);
+}
+
+TEST_F(Figure4, OverloadSegmentsAreActiveSegmentsWrtSigmaC) {
+  // Paper: "These two segments are also active segments because the
+  // priority of the tail task of chain sigma_c is lower than all
+  // priorities in these segments."
+  const auto active_a = active_segments_wrt(a, c);
+  ASSERT_EQ(active_a.size(), 1u);
+  EXPECT_EQ(active_a[0].tasks, (std::vector<int>{0, 1}));
+  EXPECT_EQ(active_a[0].cost, 20);
+
+  const auto active_b = active_segments_wrt(b, c);
+  ASSERT_EQ(active_b.size(), 1u);
+  EXPECT_EQ(active_b[0].cost, 30);
+}
+
+TEST_F(Figure4, SigmaCDeferredBySigmaD) {
+  // tau3_c has priority 1 < min priority 2 of sigma_d.
+  EXPECT_TRUE(is_deferred(c, d));
+  const auto segs = segments_wrt(c, d);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].tasks, (std::vector<int>{0, 1}));
+  EXPECT_EQ(segs[0].cost, 10);
+  const auto crit = critical_segment(c, d);
+  ASSERT_TRUE(crit.has_value());
+  EXPECT_EQ(crit->cost, 10);
+}
+
+TEST_F(Figure4, SigmaDNotDeferredBySigmaCButViceVersa) {
+  EXPECT_FALSE(is_deferred(d, c));  // min prio of c is 1; no d-task below 1
+  EXPECT_TRUE(is_deferred(c, d));
+}
+
+// ---------------------------------------------------------------------------
+// Wrap-around (modulo) semantics of Def. 3
+// ---------------------------------------------------------------------------
+
+TEST(Segments, WrapAroundSegment) {
+  // Qualify pattern [1,1,0,1] w.r.t. min prio 2: runs {0,1} and {3} merge
+  // into the wrapping segment (3,0,1).
+  const Chain a = make_chain("a", {{10, 5}, {9, 7}, {1, 3}, {8, 11}});
+  const Chain b = make_chain("b", {{2, 1}, {3, 1}});
+  ASSERT_TRUE(is_deferred(a, b));
+  const auto segs = segments_wrt(a, b);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_TRUE(segs[0].wraps);
+  EXPECT_EQ(segs[0].tasks, (std::vector<int>{3, 0, 1}));
+  EXPECT_EQ(segs[0].cost, 23);
+}
+
+TEST(Segments, WrapAroundWithMiddleRun) {
+  // Pattern [1,0,1,0,1]: runs {0},{2},{4}; 4 wraps onto 0 -> segments
+  // (2) and (4,0).
+  const Chain a = make_chain("a", {{10, 1}, {1, 1}, {9, 2}, {2, 1}, {8, 4}});
+  const Chain b = make_chain("b", {{3, 1}, {4, 1}});
+  const auto segs = segments_wrt(a, b);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].tasks, (std::vector<int>{2}));
+  EXPECT_FALSE(segs[0].wraps);
+  EXPECT_EQ(segs[1].tasks, (std::vector<int>{4, 0}));
+  EXPECT_TRUE(segs[1].wraps);
+  EXPECT_EQ(segs[1].cost, 5);
+}
+
+TEST(Segments, AllTasksQualifyIsSingleNonWrappingSegment) {
+  const Chain a = make_chain("a", {{10, 1}, {9, 1}, {8, 1}});
+  const Chain b = make_chain("b", {{1, 1}, {2, 1}});
+  EXPECT_FALSE(is_deferred(a, b));
+  const auto segs = segments_wrt(a, b);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].tasks, (std::vector<int>{0, 1, 2}));
+  EXPECT_FALSE(segs[0].wraps);
+}
+
+TEST(Segments, NoTaskQualifiesMeansNoSegments) {
+  const Chain a = make_chain("a", {{1, 1}, {2, 1}});
+  const Chain b = make_chain("b", {{9, 1}, {10, 1}});
+  EXPECT_TRUE(is_deferred(a, b));
+  EXPECT_TRUE(segments_wrt(a, b).empty());
+  EXPECT_FALSE(critical_segment(a, b).has_value());
+  EXPECT_TRUE(active_segments_wrt(a, b).empty());
+  EXPECT_TRUE(header_segment_wrt(a, b).empty());
+}
+
+TEST(Segments, WrappedSegmentSplitsIntoNonWrappingActiveSegments) {
+  // Wrapping segment (3,0,1); all its tasks above tail prio of b -> the
+  // two linear pieces (3) and (0,1) become active segments of the same
+  // parent segment (footnote 3: active segments never wrap).
+  const Chain a = make_chain("a", {{10, 5}, {9, 7}, {1, 3}, {8, 11}});
+  const Chain b = make_chain("b", {{3, 1}, {2, 1}});  // tail prio 2
+  const auto active = active_segments_wrt(a, b);
+  ASSERT_EQ(active.size(), 2u);
+  EXPECT_EQ(active[0].tasks, (std::vector<int>{3}));
+  EXPECT_EQ(active[1].tasks, (std::vector<int>{0, 1}));
+  EXPECT_EQ(active[0].segment_index, active[1].segment_index);
+}
+
+TEST(Segments, ActiveSegmentFirstTaskUnconstrained) {
+  // Def. 8 constrains tasks after the first only: a segment whose every
+  // task is below b's tail priority still yields one active segment per
+  // task.
+  const Chain a = make_chain("a", {{4, 2}, {5, 3}});
+  const Chain b = make_chain("b", {{3, 1}, {9, 1}});  // tail prio 9, min 3
+  const auto segs = segments_wrt(a, b);
+  ASSERT_EQ(segs.size(), 1u);  // both tasks above min prio 3
+  const auto active = active_segments_wrt(a, b);
+  ASSERT_EQ(active.size(), 2u);
+  EXPECT_EQ(active[0].tasks, (std::vector<int>{0}));
+  EXPECT_EQ(active[1].tasks, (std::vector<int>{1}));
+}
+
+TEST(Segments, CriticalSegmentTieBreaksFirst) {
+  // Trailing non-qualifying task prevents a wrap, leaving two separate
+  // cost-5 segments; ties resolve to the first.
+  const Chain a = make_chain("a", {{10, 5}, {1, 1}, {9, 5}, {3, 1}});
+  const Chain b = make_chain("b", {{4, 1}, {5, 1}});
+  const auto segs = segments_wrt(a, b);
+  ASSERT_EQ(segs.size(), 2u);
+  const auto crit = critical_segment(a, b);
+  ASSERT_TRUE(crit.has_value());
+  EXPECT_EQ(crit->tasks, (std::vector<int>{0}));  // first of the two cost-5 segments
+}
+
+TEST(Segments, TailQualifyingRunWrapsOntoHead) {
+  // Pattern [1,0,1] wraps: the runs {0} and {2} merge into segment (2,0);
+  // this is the modulo-n_a reading of Def. 3.
+  const Chain a = make_chain("a", {{10, 5}, {1, 1}, {9, 5}});
+  const Chain b = make_chain("b", {{2, 1}, {3, 1}});
+  const auto segs = segments_wrt(a, b);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_TRUE(segs[0].wraps);
+  EXPECT_EQ(segs[0].tasks, (std::vector<int>{2, 0}));
+  EXPECT_EQ(segs[0].cost, 10);
+}
+
+TEST(Segments, HeaderSubchainEmptyWhenHeaderIsLowest) {
+  const Chain a = make_chain("a", {{1, 1}, {5, 1}, {9, 1}});
+  EXPECT_TRUE(header_subchain(a).empty());
+}
+
+TEST(Segments, HeaderSubchainFullPrefix) {
+  const Chain a = make_chain("a", {{9, 1}, {5, 1}, {1, 1}});
+  EXPECT_EQ(header_subchain(a), (std::vector<int>{0, 1}));
+}
+
+TEST(Segments, SingleTaskChain) {
+  const Chain a = make_chain("a", {{5, 7}});
+  const Chain b = make_chain("b", {{3, 1}});
+  EXPECT_FALSE(is_deferred(a, b));
+  const auto segs = segments_wrt(a, b);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].cost, 7);
+  EXPECT_TRUE(header_subchain(a).empty());
+}
+
+TEST(Segments, CostOfAndFormat) {
+  const Chain a = make_chain("a", {{5, 7}, {6, 3}});
+  EXPECT_EQ(cost_of(a, {0, 1}), 10);
+  EXPECT_EQ(cost_of(a, {}), 0);
+  EXPECT_EQ(format_task_list(a, {0, 1}), "(a_t0,a_t1)");
+}
+
+}  // namespace
+}  // namespace wharf

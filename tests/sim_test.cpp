@@ -1,0 +1,374 @@
+// Unit tests for the SPP discrete-event simulator (src/sim): scheduling
+// semantics on hand-built timelines, sync/async chain behaviour, arrival
+// generators and the sliding-window miss counter.
+
+#include <gtest/gtest.h>
+
+#include "core/case_studies.hpp"
+#include "sim/arrival_sequence.hpp"
+#include "sim/busy_windows.hpp"
+#include "sim/simulator.hpp"
+#include "util/expect.hpp"
+
+namespace wharf::sim {
+namespace {
+
+Chain make_chain(const std::string& name, ChainKind kind, ArrivalModelPtr arrival,
+                 std::optional<Time> deadline, std::vector<Task> tasks, bool overload = false) {
+  Chain::Spec spec;
+  spec.name = name;
+  spec.kind = kind;
+  spec.arrival = std::move(arrival);
+  spec.deadline = deadline;
+  spec.overload = overload;
+  spec.tasks = std::move(tasks);
+  return Chain(std::move(spec));
+}
+
+// ---------------------------------------------------------------------------
+// Basic scheduling semantics
+// ---------------------------------------------------------------------------
+
+TEST(Simulator, SingleChainRunsBackToBack) {
+  const System sys("one", {make_chain("c", ChainKind::kSynchronous, periodic(100), Time{100},
+                                      {Task{"t1", 2, 3}, Task{"t2", 1, 4}})});
+  const SimResult r = simulate(sys, {{0, 100}});
+  ASSERT_EQ(r.chains[0].instances.size(), 2u);
+  EXPECT_EQ(r.chains[0].instances[0].finish, 7);
+  EXPECT_EQ(r.chains[0].instances[1].finish, 107);
+  EXPECT_EQ(r.chains[0].max_latency, 7);
+  EXPECT_EQ(r.chains[0].miss_count, 0);
+  EXPECT_EQ(r.makespan, 107);
+}
+
+TEST(Simulator, PreemptionByHigherPriority) {
+  // Low-priority long task preempted by a high-priority arrival at t=2.
+  const System sys("two", {make_chain("lo", ChainKind::kSynchronous, periodic(1000), Time{1000},
+                                      {Task{"l", 1, 10}}),
+                           make_chain("hi", ChainKind::kSynchronous, periodic(1000), Time{1000},
+                                      {Task{"h", 2, 5}})});
+  SimOptions options;
+  options.record_trace = true;
+  const SimResult r = simulate(sys, {{0}, {2}}, options);
+  // lo runs [0,2), hi runs [2,7), lo resumes [7,15).
+  EXPECT_EQ(r.chains[0].instances[0].finish, 15);
+  EXPECT_EQ(r.chains[1].instances[0].finish, 7);
+  ASSERT_EQ(r.trace.size(), 3u);
+  EXPECT_EQ(r.trace[0].chain, 0);
+  EXPECT_EQ(r.trace[0].begin, 0);
+  EXPECT_EQ(r.trace[0].end, 2);
+  EXPECT_EQ(r.trace[1].chain, 1);
+  EXPECT_EQ(r.trace[1].end, 7);
+  EXPECT_EQ(r.trace[2].chain, 0);
+  EXPECT_EQ(r.trace[2].begin, 7);
+}
+
+TEST(Simulator, NoPreemptionByLowerPriority) {
+  const System sys("two", {make_chain("hi", ChainKind::kSynchronous, periodic(1000), Time{1000},
+                                      {Task{"h", 2, 10}}),
+                           make_chain("lo", ChainKind::kSynchronous, periodic(1000), Time{1000},
+                                      {Task{"l", 1, 5}})});
+  const SimResult r = simulate(sys, {{0}, {2}});
+  EXPECT_EQ(r.chains[0].instances[0].finish, 10);
+  EXPECT_EQ(r.chains[1].instances[0].finish, 15);
+}
+
+TEST(Simulator, ChainTasksRunInSequenceWithInterleaving) {
+  // Chain x = (prio 3, C 2) -> (prio 1, C 2); chain y = single task
+  // prio 2, C 3 arriving at 1.  x1 runs [0,2); y arrives at 1 but prio 2
+  // < 3 waits; at 2, x2 (prio 1) is ready but y (prio 2) wins: y [2,5);
+  // x2 [5,7).
+  const System sys("mix", {make_chain("x", ChainKind::kSynchronous, periodic(1000), Time{1000},
+                                      {Task{"x1", 3, 2}, Task{"x2", 1, 2}}),
+                           make_chain("y", ChainKind::kSynchronous, periodic(1000), Time{1000},
+                                      {Task{"y1", 2, 3}})});
+  const SimResult r = simulate(sys, {{0}, {1}});
+  EXPECT_EQ(r.chains[1].instances[0].finish, 5);
+  EXPECT_EQ(r.chains[0].instances[0].finish, 7);
+}
+
+TEST(Simulator, DeadlineMissRecorded) {
+  const System sys("miss", {make_chain("c", ChainKind::kSynchronous, periodic(100), Time{5},
+                                       {Task{"t", 1, 10}})});
+  const SimResult r = simulate(sys, {{0}});
+  EXPECT_TRUE(r.chains[0].instances[0].missed);
+  EXPECT_EQ(r.chains[0].miss_count, 1);
+}
+
+TEST(Simulator, ZeroWcetTaskCompletesInstantly) {
+  const System sys("zero", {make_chain("c", ChainKind::kSynchronous, periodic(100), Time{100},
+                                       {Task{"t1", 2, 0}, Task{"t2", 1, 5}})});
+  const SimResult r = simulate(sys, {{0}});
+  EXPECT_EQ(r.chains[0].instances[0].finish, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous vs. asynchronous chain semantics
+// ---------------------------------------------------------------------------
+
+TEST(Simulator, SynchronousChainQueuesActivations) {
+  // Latency of the second activation is measured from its *arrival*, and
+  // it cannot start before the first instance finishes.
+  const System sys("syncq", {make_chain("c", ChainKind::kSynchronous, periodic(10), Time{100},
+                                        {Task{"t1", 2, 8}, Task{"t2", 1, 7}})});
+  const SimResult r = simulate(sys, {{0, 10}});
+  ASSERT_EQ(r.chains[0].instances.size(), 2u);
+  EXPECT_EQ(r.chains[0].instances[0].finish, 15);
+  // Second instance starts at 15 (first finished), runs 15 ticks.
+  EXPECT_EQ(r.chains[0].instances[1].finish, 30);
+  EXPECT_EQ(r.chains[0].instances[1].latency(), 20);
+}
+
+TEST(Simulator, AsynchronousChainOverlapsInstances) {
+  // Async: header of instance 2 (prio 2) preempts the tail of instance 1
+  // (prio 1) upon its arrival at t=2.
+  const System sys("asyncq", {make_chain("c", ChainKind::kAsynchronous, periodic(2), Time{100},
+                                         {Task{"h", 2, 1}, Task{"t", 1, 9}})});
+  const SimResult r = simulate(sys, {{0, 2}});
+  ASSERT_EQ(r.chains[0].instances.size(), 2u);
+  // Timeline: h1 [0,1), t1 [1,2), h2 [2,3) preempts t1, then t1 [3,11),
+  // t2 [11,20).
+  EXPECT_EQ(r.chains[0].instances[0].finish, 11);
+  EXPECT_EQ(r.chains[0].instances[1].finish, 20);
+}
+
+TEST(Simulator, AsyncSameTaskInstancesAreFifo) {
+  // Two activations at the same instant: header jobs run FIFO, so
+  // instance 0 finishes first.
+  const System sys("fifo", {make_chain("c", ChainKind::kAsynchronous, periodic(1), Time{100},
+                                       {Task{"h", 2, 3}, Task{"t", 1, 1}})});
+  const SimResult r = simulate(sys, {{0, 0}});
+  ASSERT_EQ(r.chains[0].instances.size(), 2u);
+  EXPECT_LT(r.chains[0].instances[0].finish, r.chains[0].instances[1].finish);
+}
+
+TEST(Simulator, SyncActivationCoincidingWithFinishStartsImmediately) {
+  const System sys("edge", {make_chain("c", ChainKind::kSynchronous, periodic(5), Time{100},
+                                       {Task{"t", 1, 5}})});
+  const SimResult r = simulate(sys, {{0, 5}});
+  EXPECT_EQ(r.chains[0].instances[0].finish, 5);
+  EXPECT_EQ(r.chains[0].instances[1].finish, 10);
+  EXPECT_EQ(r.chains[0].instances[1].latency(), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Validation and bookkeeping
+// ---------------------------------------------------------------------------
+
+TEST(Simulator, RejectsUnsortedArrivals) {
+  const System sys("bad", {make_chain("c", ChainKind::kSynchronous, periodic(10), Time{10},
+                                      {Task{"t", 1, 1}})});
+  EXPECT_THROW(simulate(sys, {{5, 3}}), InvalidArgument);
+}
+
+TEST(Simulator, RejectsWrongArrivalVectorCount) {
+  const System sys("bad", {make_chain("c", ChainKind::kSynchronous, periodic(10), Time{10},
+                                      {Task{"t", 1, 1}})});
+  EXPECT_THROW(simulate(sys, {}), InvalidArgument);
+}
+
+TEST(Simulator, EmptyArrivalsProduceEmptyRun) {
+  const System sys("idle", {make_chain("c", ChainKind::kSynchronous, periodic(10), Time{10},
+                                       {Task{"t", 1, 1}})});
+  const SimResult r = simulate(sys, {{}});
+  EXPECT_TRUE(r.chains[0].instances.empty());
+  EXPECT_EQ(r.makespan, 0);
+}
+
+TEST(Simulator, TraceMergesContiguousSlices) {
+  const System sys("merge", {make_chain("c", ChainKind::kSynchronous, periodic(10), Time{100},
+                                        {Task{"t", 2, 4}}),
+                             make_chain("lo", ChainKind::kSynchronous, periodic(100), Time{100},
+                                        {Task{"l", 1, 1}})});
+  SimOptions options;
+  options.record_trace = true;
+  // Arrival of "lo" at t=2 does not preempt "t" (prio 1 < 2); the trace
+  // must still show one contiguous slice [0,4) for t.
+  const SimResult r = simulate(sys, {{0}, {2}}, options);
+  ASSERT_GE(r.trace.size(), 2u);
+  EXPECT_EQ(r.trace[0].begin, 0);
+  EXPECT_EQ(r.trace[0].end, 4);
+}
+
+TEST(ChainResult, MaxMissesInWindow) {
+  ChainResult cr;
+  for (bool missed : {true, false, true, true, false, false, true}) {
+    InstanceRecord rec;
+    rec.missed = missed;
+    rec.completed = true;
+    cr.instances.push_back(rec);
+  }
+  EXPECT_EQ(cr.max_misses_in_window(1), 1);
+  EXPECT_EQ(cr.max_misses_in_window(2), 2);  // indices 2,3
+  EXPECT_EQ(cr.max_misses_in_window(4), 3);  // indices 0..3
+  EXPECT_EQ(cr.max_misses_in_window(7), 4);
+  EXPECT_EQ(cr.max_misses_in_window(100), 4);
+}
+
+TEST(ChainResult, WindowSizeValidated) {
+  ChainResult cr;
+  EXPECT_THROW((void)cr.max_misses_in_window(0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Arrival sequences
+// ---------------------------------------------------------------------------
+
+TEST(ArrivalSequences, Periodic) {
+  const auto t = periodic_arrivals(100, 5, 350);
+  EXPECT_EQ(t, (std::vector<Time>{5, 105, 205, 305}));
+}
+
+TEST(ArrivalSequences, PeriodicEmptyWhenPhaseBeyondHorizon) {
+  EXPECT_TRUE(periodic_arrivals(100, 500, 300).empty());
+}
+
+TEST(ArrivalSequences, GreedySporadicPacksAtMinDistance) {
+  const auto m = sporadic(700);
+  const auto t = greedy_arrivals(*m, 0, 2200);
+  EXPECT_EQ(t, (std::vector<Time>{0, 700, 1400, 2100}));
+  EXPECT_TRUE(is_legal_sequence(t, *m));
+}
+
+TEST(ArrivalSequences, GreedyRespectsCurvePrefix) {
+  const auto m = delta_curve({700, 15200, 50000}, 35000);
+  const auto t = greedy_arrivals(*m, 0, 90'000);
+  // t0=0, t1=700 (delta2), t2 >= delta3 = 15200 from t0, t3 >= 50000 from
+  // t0; then tail period keeps spacing.
+  ASSERT_GE(t.size(), 4u);
+  EXPECT_EQ(t[0], 0);
+  EXPECT_EQ(t[1], 700);
+  EXPECT_EQ(t[2], 15200);
+  EXPECT_EQ(t[3], 50000);
+  EXPECT_TRUE(is_legal_sequence(t, *m));
+}
+
+TEST(ArrivalSequences, GreedyPeriodicMatchesPeriodicArrivals) {
+  const auto m = periodic(200);
+  EXPECT_EQ(greedy_arrivals(*m, 0, 1000), periodic_arrivals(200, 0, 1000));
+}
+
+TEST(ArrivalSequences, RandomArrivalsAreLegal) {
+  const auto m = delta_curve({700, 15200, 50000}, 35000);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto t = random_arrivals(*m, 0, 300'000, 5'000.0, seed);
+    EXPECT_TRUE(is_legal_sequence(t, *m)) << "seed " << seed;
+  }
+}
+
+TEST(ArrivalSequences, RandomWithZeroExtraEqualsGreedy) {
+  const auto m = sporadic(700);
+  EXPECT_EQ(random_arrivals(*m, 0, 5000, 0.0, 42), greedy_arrivals(*m, 0, 5000));
+}
+
+TEST(ArrivalSequences, LegalityDetectsViolation) {
+  const auto m = sporadic(700);
+  EXPECT_FALSE(is_legal_sequence({0, 100}, *m));
+  EXPECT_FALSE(is_legal_sequence({100, 0}, *m));  // unsorted
+  EXPECT_TRUE(is_legal_sequence({}, *m));
+  EXPECT_TRUE(is_legal_sequence({42}, *m));
+}
+
+TEST(ArrivalSequences, LegalityChecksLongWindows) {
+  const auto m = delta_curve({0, 1000}, 1000);
+  // delta_minus: (2)=0, (3)=1000, (4)=2000.  Pairs may coincide but
+  // triples must span 1000 and quadruples 2000.
+  EXPECT_TRUE(is_legal_sequence({0, 0, 1000, 2000}, *m));
+  EXPECT_FALSE(is_legal_sequence({0, 0, 1000, 1000}, *m));  // 4 events in 1000
+  EXPECT_FALSE(is_legal_sequence({0, 0, 999}, *m));
+}
+
+// ---------------------------------------------------------------------------
+// Observed busy windows (Definition 6)
+// ---------------------------------------------------------------------------
+
+TEST(BusyWindows, MergesOverlappingPendingIntervals) {
+  ChainResult cr;
+  const auto add = [&cr](Time activation, Time finish) {
+    InstanceRecord rec;
+    rec.activation = activation;
+    rec.finish = finish;
+    rec.completed = true;
+    cr.instances.push_back(rec);
+  };
+  add(0, 10);
+  add(5, 20);    // overlaps the first
+  add(20, 30);   // touches -> same busy window (still pending boundary)
+  add(50, 60);   // separate
+  const auto windows = observed_busy_windows(cr);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0], (BusyWindow{0, 30}));
+  EXPECT_EQ(windows[1], (BusyWindow{50, 60}));
+  EXPECT_EQ(max_busy_window_length(windows), 30);
+}
+
+TEST(BusyWindows, EmptyChain) {
+  ChainResult cr;
+  EXPECT_TRUE(observed_busy_windows(cr).empty());
+  EXPECT_EQ(max_busy_window_length({}), 0);
+}
+
+TEST(BusyWindows, RejectsPendingInstances) {
+  ChainResult cr;
+  InstanceRecord rec;
+  rec.completed = false;
+  cr.instances.push_back(rec);
+  EXPECT_THROW(observed_busy_windows(cr), InvalidArgument);
+}
+
+TEST(BusyWindows, ArrivalPerWindowChecker) {
+  const std::vector<BusyWindow> windows = {{0, 100}, {200, 300}};
+  EXPECT_TRUE(at_most_one_arrival_per_window(windows, {}));
+  EXPECT_TRUE(at_most_one_arrival_per_window(windows, {50, 250}));
+  EXPECT_TRUE(at_most_one_arrival_per_window(windows, {150}));     // outside all
+  EXPECT_TRUE(at_most_one_arrival_per_window(windows, {100}));     // end-exclusive
+  EXPECT_FALSE(at_most_one_arrival_per_window(windows, {10, 20}));
+  EXPECT_FALSE(at_most_one_arrival_per_window(windows, {150, 250, 299}));
+}
+
+TEST(BusyWindows, CaseStudyAssumptionHolds) {
+  // Under greedy arrivals the case-study busy windows of sigma_c stay
+  // below the overload inter-arrivals, so the paper's TWCA assumption
+  // demonstrably holds on the simulated run.
+  const System sys = case_studies::date17_case_study();
+  std::vector<std::vector<Time>> arrivals;
+  for (int c = 0; c < sys.size(); ++c) {
+    arrivals.push_back(greedy_arrivals(sys.chain(c).arrival(), 0, 50'000));
+  }
+  const SimResult r = simulate(sys, arrivals);
+  const auto windows = observed_busy_windows(r.chains[case_studies::kSigmaC]);
+  // A window may span K_c = 2 activations: bounded by B_c(2) = 382.
+  EXPECT_LE(max_busy_window_length(windows), 382);
+  for (int o : sys.overload_indices()) {
+    EXPECT_TRUE(at_most_one_arrival_per_window(windows,
+                                               arrivals[static_cast<std::size_t>(o)]))
+        << "overload chain " << sys.chain(o).name();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Case-study smoke: simulate the paper system under dense arrivals
+// ---------------------------------------------------------------------------
+
+TEST(Simulator, CaseStudySmoke) {
+  const System sys = case_studies::date17_case_study();
+  const Time horizon = 60'000;
+  std::vector<std::vector<Time>> arrivals;
+  for (int c = 0; c < sys.size(); ++c) {
+    arrivals.push_back(greedy_arrivals(sys.chain(c).arrival(), 0, horizon));
+  }
+  const SimResult r = simulate(sys, arrivals);
+  // All activations complete (U < 1).
+  for (int c = 0; c < sys.size(); ++c) {
+    EXPECT_EQ(r.chains[static_cast<std::size_t>(c)].completed,
+              static_cast<Count>(arrivals[static_cast<std::size_t>(c)].size()));
+  }
+  // The analytic WCLs (331, 175) must dominate every observed latency.
+  EXPECT_LE(r.chains[case_studies::kSigmaD].max_latency, 175);
+  EXPECT_LE(r.chains[case_studies::kSigmaC].max_latency, 331);
+  // With all chains released together at t=0, sigma_c indeed misses.
+  EXPECT_GT(r.chains[case_studies::kSigmaC].miss_count, 0);
+}
+
+}  // namespace
+}  // namespace wharf::sim

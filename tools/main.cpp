@@ -1,0 +1,5 @@
+// The `wharf` command-line tool; all logic lives in src/cli (testable).
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) { return wharf::cli::run_main(argc, argv); }
