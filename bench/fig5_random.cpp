@@ -1,11 +1,14 @@
 // Reproduces Figure 5 of the paper (Experiment 2): histograms of
 // dmm_c(10) and dmm_d(10) over 1000 random priority assignments of the
 // case study, with the paper's headline statistics, then benchmarks the
-// per-assignment analysis.
+// per-assignment analysis — all through the wharf::Engine batch API
+// (one AnalysisRequest per sampled system, evaluated on the worker
+// pool; reports are bit-identical for any --jobs value).
 //
 // Environment:
 //   WHARF_FIG5_SAMPLES  (default 1000)   assignments per repetition
 //   WHARF_FIG5_REPEATS  (default 3; paper used 30)
+//   WHARF_JOBS          (default 0 = all hardware threads)
 //
 //   $ ./bench_fig5_random
 
@@ -16,10 +19,11 @@
 #include <map>
 
 #include "core/case_studies.hpp"
-#include "core/twca.hpp"
+#include "engine/engine.hpp"
 #include "gen/random_systems.hpp"
 #include "io/tables.hpp"
 #include "util/strings.hpp"
+#include "util/worker_pool.hpp"
 
 namespace {
 
@@ -40,14 +44,31 @@ struct Fig5Stats {
   Count d_not_schedulable = 0;
 };
 
-Fig5Stats run_experiment(const System& base, int samples, std::uint64_t seed) {
-  Fig5Stats stats;
+/// One request per sampled priority assignment: dmm(10) of both chains.
+std::vector<AnalysisRequest> make_workload(const System& base, int samples,
+                                           std::uint64_t seed) {
   std::mt19937_64 rng(seed);
+  std::vector<AnalysisRequest> requests;
+  requests.reserve(static_cast<std::size_t>(samples));
   for (int i = 0; i < samples; ++i) {
-    const System sys = gen::with_random_priorities(base, rng);
-    TwcaAnalyzer analyzer{sys};
-    const Count dmm_c = analyzer.dmm(kSigmaC, 10).dmm;
-    const Count dmm_d = analyzer.dmm(kSigmaD, 10).dmm;
+    requests.push_back(AnalysisRequest{gen::with_random_priorities(base, rng),
+                                       {},
+                                       {DmmQuery{"sigma_c", {10}}, DmmQuery{"sigma_d", {10}}}});
+  }
+  return requests;
+}
+
+Count dmm_of(const AnalysisReport& report, std::size_t query) {
+  return std::get<DmmAnswer>(report.results[query].answer).curve.front().dmm;
+}
+
+Fig5Stats run_experiment(Engine& engine, const System& base, int samples, std::uint64_t seed) {
+  Fig5Stats stats;
+  const std::vector<AnalysisReport> reports =
+      engine.run_batch(make_workload(base, samples, seed));
+  for (const AnalysisReport& report : reports) {
+    const Count dmm_c = dmm_of(report, 0);
+    const Count dmm_d = dmm_of(report, 1);
     ++stats.histogram_c[dmm_c];
     ++stats.histogram_d[dmm_d];
     if (dmm_c == 0) ++stats.schedulable_c;
@@ -76,17 +97,22 @@ void print_histogram(const char* title, const std::map<Count, Count>& h, int sam
 void print_tables() {
   const int samples = env_int("WHARF_FIG5_SAMPLES", 1000);
   const int repeats = env_int("WHARF_FIG5_REPEATS", 3);
+  const int jobs = env_int("WHARF_JOBS", 0);
   const System base = date17_case_study(OverloadModel::kRareOverload);
+  Engine engine{EngineOptions{jobs, /*cache_capacity=*/16}};
 
   std::cout << "=== Figure 5: dmm(10) over random priority assignments ===\n"
             << "(paper: sigma_c schedulable 633/1000, sigma_d 307/1000; for >500 of\n"
             << " the non-schedulable sigma_d systems TWCA guarantees <= 3/10 misses;\n"
-            << " the paper repeated the experiment 30x with similar results)\n\n";
+            << " the paper repeated the experiment 30x with similar results)\n"
+            << "(engine batch over " << (jobs == 0 ? util::hardware_jobs() : jobs)
+            << " worker thread(s))\n\n";
 
   io::TextTable summary({"repeat", "sched. sigma_c", "sched. sigma_d",
                          "sigma_d dmm<=3 (of non-sched.)"});
   for (int rep = 0; rep < repeats; ++rep) {
-    const Fig5Stats stats = run_experiment(base, samples, 1000 + static_cast<std::uint64_t>(rep));
+    const Fig5Stats stats =
+        run_experiment(engine, base, samples, 1000 + static_cast<std::uint64_t>(rep));
     if (rep == 0) {
       print_histogram("dmm_c(10)", stats.histogram_c, samples);
       print_histogram("dmm_d(10)", stats.histogram_d, samples);
@@ -103,22 +129,41 @@ void print_tables() {
 void BM_OneAssignmentBothDmms(benchmark::State& state) {
   const System base = date17_case_study(OverloadModel::kRareOverload);
   std::mt19937_64 rng(7);
+  Engine engine{EngineOptions{1, 16}};
   for (auto _ : state) {
-    const System sys = gen::with_random_priorities(base, rng);
-    TwcaAnalyzer analyzer{sys};
-    benchmark::DoNotOptimize(analyzer.dmm(kSigmaC, 10));
-    benchmark::DoNotOptimize(analyzer.dmm(kSigmaD, 10));
+    const AnalysisRequest request{gen::with_random_priorities(base, rng),
+                                  {},
+                                  {DmmQuery{"sigma_c", {10}}, DmmQuery{"sigma_d", {10}}}};
+    benchmark::DoNotOptimize(engine.run(request));
   }
 }
 BENCHMARK(BM_OneAssignmentBothDmms);
 
-void BM_FullExperiment100(benchmark::State& state) {
+void BM_BatchExperiment100(benchmark::State& state) {
   const System base = date17_case_study(OverloadModel::kRareOverload);
+  Engine engine{EngineOptions{static_cast<int>(state.range(0)), 16}};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(run_experiment(base, 100, 42));
+    benchmark::DoNotOptimize(run_experiment(engine, base, 100, 42));
   }
 }
-BENCHMARK(BM_FullExperiment100)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BatchExperiment100)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(0)  // 0 = all hardware threads
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RepeatedRequestHitsCache(benchmark::State& state) {
+  // The artifact cache makes repeated queries on the same model
+  // near-free: everything k-independent is memoized per system.
+  const System base = date17_case_study(OverloadModel::kRareOverload);
+  Engine engine{EngineOptions{1, 16}};
+  const AnalysisRequest request{base, {}, {DmmQuery{"sigma_c", {10}}}};
+  (void)engine.run(request);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(request));
+  }
+}
+BENCHMARK(BM_RepeatedRequestHitsCache);
 
 }  // namespace
 

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "core/case_studies.hpp"
+#include "engine/engine.hpp"
 #include "io/tables.hpp"
 #include "search/priority_search.hpp"
 #include "util/strings.hpp"
@@ -26,27 +27,42 @@ std::string objective_string(const search::Objective& o) {
 
 void print_tables() {
   const System sys = date17_case_study(OverloadModel::kRareOverload);
-  const search::EvaluationSpec spec{10, {}};
+
+  // All six strategy/budget configurations as one engine request: the
+  // queries are independent and run on the worker pool.
+  AnalysisRequest request{sys, {}, {}};
+  std::vector<std::string> labels;
+  for (int samples : {10, 100, 1000}) {
+    PrioritySearchQuery query;
+    query.strategy = PrioritySearchQuery::Strategy::kRandom;
+    query.budget = samples;
+    query.seed = 7;
+    request.queries.push_back(query);
+    labels.push_back(util::cat("random(", samples, ")"));
+  }
+  for (int restarts : {1, 2, 4}) {
+    PrioritySearchQuery query;
+    query.strategy = PrioritySearchQuery::Strategy::kHillClimb;
+    query.restarts = restarts;
+    query.budget = 50;
+    query.seed = 7;
+    request.queries.push_back(query);
+    labels.push_back(util::cat("hill_climb(restarts=", restarts, ")"));
+  }
+  Engine engine{EngineOptions{0, 16}};  // all hardware threads
+  const AnalysisReport report = engine.run(request);
 
   std::cout << "=== Priority synthesis on the case study (objective: lexicographic\n"
                "    [#chains missing, sum dmm(10), sum WCL], smaller is better) ===\n\n";
   std::cout << "Nominal Figure 4 assignment: "
-            << objective_string(search::evaluate_assignment(sys, spec)) << "\n\n";
+            << objective_string(std::get<SearchAnswer>(report.results[0].answer).nominal)
+            << "\n\n";
 
   io::TextTable table({"strategy", "evaluations", "best objective"});
-  for (int samples : {10, 100, 1000}) {
-    const search::SearchResult r = search::random_search(sys, spec, samples, 7);
-    table.add_row({util::cat("random(", samples, ")"), util::cat(r.evaluations),
-                   objective_string(r.best_objective)});
-  }
-  for (int restarts : {1, 2, 4}) {
-    search::HillClimbOptions options;
-    options.restarts = restarts;
-    options.max_steps = 50;
-    options.seed = 7;
-    const search::SearchResult r = search::hill_climb(sys, spec, options);
-    table.add_row({util::cat("hill_climb(restarts=", restarts, ")"), util::cat(r.evaluations),
-                   objective_string(r.best_objective)});
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto& answer = std::get<SearchAnswer>(report.results[i].answer);
+    table.add_row({labels[i], util::cat(answer.result.evaluations),
+                   objective_string(answer.result.best_objective)});
   }
   std::cout << table.render();
   std::cout << "Hill climbing reaches zero-miss assignments with modest budgets; random\n"

@@ -12,6 +12,7 @@
 
 #include "core/case_studies.hpp"
 #include "core/twca.hpp"
+#include "engine/engine.hpp"
 #include "gen/random_systems.hpp"
 #include "io/tables.hpp"
 #include "util/stopwatch.hpp"
@@ -39,16 +40,22 @@ void print_tables() {
   std::cout << "=== Analysis wall time vs system size (single-shot, RelWithDebInfo) ===\n";
   io::TextTable table({"chains x tasks", "overload", "total tasks", "full analysis [us]",
                        "dmm(10) all chains [us]"});
+  Engine engine;
   for (const auto& [chains, tasks, overload] :
        std::vector<std::tuple<int, int, int>>{{2, 3, 1}, {4, 4, 1}, {8, 5, 2}, {16, 5, 2},
                                               {32, 6, 3}}) {
     const System sys = sized_system(chains, tasks, overload, 99);
+    AnalysisRequest latency_request{sys, {}, {}};
+    AnalysisRequest dmm_request{sys, {}, {}};
+    for (int c : sys.regular_indices()) {
+      latency_request.queries.push_back(LatencyQuery{sys.chain(c).name(), false});
+      dmm_request.queries.push_back(DmmQuery{sys.chain(c).name(), {10}});
+    }
     util::Stopwatch sw;
-    TwcaAnalyzer analyzer{sys};
-    for (int c : sys.regular_indices()) (void)analyzer.latency(c);
+    (void)engine.run(latency_request);  // cache miss: computes K/WCL/N_b
     const double latency_us = sw.microseconds();
     sw.reset();
-    for (int c : sys.regular_indices()) (void)analyzer.dmm(c, 10);
+    (void)engine.run(dmm_request);  // cache hit: only the k-dependent part
     const double dmm_us = sw.microseconds();
     table.add_row({util::cat(chains, " x ", tasks), util::cat(overload),
                    util::cat(sys.task_count()), util::cat(static_cast<long long>(latency_us)),
@@ -56,6 +63,21 @@ void print_tables() {
   }
   std::cout << table.render() << '\n';
 }
+
+void BM_EngineBatchJobs(benchmark::State& state) {
+  // End-to-end batch throughput: 32 distinct random systems, full
+  // latency+dmm standard requests, under a varying jobs knob.
+  std::vector<AnalysisRequest> requests;
+  for (int i = 0; i < 32; ++i) {
+    requests.push_back(
+        AnalysisRequest::standard(sized_system(4, 4, 1, 200 + static_cast<std::uint64_t>(i))));
+  }
+  for (auto _ : state) {
+    Engine engine{EngineOptions{static_cast<int>(state.range(0)), 64}};
+    benchmark::DoNotOptimize(engine.run_batch(requests));
+  }
+}
+BENCHMARK(BM_EngineBatchJobs)->Arg(1)->Arg(2)->Arg(0)->Unit(benchmark::kMillisecond);
 
 void BM_LatencyVsChains(benchmark::State& state) {
   const System sys = sized_system(static_cast<int>(state.range(0)), 4, 1, 7);

@@ -13,6 +13,7 @@
 
 #include "core/case_studies.hpp"
 #include "core/twca.hpp"
+#include "engine/engine.hpp"
 #include "gen/random_systems.hpp"
 #include "io/tables.hpp"
 #include "sim/arrival_sequence.hpp"
@@ -26,68 +27,83 @@ using namespace wharf::case_studies;
 
 void print_tables() {
   const System system = date17_case_study(OverloadModel::kRareOverload);
-  TwcaAnalyzer analyzer{system};
+  Engine engine;
 
+  // One engine request covers both simulation runs (windows 10 and 76,
+  // each cross-validated against the analytic bounds) plus the bounds
+  // themselves; all five queries share the cached per-system artifacts.
   const Time horizon = 500'000;
-  std::vector<std::vector<Time>> arrivals;
-  for (int c = 0; c < system.size(); ++c) {
-    arrivals.push_back(sim::greedy_arrivals(system.chain(c).arrival(), 0, horizon));
-  }
-  const sim::SimResult run = sim::simulate(system, arrivals);
+  SimulationQuery sim10;
+  sim10.horizon = horizon;
+  sim10.check_k = 10;
+  SimulationQuery sim76 = sim10;
+  sim76.check_k = 76;
+  const AnalysisReport report = engine.run(AnalysisRequest{
+      system,
+      {},
+      {sim10, sim76, LatencyQuery{"sigma_c", false}, LatencyQuery{"sigma_d", false},
+       DmmQuery{"sigma_c", {10, 76}}, DmmQuery{"sigma_d", {10, 76}}}});
+  const auto& run10 = std::get<SimulationAnswer>(report.results[0].answer);
+  const auto& run76 = std::get<SimulationAnswer>(report.results[1].answer);
 
   std::cout << "=== Case study under greedy (densest legal) arrivals, horizon "
             << horizon << " ===\n";
   io::TextTable table({"chain", "instances", "sim max latency", "WCL bound", "sim misses",
                        "sim max misses/10", "dmm(10)", "sim max misses/76", "dmm(76)"});
   for (int c : {kSigmaC, kSigmaD}) {
-    const sim::ChainResult& cr = run.chains[static_cast<std::size_t>(c)];
-    table.add_row({system.chain(c).name(), util::cat(cr.completed), util::cat(cr.max_latency),
-                   util::cat(analyzer.latency(c).wcl), util::cat(cr.miss_count),
-                   util::cat(cr.max_misses_in_window(10)), util::cat(analyzer.dmm(c, 10).dmm),
-                   util::cat(cr.max_misses_in_window(76)), util::cat(analyzer.dmm(c, 76).dmm)});
+    const auto& cr = run10.chains[static_cast<std::size_t>(c)];
+    const auto& lat = std::get<LatencyAnswer>(report.results[c == kSigmaC ? 2 : 3].answer);
+    const auto& dmm = std::get<DmmAnswer>(report.results[c == kSigmaC ? 4 : 5].answer);
+    table.add_row({cr.chain, util::cat(cr.completed), util::cat(cr.max_latency),
+                   util::cat(lat.result.wcl), util::cat(cr.miss_count),
+                   util::cat(cr.max_window_misses), util::cat(dmm.curve[0].dmm),
+                   util::cat(run76.chains[static_cast<std::size_t>(c)].max_window_misses),
+                   util::cat(dmm.curve[1].dmm)});
   }
   std::cout << table.render();
+  std::cout << "cross-validation: " << (run10.validated && run76.validated ? "passed" : "FAILED")
+            << " (" << run10.violations.size() + run76.violations.size() << " violations)\n";
   std::cout << "All observed values are dominated by their bounds (soundness), and the\n"
                "sigma_c latency bound is hit exactly at the critical instant\n"
                "(tightness of Theorem 2 on this system).\n\n";
 
-  // Random systems: count soundness violations (must be zero).
+  // Random systems: count soundness violations (must be zero).  One
+  // batched engine run over all sampled systems, three cross-validated
+  // simulation windows each.
   gen::RandomSystemSpec spec;
   spec.utilization = 0.6;
   spec.overload_gap = 20'000;
   std::mt19937_64 rng(31337);
-  int systems = 0;
-  int chains_checked = 0;
-  int latency_violations = 0;
-  int dmm_violations = 0;
+  std::vector<AnalysisRequest> sweep;
   for (int i = 0; i < 50; ++i) {
-    const System sys = gen::random_system(spec, rng);
-    TwcaAnalyzer a{sys};
-    std::vector<std::vector<Time>> arr;
-    for (int c = 0; c < sys.size(); ++c) {
-      arr.push_back(sim::greedy_arrivals(sys.chain(c).arrival(), 0, 60'000));
+    AnalysisRequest request{gen::random_system(spec, rng), {}, {}};
+    for (const Count k : {1, 5, 10}) {
+      SimulationQuery query;
+      query.horizon = 60'000;
+      query.check_k = k;
+      request.queries.push_back(query);
     }
-    const sim::SimResult r = sim::simulate(sys, arr);
-    ++systems;
-    for (int c : sys.regular_indices()) {
-      const LatencyResult& lat = a.latency(c);
-      if (!lat.bounded) continue;
-      ++chains_checked;
-      if (r.chains[static_cast<std::size_t>(c)].max_latency > lat.wcl) ++latency_violations;
-      if (lat.busy_times.back() < spec.overload_gap) {
-        for (Count k : {1, 5, 10}) {
-          if (r.chains[static_cast<std::size_t>(c)].max_misses_in_window(k) > a.dmm(c, k).dmm) {
-            ++dmm_violations;
-          }
-        }
+    sweep.push_back(std::move(request));
+  }
+  Engine sweep_engine{EngineOptions{0, 64}};  // all hardware threads
+  const std::vector<AnalysisReport> reports = sweep_engine.run_batch(sweep);
+
+  int checks = 0;
+  int violations = 0;
+  for (const AnalysisReport& r : reports) {
+    for (const QueryResult& q : r.results) {
+      const auto& answer = std::get<SimulationAnswer>(q.answer);
+      ++checks;
+      violations += static_cast<int>(answer.violations.size());
+      for (const std::string& v : answer.violations) {
+        std::cout << "VIOLATION in " << r.system << ": " << v << '\n';
       }
     }
   }
   io::TextTable rnd({"metric", "value"});
-  rnd.add_row({"random systems simulated", util::cat(systems)});
-  rnd.add_row({"chains checked", util::cat(chains_checked)});
-  rnd.add_row({"latency bound violations", util::cat(latency_violations)});
-  rnd.add_row({"dmm bound violations", util::cat(dmm_violations)});
+  rnd.add_row({"random systems simulated", util::cat(reports.size())});
+  rnd.add_row({"cross-validated sim runs", util::cat(checks)});
+  rnd.add_row({"soundness violations", util::cat(violations)});
   std::cout << "=== Random-system soundness sweep ===\n" << rnd.render() << '\n';
 }
 

@@ -1,7 +1,9 @@
 // Reproduces Table II of the paper: the deadline miss model of sigma_c at
 // k = 3, 76, 250, under both overload arrival models (the calibrated
 // rare-overload curve matches the paper exactly, including breakpoints),
-// then benchmarks the DMM pipeline.
+// then benchmarks the DMM pipeline.  The tables are produced through the
+// wharf::Engine request/response API — one request per overload model,
+// all k-grids answered in one pass off the shared per-system artifacts.
 //
 //   $ ./bench_table2_dmm
 
@@ -11,6 +13,7 @@
 
 #include "core/case_studies.hpp"
 #include "core/twca.hpp"
+#include "engine/engine.hpp"
 #include "io/tables.hpp"
 #include "util/strings.hpp"
 
@@ -19,15 +22,30 @@ namespace {
 using namespace wharf;
 using namespace wharf::case_studies;
 
+const DmmAnswer& dmm_answer(const AnalysisReport& report, std::size_t query) {
+  return std::get<DmmAnswer>(report.results[query].answer);
+}
+
 void print_tables() {
-  TwcaAnalyzer rare{date17_case_study(OverloadModel::kRareOverload)};
-  TwcaAnalyzer literal{date17_case_study(OverloadModel::kLiteralSporadic)};
+  Engine engine;
+  const std::vector<Count> table_ks = {3, 76, 250};
+  const std::vector<Count> breakpoint_ks = {75, 76, 249, 250};
+
+  // One request per overload model; the Engine shares each system's
+  // k-independent artifacts across all four queries.
+  const AnalysisReport rare = engine.run(AnalysisRequest{
+      date17_case_study(OverloadModel::kRareOverload),
+      {},
+      {DmmQuery{"sigma_c", table_ks}, DmmQuery{"sigma_c", breakpoint_ks},
+       DmmQuery{"sigma_d", {10}}}});
+  const AnalysisReport literal = engine.run(
+      AnalysisRequest{date17_case_study(), {}, {DmmQuery{"sigma_c", table_ks}}});
 
   io::TextTable table2({"k", "dmm_c(k) rare-overload", "dmm_c(k) literal", "paper"});
-  const std::vector<std::pair<Count, std::string>> rows = {{3, "3"}, {76, "4"}, {250, "5"}};
-  for (const auto& [k, paper] : rows) {
-    table2.add_row({util::cat(k), util::cat(rare.dmm(kSigmaC, k).dmm),
-                    util::cat(literal.dmm(kSigmaC, k).dmm), paper});
+  const std::vector<std::string> paper = {"3", "4", "5"};
+  for (std::size_t i = 0; i < table_ks.size(); ++i) {
+    table2.add_row({util::cat(table_ks[i]), util::cat(dmm_answer(rare, 0).curve[i].dmm),
+                    util::cat(dmm_answer(literal, 0).curve[i].dmm), paper[i]});
   }
   std::cout << "=== Table II: dmm(k) for task chain sigma_c ===\n" << table2.render();
   std::cout << "The rare-overload model reproduces the paper exactly; the literal\n"
@@ -35,13 +53,14 @@ void print_tables() {
                "the impossibility argument and the calibration intervals).\n\n";
 
   io::TextTable breakpoints({"k", "dmm_c(k)", "note"});
-  for (Count k : {75, 76, 249, 250}) {
-    breakpoints.add_row({util::cat(k), util::cat(rare.dmm(kSigmaC, k).dmm),
+  for (std::size_t i = 0; i < breakpoint_ks.size(); ++i) {
+    const Count k = breakpoint_ks[i];
+    breakpoints.add_row({util::cat(k), util::cat(dmm_answer(rare, 1).curve[i].dmm),
                          (k == 76 || k == 250) ? "paper breakpoint" : ""});
   }
   std::cout << "=== Breakpoint check (rare-overload model) ===\n" << breakpoints.render() << '\n';
 
-  const DmmResult r = rare.dmm(kSigmaC, 3);
+  const DmmResult& r = dmm_answer(rare, 0).curve.front();  // k=3
   io::TextTable internals({"quantity", "value", "paper"});
   internals.add_row({"N_b (misses per busy window)", util::cat(r.n_b), "1 (implied)"});
   internals.add_row({"slack theta_c", util::cat(r.slack), "-"});
@@ -50,7 +69,7 @@ void print_tables() {
                      util::cat(r.omegas[0], ", ", r.omegas[1]), "-"});
   std::cout << "=== Theorem 3 internals at k=3 ===\n" << internals.render() << '\n';
 
-  const DmmResult d = rare.dmm(kSigmaD, 10);
+  const DmmResult& d = dmm_answer(rare, 2).curve.front();
   std::cout << "sigma_d: " << to_string(d.status)
             << " — needs no DMM (paper: \"sigma_d is schedulable\").\n\n";
 }
@@ -82,6 +101,26 @@ void BM_DmmCurve100Points(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DmmCurve100Points);
+
+void BM_EngineCurveColdVsCached(benchmark::State& state) {
+  // state.range(0) == 0: fresh Engine each iteration (cold artifact
+  // cache); == 1: one persistent Engine (every request after the first
+  // is a cache hit).
+  const System system = date17_case_study(OverloadModel::kRareOverload);
+  std::vector<Count> ks;
+  for (Count k = 1; k <= 100; ++k) ks.push_back(k);
+  const AnalysisRequest request{system, {}, {DmmQuery{"sigma_c", ks}}};
+  Engine persistent;
+  for (auto _ : state) {
+    if (state.range(0) == 0) {
+      Engine cold;
+      benchmark::DoNotOptimize(cold.run(request));
+    } else {
+      benchmark::DoNotOptimize(persistent.run(request));
+    }
+  }
+}
+BENCHMARK(BM_EngineCurveColdVsCached)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -11,6 +11,7 @@
 #include "core/case_studies.hpp"
 #include "core/combinations.hpp"
 #include "core/twca.hpp"
+#include "engine/engine.hpp"
 #include "io/system_format.hpp"
 #include "io/tables.hpp"
 #include "util/strings.hpp"
@@ -24,13 +25,21 @@ int main() {
   std::cout << io::serialize_system(system) << '\n';
 
   // ---------------------------------------------------------------------
-  // Experiment 1, Table I: worst-case latencies.
+  // Experiment 1, Table I: worst-case latencies — one engine request
+  // answers both flavours (with and without overload) for both chains.
   // ---------------------------------------------------------------------
-  TwcaAnalyzer analyzer{system};
+  Engine engine;
+  const AnalysisReport latencies = engine.run(AnalysisRequest{
+      system,
+      {},
+      {LatencyQuery{"sigma_c", false}, LatencyQuery{"sigma_d", false},
+       LatencyQuery{"sigma_c", true}, LatencyQuery{"sigma_d", true},
+       DmmQuery{"sigma_c", {3, 76, 250}}}});
   io::TextTable table1({"task chain", "WCL", "D"});
-  for (int c : {kSigmaC, kSigmaD}) {
-    const LatencyResult& r = analyzer.latency(c);
-    table1.add_row({system.chain(c).name(), util::cat(r.wcl),
+  for (std::size_t q : {0u, 1u}) {
+    const auto& answer = std::get<LatencyAnswer>(latencies.results[q].answer);
+    const int c = *system.chain_index(answer.chain);
+    table1.add_row({answer.chain, util::cat(answer.result.wcl),
                     util::cat(*system.chain(c).deadline())});
   }
   std::cout << "Table I — WCL of task chains sigma_c and sigma_d:\n" << table1.render();
@@ -38,12 +47,15 @@ int main() {
 
   // The paper's second analysis: abstract the overload chains away.
   io::TextTable second({"task chain", "WCL without overload", "schedulable"});
-  for (int c : {kSigmaC, kSigmaD}) {
-    const LatencyResult& r = analyzer.latency_without_overload(c);
-    second.add_row({system.chain(c).name(), util::cat(r.wcl), r.schedulable ? "yes" : "no"});
+  for (std::size_t q : {2u, 3u}) {
+    const auto& answer = std::get<LatencyAnswer>(latencies.results[q].answer);
+    second.add_row({answer.chain, util::cat(answer.result.wcl),
+                    answer.result.schedulable ? "yes" : "no"});
   }
   std::cout << "Second analysis (overload chains abstracted away):\n" << second.render();
   std::cout << "(both chains meet their deadlines without overload)\n\n";
+
+  TwcaAnalyzer analyzer{system};  // the low-level core, for the internals below
 
   // ---------------------------------------------------------------------
   // Combination structure (Section VI, in-text).
@@ -70,13 +82,19 @@ int main() {
   // ---------------------------------------------------------------------
   // Experiment 1, Table II: deadline miss models for sigma_c.
   // ---------------------------------------------------------------------
-  TwcaAnalyzer rare{date17_case_study(OverloadModel::kRareOverload)};
+  const AnalysisReport rare = engine.run(AnalysisRequest{
+      date17_case_study(OverloadModel::kRareOverload),
+      {},
+      {DmmQuery{"sigma_c", {3, 76, 250}}, DmmQuery{"sigma_d", {10}}}});
+  const auto& rare_curve = std::get<DmmAnswer>(rare.results[0].answer).curve;
+  const auto& literal_curve = std::get<DmmAnswer>(latencies.results[4].answer).curve;
+
   io::TextTable table2({"k", "dmm_c(k) rare-overload", "dmm_c(k) literal-sporadic", "paper"});
   const std::vector<Count> ks = {3, 76, 250};
   const std::vector<std::string> paper = {"3", "4", "5"};
   for (std::size_t i = 0; i < ks.size(); ++i) {
-    table2.add_row({util::cat(ks[i]), util::cat(rare.dmm(kSigmaC, ks[i]).dmm),
-                    util::cat(analyzer.dmm(kSigmaC, ks[i]).dmm), paper[i]});
+    table2.add_row({util::cat(ks[i]), util::cat(rare_curve[i].dmm),
+                    util::cat(literal_curve[i].dmm), paper[i]});
   }
   std::cout << "Table II — dmm(k) for task chain sigma_c:\n" << table2.render();
   std::cout << "(the rare-overload arrival curve reproduces the paper exactly; the\n"
@@ -84,7 +102,7 @@ int main() {
                " EXPERIMENTS.md for why no pure sporadic curve can match all rows)\n\n";
 
   // sigma_d needs no DMM: it is schedulable.
-  const DmmResult d = rare.dmm(kSigmaD, 10);
+  const DmmResult& d = std::get<DmmAnswer>(rare.results[1].answer).curve.front();
   std::cout << "sigma_d: " << to_string(d.status) << " (WCL " << d.wcl
             << " <= 200), dmm(10) = " << d.dmm << "\n";
   return 0;

@@ -1,5 +1,7 @@
-// Quickstart: build a small weakly-hard system in code, compute worst-case
-// latencies and a deadline miss model, and print a report.
+// Quickstart: build a small weakly-hard system in code, then answer
+// every question about it — worst-case latencies, deadline miss models,
+// a weakly-hard (m,k) verdict and a simulation cross-check — with ONE
+// wharf::Engine request.
 //
 // The system: two periodic chains ("control" and "logging") plus one
 // rarely-activated sporadic recovery chain that causes transient overload.
@@ -8,13 +10,10 @@
 
 #include <iostream>
 
-#include "core/twca.hpp"
-#include "io/tables.hpp"
-#include "util/strings.hpp"
+#include "engine/engine.hpp"
+#include "io/report.hpp"
 
 namespace {
-
-wharf::Chain make_chain(wharf::Chain::Spec spec) { return wharf::Chain(std::move(spec)); }
 
 wharf::System build_system() {
   using namespace wharf;
@@ -40,8 +39,8 @@ wharf::System build_system() {
   recovery.overload = true;
   recovery.tasks = {Task{"diagnose", 8, 18}, Task{"repair", 7, 22}};
 
-  return System("quickstart", {make_chain(std::move(control)), make_chain(std::move(logging)),
-                               make_chain(std::move(recovery))});
+  return System("quickstart", {Chain(std::move(control)), Chain(std::move(logging)),
+                               Chain(std::move(recovery))});
 }
 
 }  // namespace
@@ -50,37 +49,41 @@ int main() {
   using namespace wharf;
 
   const System system = build_system();
-  std::cout << "System '" << system.name() << "': " << system.size() << " chains, "
-            << system.task_count() << " tasks, utilization " << system.utilization() << "\n\n";
 
-  TwcaAnalyzer analyzer{system};
+  // One request bundles the system with every query; the report comes
+  // back with one structured, Status-carrying result per query.
+  AnalysisRequest request = AnalysisRequest::standard(system, {5, 10, 50});
+  request.queries.push_back(WeaklyHardQuery{"control", /*m=*/2, /*k=*/10});
+  request.queries.push_back(SimulationQuery{});  // cross-validates the bounds
 
-  // 1. Worst-case latency analysis (Theorem 2 of the paper).
-  io::TextTable latency_table({"chain", "WCL", "deadline", "schedulable"});
-  for (int c : system.regular_indices()) {
-    const LatencyResult& r = analyzer.latency(c);
-    latency_table.add_row({system.chain(c).name(),
-                           r.bounded ? util::cat(r.wcl) : "unbounded",
-                           util::cat(*system.chain(c).deadline()),
-                           r.bounded && r.schedulable ? "yes" : "no"});
-  }
-  std::cout << "Worst-case latencies (with overload):\n" << latency_table.render() << '\n';
+  Engine engine;
+  const AnalysisReport report = engine.run(request);
 
-  // 2. Deadline miss models (Theorem 3): how many of k consecutive
-  //    activations can miss, at worst?
-  io::TextTable dmm_table({"chain", "k", "dmm(k)", "status"});
-  for (int c : system.regular_indices()) {
-    for (Count k : {5, 10, 50}) {
-      const DmmResult r = analyzer.dmm(c, k);
-      dmm_table.add_row({system.chain(c).name(), util::cat(k), util::cat(r.dmm),
-                         to_string(r.status)});
+  // 1. The full latency + DMM overview (Theorems 2 and 3 of the paper).
+  std::cout << io::render_report(system, report);
+
+  // 2. Individual answers are plain structs, addressed by query index.
+  for (const QueryResult& result : report.results) {
+    if (const auto* verdict = std::get_if<WeaklyHardAnswer>(&result.answer)) {
+      std::cout << "\n" << verdict->chain << " satisfies the weakly-hard constraint (m="
+                << verdict->m << ", k=" << verdict->k << "): "
+                << (verdict->satisfied ? "yes" : "no") << " [dmm=" << verdict->dmm << "]\n";
+    } else if (const auto* sim = std::get_if<SimulationAnswer>(&result.answer)) {
+      std::cout << "simulation cross-check: "
+                << (sim->validated ? "all bounds respected" : "VIOLATION") << " over "
+                << sim->chains.front().completed << "+ instances\n";
     }
   }
-  std::cout << "Deadline miss models:\n" << dmm_table.render() << '\n';
 
-  // 3. Weakly-hard verdicts: is the control chain (2,10)-firm?
-  const bool ok = analyzer.satisfies_weakly_hard(0, 2, 10);
-  std::cout << "control satisfies the weakly-hard constraint (m=2, k=10): "
-            << (ok ? "yes" : "no") << '\n';
+  // 3. Malformed queries come back as statuses, never exceptions.
+  const AnalysisReport oops =
+      engine.run(AnalysisRequest{system, {}, {DmmQuery{"no_such_chain", {10}}}});
+  std::cout << "\nasking about an unknown chain: " << oops.results[0].status.to_string()
+            << "\n";
+
+  // 4. The second run on the same system hits the artifact cache.
+  const AnalysisReport again = engine.run(request);
+  std::cout << "repeated request hit the artifact cache: "
+            << (again.diagnostics.cache_hit ? "yes" : "no") << "\n";
   return 0;
 }

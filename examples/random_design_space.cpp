@@ -4,6 +4,10 @@
 // with the best weakly-hard guarantee (an extension the paper motivates:
 // "the impact of priority assignments on ... deadline miss models").
 //
+// The whole exploration is one wharf::Engine batch: one request per
+// sampled assignment plus one PrioritySearchQuery, evaluated on the
+// worker pool.
+//
 //   $ ./random_design_space [samples] [seed]
 
 #include <cstdlib>
@@ -11,10 +15,9 @@
 #include <map>
 
 #include "core/case_studies.hpp"
-#include "core/twca.hpp"
+#include "engine/engine.hpp"
 #include "gen/random_systems.hpp"
 #include "io/tables.hpp"
-#include "search/priority_search.hpp"
 #include "util/strings.hpp"
 
 int main(int argc, char** argv) {
@@ -27,22 +30,44 @@ int main(int argc, char** argv) {
   const System base = date17_case_study(OverloadModel::kRareOverload);
   std::mt19937_64 rng(seed);
 
+  // One request per sampled assignment; the nominal system rides along
+  // as the last two requests (its dmm values and the hill-climb search).
+  std::vector<AnalysisRequest> requests;
+  requests.reserve(static_cast<std::size_t>(samples) + 2);
+  for (int i = 0; i < samples; ++i) {
+    requests.push_back(AnalysisRequest{gen::with_random_priorities(base, rng),
+                                       {},
+                                       {DmmQuery{"sigma_c", {10}}, DmmQuery{"sigma_d", {10}}}});
+  }
+  requests.push_back(
+      AnalysisRequest{base, {}, {DmmQuery{"sigma_c", {10}}, DmmQuery{"sigma_d", {10}}}});
+  PrioritySearchQuery climb;
+  climb.restarts = 2;
+  climb.budget = 40;
+  climb.seed = seed;
+  requests.push_back(AnalysisRequest{base, {}, {climb}});
+
+  Engine engine{EngineOptions{0, 16}};  // 0 = all hardware threads
+  const std::vector<AnalysisReport> reports = engine.run_batch(requests);
+
+  const auto dmm_of = [](const AnalysisReport& report, std::size_t query) {
+    return std::get<DmmAnswer>(report.results[query].answer).curve.front().dmm;
+  };
+
   std::map<Count, Count> histogram_c;
   std::map<Count, Count> histogram_d;
   Count best_total = -1;
-  std::vector<Priority> best_assignment;
-
+  std::size_t best_index = 0;
   for (int i = 0; i < samples; ++i) {
-    const System sys = gen::with_random_priorities(base, rng);
-    TwcaAnalyzer analyzer{sys};
-    const Count dmm_c = analyzer.dmm(kSigmaC, 10).dmm;
-    const Count dmm_d = analyzer.dmm(kSigmaD, 10).dmm;
+    const auto idx = static_cast<std::size_t>(i);
+    const Count dmm_c = dmm_of(reports[idx], 0);
+    const Count dmm_d = dmm_of(reports[idx], 1);
     ++histogram_c[dmm_c];
     ++histogram_d[dmm_d];
     const Count total = dmm_c + dmm_d;
     if (best_total < 0 || total < best_total) {
       best_total = total;
-      best_assignment = sys.flat_priorities();
+      best_index = idx;
     }
   }
 
@@ -62,26 +87,24 @@ int main(int argc, char** argv) {
 
   std::cout << "Best assignment found (minimizing dmm_c(10) + dmm_d(10) = " << best_total
             << "):\n  priorities (flat task order): ";
+  const std::vector<Priority> best_assignment =
+      requests[best_index].system.flat_priorities();
   for (std::size_t i = 0; i < best_assignment.size(); ++i) {
     if (i) std::cout << ',';
     std::cout << best_assignment[i];
   }
-  std::cout << "\n\nThe nominal Figure 4 assignment gives dmm_c(10)="
-            << TwcaAnalyzer{base}.dmm(kSigmaC, 10).dmm << ", dmm_d(10)="
-            << TwcaAnalyzer{base}.dmm(kSigmaD, 10).dmm
+  const AnalysisReport& nominal = reports[static_cast<std::size_t>(samples)];
+  std::cout << "\n\nThe nominal Figure 4 assignment gives dmm_c(10)=" << dmm_of(nominal, 0)
+            << ", dmm_d(10)=" << dmm_of(nominal, 1)
             << " — random exploration regularly finds strictly better weakly-hard designs.\n";
 
-  // Go beyond sampling: synthesize an assignment with local search
-  // (see src/search/priority_search.hpp).
-  search::HillClimbOptions climb;
-  climb.restarts = 2;
-  climb.max_steps = 40;
-  climb.seed = seed;
-  const search::SearchResult synthesized =
-      search::hill_climb(base, search::EvaluationSpec{10, {}}, climb);
-  std::cout << "\nHill-climb synthesis (" << synthesized.evaluations
-            << " evaluations): chains missing = " << synthesized.best_objective.chains_missing
-            << ", total dmm(10) = " << synthesized.best_objective.total_dmm
-            << ", total WCL = " << synthesized.best_objective.total_wcl << '\n';
+  // Go beyond sampling: synthesize an assignment with local search.
+  const auto& synthesized =
+      std::get<SearchAnswer>(reports[static_cast<std::size_t>(samples) + 1].results[0].answer);
+  std::cout << "\nHill-climb synthesis (" << synthesized.result.evaluations
+            << " evaluations): chains missing = "
+            << synthesized.result.best_objective.chains_missing
+            << ", total dmm(10) = " << synthesized.result.best_objective.total_dmm
+            << ", total WCL = " << synthesized.result.best_objective.total_wcl << '\n';
   return 0;
 }

@@ -8,15 +8,14 @@
 
 #include "core/dmm_curve.hpp"
 #include "core/twca.hpp"
+#include "engine/engine.hpp"
 #include "io/gantt.hpp"
 #include "io/json.hpp"
 #include "io/report.hpp"
 #include "io/system_format.hpp"
 #include "io/tables.hpp"
-#include "search/priority_search.hpp"
-#include "sim/arrival_sequence.hpp"
-#include "sim/simulator.hpp"
 #include "util/expect.hpp"
+#include "util/status.hpp"
 #include "util/strings.hpp"
 
 namespace wharf::cli {
@@ -26,18 +25,20 @@ namespace {
 constexpr int kOk = 0;
 constexpr int kUsageError = 1;
 constexpr int kInputError = 2;
+constexpr int kNoGuaranteeExit = 3;
 
 const char kUsage[] = R"(wharf — weakly-hard analysis of SPP task-chain systems (DATE'17 TWCA)
 
 usage:
-  wharf analyze  <file> [--k K1,K2,...] [--json]
-  wharf dmm      <file> <chain> [--k K] [--breakpoints KMAX]
+  wharf analyze  <file> [--k K1,K2,...] [--json] [--jobs N]
+  wharf dmm      <file> <chain> [--k K] [--breakpoints KMAX] [--json]
   wharf simulate <file> [--horizon H] [--seed S] [--extra-gap G] [--gantt WIDTH]
   wharf search   <file> [--k K] [--strategy random|climb] [--budget N] [--seed S]
   wharf validate <file>
   wharf help
 
 <file> is a system description (see io/system_format.hpp); '-' reads stdin.
+exit codes: 0 ok; 1 usage error; 2 input error; 3 analysis gave no guarantee.
 )";
 
 /// Parsed --key value / --flag options plus positional arguments.
@@ -55,7 +56,7 @@ struct Options {
 bool option_takes_value(const std::string& name) {
   return name == "--k" || name == "--breakpoints" || name == "--horizon" || name == "--seed" ||
          name == "--extra-gap" || name == "--gantt" || name == "--strategy" ||
-         name == "--budget";
+         name == "--budget" || name == "--jobs";
 }
 
 bool parse_options(const std::vector<std::string>& args, std::size_t first, Options& out,
@@ -90,6 +91,19 @@ bool parse_count(const std::string& text, Count& out, std::ostream& err,
   return true;
 }
 
+/// Parses --jobs (>= 1, or 0 for all hardware threads).
+bool parse_jobs(const Options& options, int& jobs, std::ostream& err) {
+  jobs = 1;
+  if (!options.has("--jobs")) return true;
+  long long v = 0;
+  if (!util::parse_int64(options.get("--jobs", ""), v) || v < 0) {
+    err << "invalid --jobs: '" << options.get("--jobs", "") << "'\n";
+    return false;
+  }
+  jobs = static_cast<int>(v);
+  return true;
+}
+
 std::optional<System> load_system(const std::string& path, std::istream& in, std::ostream& err) {
   std::string text;
   if (path == "-") {
@@ -106,12 +120,12 @@ std::optional<System> load_system(const std::string& path, std::istream& in, std
     buffer << file.rdbuf();
     text = buffer.str();
   }
-  try {
-    return io::parse_system(text);
-  } catch (const Error& e) {
-    err << e.what() << "\n";
+  const Expected<System> system = capture([&] { return io::parse_system(text); });
+  if (!system) {
+    err << system.status().message() << "\n";
     return std::nullopt;
   }
+  return system.value();
 }
 
 std::vector<Count> parse_k_list(const std::string& text, std::ostream& err) {
@@ -122,6 +136,15 @@ std::vector<Count> parse_k_list(const std::string& text, std::ostream& err) {
     ks.push_back(k);
   }
   return ks;
+}
+
+/// Maps a report outcome onto the CLI exit-code contract.
+int exit_code_for(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return kOk;
+    case StatusCode::kNoGuarantee: return kNoGuaranteeExit;
+    default: return kInputError;
+  }
 }
 
 int cmd_analyze(const Options& options, std::istream& in, std::ostream& out, std::ostream& err) {
@@ -137,28 +160,20 @@ int cmd_analyze(const Options& options, std::istream& in, std::ostream& out, std
     ks = parse_k_list(options.get("--k", ""), err);
     if (ks.empty()) return kUsageError;
   }
+  int jobs = 1;
+  if (!parse_jobs(options, jobs, err)) return kUsageError;
 
-  TwcaAnalyzer analyzer{*system};
+  Engine engine{EngineOptions{jobs, /*cache_capacity=*/16}};
+  const AnalysisReport report = engine.run(AnalysisRequest::standard(*system, ks));
+
   if (options.has("--json")) {
-    out << "{\"system\":\"" << system->name() << "\",\"chains\":[";
-    bool first_chain = true;
-    for (int c : system->regular_indices()) {
-      if (!system->chain(c).deadline().has_value()) continue;
-      if (!first_chain) out << ',';
-      first_chain = false;
-      out << "{\"name\":\"" << system->chain(c).name() << "\",\"latency\":"
-          << io::to_json(analyzer.latency(c)) << ",\"dmm\":[";
-      for (std::size_t i = 0; i < ks.size(); ++i) {
-        if (i != 0) out << ',';
-        out << io::to_json(analyzer.dmm(c, ks[i]));
-      }
-      out << "]}";
-    }
-    out << "]}\n";
+    out << to_json(report) << "\n";
   } else {
-    out << io::render_system_report(analyzer, ks);
+    out << io::render_report(*system, report);
   }
-  return kOk;
+  const Status status = report.worst_status();
+  if (!status.is_ok() && !options.has("--json")) err << status.to_string() << "\n";
+  return exit_code_for(status);
 }
 
 int cmd_dmm(const Options& options, std::istream& in, std::ostream& out, std::ostream& err) {
@@ -168,37 +183,59 @@ int cmd_dmm(const Options& options, std::istream& in, std::ostream& out, std::os
   }
   const auto system = load_system(options.positional[0], in, err);
   if (!system.has_value()) return kInputError;
-  const auto chain = system->chain_index(options.positional[1]);
-  if (!chain.has_value()) {
-    err << "unknown chain '" << options.positional[1] << "'\n";
-    return kInputError;
-  }
+  const std::string& chain_name = options.positional[1];
 
   Count k = 10;
   if (options.has("--k") && !parse_count(options.get("--k", ""), k, err, "k")) {
     return kUsageError;
   }
-  TwcaAnalyzer analyzer{*system};
-  try {
-    const DmmResult r = analyzer.dmm(*chain, k);
-    out << "dmm_" << options.positional[1] << "(" << k << ") = " << r.dmm << "  ["
-        << to_string(r.status) << (r.reason.empty() ? "" : ": " + r.reason) << "]\n";
-    if (options.has("--breakpoints")) {
-      Count k_max = 0;
-      if (!parse_count(options.get("--breakpoints", ""), k_max, err, "breakpoint horizon")) {
-        return kUsageError;
-      }
+  if (options.has("--json") && options.has("--breakpoints")) {
+    err << "--breakpoints cannot be combined with --json (the table would corrupt the "
+           "JSON stream); use --k with a grid instead\n";
+    return kUsageError;
+  }
+
+  Engine engine;
+  const AnalysisReport report =
+      engine.run(AnalysisRequest{*system, {}, {DmmQuery{chain_name, {k}}}});
+  const QueryResult& result = report.results.front();
+  if (!result.ok()) {
+    err << result.status.to_string() << "\n";
+    return exit_code_for(result.status);
+  }
+  const DmmResult& r = std::get<DmmAnswer>(result.answer).curve.front();
+
+  if (options.has("--json")) {
+    out << to_json(report) << "\n";
+  } else {
+    out << "dmm_" << chain_name << "(" << k << ") = " << r.dmm << "  [" << to_string(r.status)
+        << (r.reason.empty() ? "" : ": " + r.reason) << "]\n";
+  }
+
+  if (options.has("--breakpoints")) {
+    Count k_max = 0;
+    if (!parse_count(options.get("--breakpoints", ""), k_max, err, "breakpoint horizon")) {
+      return kUsageError;
+    }
+    // The breakpoint scan queries adaptively (binary search between
+    // steps), so it drives the analyzer core directly.
+    const auto table_or = capture([&] {
+      TwcaAnalyzer analyzer{*system};
+      const auto chain = system->chain_index(chain_name);
+      WHARF_EXPECT(chain.has_value(), "unknown chain '" << chain_name << "'");
       io::TextTable table({"first k", "dmm(k)"});
       for (const DmmBreakpoint& bp : dmm_breakpoints(analyzer, *chain, k_max)) {
         table.add_row({util::cat(bp.k), util::cat(bp.dmm)});
       }
-      out << table.render();
+      return table.render();
+    });
+    if (!table_or) {
+      err << table_or.status().message() << "\n";
+      return exit_code_for(table_or.status());
     }
-  } catch (const Error& e) {
-    err << e.what() << "\n";
-    return kInputError;
+    out << table_or.value();
   }
-  return kOk;
+  return r.status == DmmStatus::kNoGuarantee ? kNoGuaranteeExit : kOk;
 }
 
 int cmd_simulate(const Options& options, std::istream& in, std::ostream& out, std::ostream& err) {
@@ -209,41 +246,43 @@ int cmd_simulate(const Options& options, std::istream& in, std::ostream& out, st
   const auto system = load_system(options.positional[0], in, err);
   if (!system.has_value()) return kInputError;
 
+  SimulationQuery query;
+  query.cross_validate = false;  // plain observation, as before
   Count horizon = 100'000;
   if (options.has("--horizon") &&
       !parse_count(options.get("--horizon", ""), horizon, err, "horizon")) {
     return kUsageError;
   }
+  query.horizon = horizon;
   Count seed = 1;
   if (options.has("--seed") && !parse_count(options.get("--seed", ""), seed, err, "seed")) {
     return kUsageError;
   }
-
-  std::vector<std::vector<Time>> arrivals;
-  for (int c = 0; c < system->size(); ++c) {
-    const ArrivalModel& model = system->chain(c).arrival();
-    if (options.has("--extra-gap")) {
-      Count gap = 0;
-      if (!parse_count(options.get("--extra-gap", ""), gap, err, "extra gap")) {
-        return kUsageError;
-      }
-      arrivals.push_back(sim::random_arrivals(model, 0, horizon, static_cast<double>(gap),
-                                              static_cast<std::uint64_t>(seed + c)));
-    } else {
-      arrivals.push_back(sim::greedy_arrivals(model, 0, horizon));
+  query.seed = static_cast<std::uint64_t>(seed);
+  if (options.has("--extra-gap")) {
+    Count gap = 0;
+    if (!parse_count(options.get("--extra-gap", ""), gap, err, "extra gap")) {
+      return kUsageError;
     }
+    query.extra_gap = static_cast<double>(gap);
   }
+  query.record_trace = options.has("--gantt");
 
-  sim::SimOptions sim_options;
-  sim_options.record_trace = options.has("--gantt");
-  const sim::SimResult result = sim::simulate(*system, arrivals, sim_options);
+  Engine engine;
+  const AnalysisReport report = engine.run(AnalysisRequest{*system, {}, {query}});
+  const QueryResult& result = report.results.front();
+  if (!result.ok()) {
+    err << result.status.to_string() << "\n";
+    return exit_code_for(result.status);
+  }
+  const SimulationAnswer& answer = std::get<SimulationAnswer>(result.answer);
 
-  io::TextTable table({"chain", "instances", "max latency", "misses", "max misses/10"});
-  for (int c = 0; c < system->size(); ++c) {
-    const sim::ChainResult& cr = result.chains[static_cast<std::size_t>(c)];
-    table.add_row({system->chain(c).name(), util::cat(cr.completed), util::cat(cr.max_latency),
+  io::TextTable table({"chain", "instances", "max latency", "misses",
+                       util::cat("max misses/", query.check_k)});
+  for (const SimulationAnswer::ChainStats& cr : answer.chains) {
+    table.add_row({cr.chain, util::cat(cr.completed), util::cat(cr.max_latency),
                    util::cat(cr.miss_count),
-                   cr.instances.empty() ? "-" : util::cat(cr.max_misses_in_window(10))});
+                   cr.completed == 0 ? "-" : util::cat(cr.max_window_misses)});
   }
   out << table.render();
 
@@ -253,9 +292,9 @@ int cmd_simulate(const Options& options, std::istream& in, std::ostream& out, st
       return kUsageError;
     }
     io::GanttOptions gantt;
-    gantt.to = std::min<Time>(result.makespan, width);
+    gantt.to = std::min<Time>(answer.makespan, width);
     gantt.ticks_per_char = std::max<Time>(1, gantt.to / 100);
-    out << '\n' << io::render_gantt(*system, result.trace, gantt);
+    out << '\n' << io::render_gantt(*system, answer.trace, gantt);
   }
   return kOk;
 }
@@ -268,48 +307,50 @@ int cmd_search(const Options& options, std::istream& in, std::ostream& out, std:
   const auto system = load_system(options.positional[0], in, err);
   if (!system.has_value()) return kInputError;
 
+  PrioritySearchQuery query;
   Count k = 10;
   if (options.has("--k") && !parse_count(options.get("--k", ""), k, err, "k")) {
     return kUsageError;
   }
+  query.k = k;
   Count budget = 200;
   if (options.has("--budget") &&
       !parse_count(options.get("--budget", ""), budget, err, "budget")) {
     return kUsageError;
   }
+  query.budget = static_cast<int>(budget);
   Count seed = 1;
   if (options.has("--seed") && !parse_count(options.get("--seed", ""), seed, err, "seed")) {
     return kUsageError;
   }
+  query.seed = static_cast<std::uint64_t>(seed);
   const std::string strategy = options.get("--strategy", "climb");
-
-  const search::EvaluationSpec spec{k, {}};
-  search::SearchResult result;
-  try {
-    if (strategy == "random") {
-      result = search::random_search(*system, spec, static_cast<int>(budget),
-                                     static_cast<std::uint64_t>(seed));
-    } else if (strategy == "climb") {
-      search::HillClimbOptions climb;
-      climb.seed = static_cast<std::uint64_t>(seed);
-      result = search::hill_climb(*system, spec, climb);
-    } else {
-      err << "unknown strategy '" << strategy << "' (use random|climb)\n";
-      return kUsageError;
-    }
-  } catch (const Error& e) {
-    err << e.what() << "\n";
-    return kInputError;
+  if (strategy == "random") {
+    query.strategy = PrioritySearchQuery::Strategy::kRandom;
+  } else if (strategy == "climb") {
+    query.strategy = PrioritySearchQuery::Strategy::kHillClimb;
+  } else {
+    err << "unknown strategy '" << strategy << "' (use random|climb)\n";
+    return kUsageError;
   }
 
-  const search::Objective nominal = search::evaluate_assignment(*system, spec);
-  out << "nominal:  missing=" << nominal.chains_missing << " dmm=" << nominal.total_dmm
-      << " wcl=" << nominal.total_wcl << "\n";
-  out << "best:     missing=" << result.best_objective.chains_missing
-      << " dmm=" << result.best_objective.total_dmm << " wcl=" << result.best_objective.total_wcl
-      << "  (" << result.evaluations << " evaluations)\n";
+  Engine engine;
+  const AnalysisReport report = engine.run(AnalysisRequest{*system, {}, {query}});
+  const QueryResult& result = report.results.front();
+  if (!result.ok()) {
+    err << result.status.to_string() << "\n";
+    return exit_code_for(result.status);
+  }
+  const SearchAnswer& answer = std::get<SearchAnswer>(result.answer);
+
+  out << "nominal:  missing=" << answer.nominal.chains_missing
+      << " dmm=" << answer.nominal.total_dmm << " wcl=" << answer.nominal.total_wcl << "\n";
+  out << "best:     missing=" << answer.result.best_objective.chains_missing
+      << " dmm=" << answer.result.best_objective.total_dmm
+      << " wcl=" << answer.result.best_objective.total_wcl << "  (" << answer.result.evaluations
+      << " evaluations)\n";
   out << "priorities (flat task order):";
-  for (Priority p : result.best_priorities) out << ' ' << p;
+  for (Priority p : answer.result.best_priorities) out << ' ' << p;
   out << '\n';
   return kOk;
 }

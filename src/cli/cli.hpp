@@ -2,9 +2,9 @@
 /// The `wharf` command-line tool, implemented as a library so the whole
 /// surface is unit-testable (the binary in tools/ is a two-line main).
 ///
-/// Subcommands:
-///   analyze  <file> [--k K1,K2,...] [--json]      latency + DMM report
-///   dmm      <file> <chain> [--k K] [--breakpoints KMAX]
+/// Subcommands (all analysis commands run on the wharf::Engine facade):
+///   analyze  <file> [--k K1,K2,...] [--json] [--jobs N]   latency + DMM report
+///   dmm      <file> <chain> [--k K] [--breakpoints KMAX] [--json]
 ///   simulate <file> [--horizon H] [--seed S] [--extra-gap G] [--gantt W]
 ///   search   <file> [--k K] [--strategy random|climb] [--budget N] [--seed S]
 ///   validate <file>                                parse + validate only
@@ -23,7 +23,8 @@ namespace wharf::cli {
 
 /// Runs the CLI on the given arguments (excluding argv[0]).  All I/O
 /// goes through the supplied streams.  Returns a process exit code:
-/// 0 success, 1 usage error, 2 input/parse error.
+/// 0 success, 1 usage error, 2 input/parse error, 3 analysis ran but
+/// gave no guarantee (DmmStatus::kNoGuarantee / unbounded latency).
 int run(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
         std::ostream& err);
 

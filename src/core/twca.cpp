@@ -1,6 +1,8 @@
 #include "core/twca.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <optional>
 
 #include "ilp/packing.hpp"
@@ -42,6 +44,13 @@ struct TwcaAnalyzer::Impl {
   mutable std::vector<std::optional<LatencyResult>> latency_cache;
   mutable std::vector<std::optional<LatencyResult>> typical_latency_cache;
   mutable std::vector<std::optional<ChainDmmData>> dmm_cache;
+  /// One lock per chain: the public methods hold the target chain's lock
+  /// for the whole query, so concurrent queries on *different* chains of
+  /// one analyzer run in parallel while each chain's cache slots stay
+  /// write-once.  Returned references remain valid after unlocking
+  /// because engaged slots are never reassigned and the vectors are
+  /// never resized.
+  mutable std::unique_ptr<std::mutex[]> chain_locks;
 
   Impl(System sys, TwcaOptions opts) : system(std::move(sys)), options(opts) {
     const auto n = static_cast<std::size_t>(system.size());
@@ -49,6 +58,11 @@ struct TwcaAnalyzer::Impl {
     latency_cache.resize(n);
     typical_latency_cache.resize(n);
     dmm_cache.resize(n);
+    chain_locks = std::make_unique<std::mutex[]>(n);
+  }
+
+  std::unique_lock<std::mutex> lock_chain(int chain) const {
+    return std::unique_lock<std::mutex>(chain_locks[static_cast<std::size_t>(chain)]);
   }
 
   const InterferenceContext& context(int chain) const {
@@ -143,9 +157,17 @@ TwcaAnalyzer& TwcaAnalyzer::operator=(TwcaAnalyzer&&) noexcept = default;
 const System& TwcaAnalyzer::system() const { return impl_->system; }
 const TwcaOptions& TwcaAnalyzer::options() const { return impl_->options; }
 
-const LatencyResult& TwcaAnalyzer::latency(int chain) const { return impl_->latency(chain); }
+const LatencyResult& TwcaAnalyzer::latency(int chain) const {
+  WHARF_EXPECT(chain >= 0 && chain < impl_->system.size(),
+               "chain index " << chain << " out of range [0, " << impl_->system.size() << ")");
+  const auto lock = impl_->lock_chain(chain);
+  return impl_->latency(chain);
+}
 
 const LatencyResult& TwcaAnalyzer::latency_without_overload(int chain) const {
+  WHARF_EXPECT(chain >= 0 && chain < impl_->system.size(),
+               "chain index " << chain << " out of range [0, " << impl_->system.size() << ")");
+  const auto lock = impl_->lock_chain(chain);
   return impl_->latency_without_overload(chain);
 }
 
@@ -157,6 +179,7 @@ DmmResult TwcaAnalyzer::dmm(int b, Count k) const {
   WHARF_EXPECT(!system.chain(b).is_overload(),
                "DMM target '" << system.chain(b).name() << "' must not be an overload chain");
 
+  const auto lock = impl_->lock_chain(b);
   const ChainDmmData& data = impl_->dmm_data(b);
 
   DmmResult result;

@@ -1,0 +1,610 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <list>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "io/json.hpp"
+#include "io/system_format.hpp"
+#include "sim/arrival_sequence.hpp"
+#include "sim/busy_windows.hpp"
+#include "sim/simulator.hpp"
+#include "util/strings.hpp"
+#include "util/worker_pool.hpp"
+
+namespace wharf {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Artifact-cache keys
+// ---------------------------------------------------------------------
+
+/// FNV-1a over a byte string (diagnostic fingerprint of a cache key).
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// The full cache key: the serialized system (a faithful content
+/// encoding — the format round-trips) plus every analysis knob that
+/// changes cached artifacts.  Keying the map by the full string (not the
+/// 64-bit hash) rules out collisions serving wrong artifacts.
+std::string cache_key(const System& system, const TwcaOptions& o) {
+  std::ostringstream os;
+  os << io::serialize_system(system) << '\n'
+     << "criterion=" << static_cast<int>(o.criterion) << " max_combinations="
+     << o.max_combinations << " minimal_only=" << o.minimal_only << " cap_at_k=" << o.cap_at_k
+     << " use_dfs_packer=" << o.use_dfs_packer
+     << " max_busy_windows=" << o.analysis.max_busy_windows
+     << " max_fixed_point_iterations=" << o.analysis.max_fixed_point_iterations
+     << " divergence_guard=" << o.analysis.divergence_guard
+     << " naive_arbitrary=" << o.analysis.naive_arbitrary;
+  return os.str();
+}
+
+/// One memoized per-system artifact holder.  The TwcaAnalyzer inside
+/// is thread-safe (per-chain locking) and lazily computes/caches the
+/// k-independent artifacts on first use.
+struct ArtifactEntry {
+  ArtifactEntry(System system, const TwcaOptions& twca_options)
+      : analyzer(std::move(system), twca_options) {}
+  TwcaAnalyzer analyzer;
+};
+
+/// True when the DMM-carrying payload of a successful answer reports
+/// kNoGuarantee anywhere.
+bool answer_has_no_guarantee(const QueryResult& r) {
+  if (const auto* dmm = std::get_if<DmmAnswer>(&r.answer)) {
+    return std::any_of(dmm->curve.begin(), dmm->curve.end(), [](const DmmResult& d) {
+      return d.status == DmmStatus::kNoGuarantee;
+    });
+  }
+  if (const auto* wh = std::get_if<WeaklyHardAnswer>(&r.answer)) {
+    return wh->dmm_status == DmmStatus::kNoGuarantee;
+  }
+  if (const auto* lat = std::get_if<LatencyAnswer>(&r.answer)) {
+    return !lat->result.bounded;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// AnalysisRequest / AnalysisReport
+// ---------------------------------------------------------------------
+
+AnalysisRequest AnalysisRequest::standard(System system, std::vector<Count> ks,
+                                          TwcaOptions options) {
+  if (ks.empty()) ks.push_back(10);
+  AnalysisRequest request{std::move(system), options, {}};
+  for (const int c : request.system.regular_indices()) {
+    const std::string& name = request.system.chain(c).name();
+    request.queries.push_back(LatencyQuery{name, /*without_overload=*/false});
+    request.queries.push_back(LatencyQuery{name, /*without_overload=*/true});
+    if (request.system.chain(c).deadline().has_value()) {
+      request.queries.push_back(DmmQuery{name, ks});
+    }
+  }
+  return request;
+}
+
+bool AnalysisReport::ok() const {
+  return std::all_of(results.begin(), results.end(),
+                     [](const QueryResult& r) { return r.ok(); });
+}
+
+Status AnalysisReport::worst_status() const {
+  for (const QueryResult& r : results) {
+    if (!r.ok()) return r.status;
+  }
+  for (const QueryResult& r : results) {
+    if (answer_has_no_guarantee(r)) {
+      return Status::no_guarantee(
+          "analysis completed but cannot bound all misses (see per-query results)");
+    }
+  }
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+struct Engine::Impl {
+  EngineOptions options;
+
+  struct CacheSlot {
+    std::shared_ptr<ArtifactEntry> entry;
+    /// Position in `recency` (O(1) bump via splice on a hit).
+    std::list<std::string>::iterator lru;
+  };
+
+  std::mutex cache_mutex;
+  std::unordered_map<std::string, CacheSlot> cache;
+  /// Keys in recency order, most recent first (LRU eviction).
+  std::list<std::string> recency;
+  CacheStats stats;
+
+  explicit Impl(EngineOptions opts) : options(opts) {}
+
+  /// Finds or builds the entry for (system, options).  Called
+  /// sequentially in request order, which makes the per-request
+  /// hit/miss diagnostics deterministic regardless of the jobs knob.
+  std::shared_ptr<ArtifactEntry> acquire(const System& system, const TwcaOptions& twca_options,
+                                         ReportDiagnostics& diagnostics) {
+    std::string key = cache_key(system, twca_options);
+    diagnostics.system_hash = fnv1a64(key);
+
+    const std::lock_guard<std::mutex> guard(cache_mutex);
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+      diagnostics.cache_hit = true;
+      diagnostics.cache_hits = 1;
+      ++stats.hits;
+      recency.splice(recency.begin(), recency, it->second.lru);
+      return it->second.entry;
+    }
+
+    diagnostics.cache_misses = 1;
+    ++stats.misses;
+    auto entry = std::make_shared<ArtifactEntry>(system, twca_options);
+    recency.push_front(std::move(key));
+    cache.emplace(recency.front(), CacheSlot{entry, recency.begin()});
+    while (options.cache_capacity > 0 && cache.size() > options.cache_capacity) {
+      cache.erase(recency.back());
+      recency.pop_back();
+      ++stats.evictions;
+    }
+    stats.entries = cache.size();
+    return entry;
+  }
+
+  QueryResult execute(const AnalysisRequest& request, const ArtifactEntry& entry,
+                      const Query& query);
+
+  /// Serves one request into `report` (diagnostics must already be
+  /// filled by acquire()).
+  void serve(const AnalysisRequest& request, const ArtifactEntry& entry,
+             AnalysisReport& report) {
+    util::parallel_for_index(request.queries.size(), options.jobs, [&](std::size_t q) {
+      report.results[q] = execute(request, entry, request.queries[q]);
+    });
+    report.diagnostics.queries_failed = static_cast<std::size_t>(
+        std::count_if(report.results.begin(), report.results.end(),
+                      [](const QueryResult& r) { return !r.ok(); }));
+  }
+};
+
+namespace {
+
+/// Resolves a chain name to its index or a not-found Status.
+Expected<int> resolve_chain(const System& system, const std::string& name) {
+  const auto index = system.chain_index(name);
+  if (!index.has_value()) {
+    return Status::not_found(util::cat("unknown chain '", name, "' in system '", system.name(),
+                                       "'"));
+  }
+  return *index;
+}
+
+QueryResult run_latency(const ArtifactEntry& entry, const LatencyQuery& query) {
+  QueryResult out;
+  const System& system = entry.analyzer.system();
+  const Expected<int> chain = resolve_chain(system, query.chain);
+  if (!chain) {
+    out.status = chain.status();
+    return out;
+  }
+  const auto answer = capture([&] {
+    LatencyAnswer a{query.chain, query.without_overload, {}};
+    a.result = query.without_overload ? entry.analyzer.latency_without_overload(chain.value())
+                                      : entry.analyzer.latency(chain.value());
+    return a;
+  });
+  if (answer) {
+    out.answer = answer.value();
+  } else {
+    out.status = answer.status();
+  }
+  return out;
+}
+
+QueryResult run_dmm(const ArtifactEntry& entry, const DmmQuery& query) {
+  QueryResult out;
+  const Expected<int> chain = resolve_chain(entry.analyzer.system(), query.chain);
+  if (!chain) {
+    out.status = chain.status();
+    return out;
+  }
+  const std::vector<Count> ks = query.ks.empty() ? std::vector<Count>{10} : query.ks;
+  const auto answer = capture(
+      [&] { return DmmAnswer{query.chain, entry.analyzer.dmm_curve(chain.value(), ks)}; });
+  if (answer) {
+    out.answer = answer.value();
+  } else {
+    out.status = answer.status();
+  }
+  return out;
+}
+
+QueryResult run_weakly_hard(const ArtifactEntry& entry, const WeaklyHardQuery& query) {
+  QueryResult out;
+  const Expected<int> chain = resolve_chain(entry.analyzer.system(), query.chain);
+  if (!chain) {
+    out.status = chain.status();
+    return out;
+  }
+  const auto answer = capture([&] {
+    WHARF_EXPECT(query.m >= 0, "weakly-hard m must be >= 0, got " << query.m);
+    const DmmResult r = entry.analyzer.dmm(chain.value(), query.k);
+    return WeaklyHardAnswer{query.chain, query.m,    query.k,
+                            r.dmm,       r.status,   r.dmm <= query.m};
+  });
+  if (answer) {
+    out.answer = answer.value();
+  } else {
+    out.status = answer.status();
+  }
+  return out;
+}
+
+QueryResult run_simulation(const ArtifactEntry& entry, const SimulationQuery& query) {
+  QueryResult out;
+  const auto answer = capture([&] {
+    WHARF_EXPECT(query.horizon >= 1, "simulation horizon must be >= 1, got " << query.horizon);
+    WHARF_EXPECT(query.check_k >= 1, "simulation check_k must be >= 1, got " << query.check_k);
+    const System& system = entry.analyzer.system();
+
+    std::vector<std::vector<Time>> arrivals;
+    arrivals.reserve(static_cast<std::size_t>(system.size()));
+    for (int c = 0; c < system.size(); ++c) {
+      const ArrivalModel& model = system.chain(c).arrival();
+      if (query.extra_gap < 0) {
+        arrivals.push_back(sim::greedy_arrivals(model, 0, query.horizon));
+      } else {
+        arrivals.push_back(sim::random_arrivals(model, 0, query.horizon, query.extra_gap,
+                                                query.seed + static_cast<std::uint64_t>(c)));
+      }
+    }
+    sim::SimOptions sim_options;
+    sim_options.record_trace = query.record_trace;
+    sim::SimResult run = sim::simulate(system, arrivals, sim_options);
+
+    SimulationAnswer a;
+    a.makespan = run.makespan;
+    a.trace = std::move(run.trace);
+    for (int c = 0; c < system.size(); ++c) {
+      const sim::ChainResult& cr = run.chains[static_cast<std::size_t>(c)];
+      SimulationAnswer::ChainStats stats;
+      stats.chain = system.chain(c).name();
+      stats.completed = cr.completed;
+      stats.max_latency = cr.max_latency;
+      stats.miss_count = cr.miss_count;
+      stats.max_window_misses = cr.instances.empty() ? 0 : cr.max_misses_in_window(query.check_k);
+      a.chains.push_back(std::move(stats));
+    }
+
+    if (query.cross_validate) {
+      for (const int c : system.regular_indices()) {
+        const auto& stats = a.chains[static_cast<std::size_t>(c)];
+        const LatencyResult& bound = entry.analyzer.latency(c);
+        if (bound.bounded && stats.max_latency > bound.wcl) {
+          a.violations.push_back(util::cat("chain '", stats.chain, "': simulated latency ",
+                                           stats.max_latency, " exceeds WCL bound ", bound.wcl));
+        }
+        if (!system.chain(c).deadline().has_value()) continue;
+        // The dmm bound is claimed only under the paper's standing
+        // assumption: at most one activation per overload chain within
+        // any busy window.  Check it exactly on the observed run (as
+        // the property suite does) and skip the dmm comparison for
+        // runs outside that regime.
+        const auto windows = sim::observed_busy_windows(run.chains[static_cast<std::size_t>(c)]);
+        bool assumption_holds = true;
+        for (const int o : system.overload_indices()) {
+          assumption_holds =
+              assumption_holds &&
+              sim::at_most_one_arrival_per_window(windows,
+                                                  arrivals[static_cast<std::size_t>(o)]);
+        }
+        if (!assumption_holds) continue;
+        const DmmResult dmm = entry.analyzer.dmm(c, query.check_k);
+        if (dmm.status != DmmStatus::kNoGuarantee && stats.max_window_misses > dmm.dmm) {
+          a.violations.push_back(util::cat("chain '", stats.chain, "': ",
+                                           stats.max_window_misses, " misses in a window of ",
+                                           query.check_k, " exceed dmm bound ", dmm.dmm));
+        }
+      }
+      a.validated = a.violations.empty();
+    }
+    return a;
+  });
+  if (answer) {
+    out.answer = answer.value();
+  } else {
+    out.status = answer.status();
+  }
+  return out;
+}
+
+QueryResult run_search(const AnalysisRequest& request, const PrioritySearchQuery& query) {
+  QueryResult out;
+  const auto answer = capture([&] {
+    WHARF_EXPECT(query.budget >= 1, "search budget must be >= 1, got " << query.budget);
+    const search::EvaluationSpec spec{query.k, {}};
+    SearchAnswer a;
+    a.nominal = search::evaluate_assignment(request.system, spec, request.options);
+    if (query.strategy == PrioritySearchQuery::Strategy::kRandom) {
+      a.result = search::random_search(request.system, spec, query.budget, query.seed,
+                                       request.options);
+    } else {
+      WHARF_EXPECT(query.restarts >= 1, "climb restarts must be >= 1, got " << query.restarts);
+      search::HillClimbOptions climb;
+      climb.restarts = query.restarts;
+      climb.max_steps = query.budget;
+      climb.seed = query.seed;
+      a.result = search::hill_climb(request.system, spec, climb, request.options);
+    }
+    return a;
+  });
+  if (answer) {
+    out.answer = answer.value();
+  } else {
+    out.status = answer.status();
+  }
+  return out;
+}
+
+}  // namespace
+
+QueryResult Engine::Impl::execute(const AnalysisRequest& request,
+                                  const ArtifactEntry& entry,
+                                  const Query& query) {
+  return std::visit(
+      [&](const auto& q) -> QueryResult {
+        using Q = std::decay_t<decltype(q)>;
+        if constexpr (std::is_same_v<Q, LatencyQuery>) {
+          return run_latency(entry, q);
+        } else if constexpr (std::is_same_v<Q, DmmQuery>) {
+          return run_dmm(entry, q);
+        } else if constexpr (std::is_same_v<Q, WeaklyHardQuery>) {
+          return run_weakly_hard(entry, q);
+        } else if constexpr (std::is_same_v<Q, SimulationQuery>) {
+          return run_simulation(entry, q);
+        } else {
+          return run_search(request, q);
+        }
+      },
+      query);
+}
+
+Engine::Engine(EngineOptions options) : impl_(std::make_unique<Impl>(options)) {}
+Engine::~Engine() = default;
+Engine::Engine(Engine&&) noexcept = default;
+Engine& Engine::operator=(Engine&&) noexcept = default;
+
+const EngineOptions& Engine::options() const { return impl_->options; }
+
+AnalysisReport Engine::run(const AnalysisRequest& request) {
+  AnalysisReport report;
+  report.system = request.system.name();
+  report.results.resize(request.queries.size());
+  const std::shared_ptr<ArtifactEntry> entry =
+      impl_->acquire(request.system, request.options, report.diagnostics);
+  impl_->serve(request, *entry, report);
+  return report;
+}
+
+std::vector<AnalysisReport> Engine::run_batch(const std::vector<AnalysisRequest>& requests) {
+  std::vector<AnalysisReport> reports(requests.size());
+  std::vector<std::shared_ptr<ArtifactEntry>> entries(requests.size());
+
+  // Phase 1 (sequential, in request order): acquire cache entries so the
+  // hit/miss diagnostics do not depend on worker scheduling.
+  struct TaskRef {
+    std::size_t request = 0;
+    std::size_t query = 0;
+  };
+  std::vector<TaskRef> tasks;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    reports[i].system = requests[i].system.name();
+    reports[i].results.resize(requests[i].queries.size());
+    entries[i] = impl_->acquire(requests[i].system, requests[i].options, reports[i].diagnostics);
+    for (std::size_t q = 0; q < requests[i].queries.size(); ++q) tasks.push_back({i, q});
+  }
+
+  // Phase 2 (parallel): every query is independent and writes its own
+  // preallocated slot — results are identical for any jobs value.
+  util::parallel_for_index(tasks.size(), impl_->options.jobs, [&](std::size_t t) {
+    const TaskRef& ref = tasks[t];
+    reports[ref.request].results[ref.query] =
+        impl_->execute(requests[ref.request], *entries[ref.request],
+                       requests[ref.request].queries[ref.query]);
+  });
+
+  for (AnalysisReport& report : reports) {
+    report.diagnostics.queries_failed = static_cast<std::size_t>(
+        std::count_if(report.results.begin(), report.results.end(),
+                      [](const QueryResult& r) { return !r.ok(); }));
+  }
+  return reports;
+}
+
+Engine::CacheStats Engine::cache_stats() const {
+  const std::lock_guard<std::mutex> guard(impl_->cache_mutex);
+  Engine::CacheStats stats = impl_->stats;
+  stats.entries = impl_->cache.size();
+  return stats;
+}
+
+void Engine::clear_cache() {
+  const std::lock_guard<std::mutex> guard(impl_->cache_mutex);
+  impl_->cache.clear();
+  impl_->recency.clear();
+  impl_->stats.entries = 0;
+}
+
+// ---------------------------------------------------------------------
+// JSON serialization
+// ---------------------------------------------------------------------
+
+namespace {
+
+void write_status(io::JsonWriter& w, const Status& status) {
+  w.key("status");
+  w.value(to_string(status.code()));
+  if (!status.message().empty()) {
+    w.key("reason");
+    w.value(status.message());
+  }
+}
+
+void write_objective(io::JsonWriter& w, const search::Objective& o) {
+  w.begin_object();
+  w.key("chains_missing");
+  w.value(o.chains_missing);
+  w.key("total_dmm");
+  w.value(o.total_dmm);
+  w.key("total_wcl");
+  w.value(o.total_wcl);
+  w.end_object();
+}
+
+void write_answer(io::JsonWriter& w, const QueryResult& result) {
+  std::visit(
+      [&](const auto& a) {
+        using A = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<A, std::monostate>) {
+          w.key("query");
+          w.value("failed");
+        } else if constexpr (std::is_same_v<A, LatencyAnswer>) {
+          w.key("query");
+          w.value("latency");
+          w.key("chain");
+          w.value(a.chain);
+          w.key("without_overload");
+          w.value(a.without_overload);
+          w.key("latency");
+          w.raw(io::to_json(a.result));
+        } else if constexpr (std::is_same_v<A, DmmAnswer>) {
+          w.key("query");
+          w.value("dmm");
+          w.key("chain");
+          w.value(a.chain);
+          w.key("dmm");
+          w.begin_array();
+          for (const DmmResult& r : a.curve) w.raw(io::to_json(r));
+          w.end_array();
+        } else if constexpr (std::is_same_v<A, WeaklyHardAnswer>) {
+          w.key("query");
+          w.value("weakly_hard");
+          w.key("chain");
+          w.value(a.chain);
+          w.key("m");
+          w.value(a.m);
+          w.key("k");
+          w.value(a.k);
+          w.key("dmm");
+          w.value(a.dmm);
+          w.key("dmm_status");
+          w.value(to_string(a.dmm_status));
+          w.key("satisfied");
+          w.value(a.satisfied);
+        } else if constexpr (std::is_same_v<A, SimulationAnswer>) {
+          w.key("query");
+          w.value("simulation");
+          w.key("makespan");
+          w.value(a.makespan);
+          w.key("chains");
+          w.begin_array();
+          for (const SimulationAnswer::ChainStats& c : a.chains) {
+            w.begin_object();
+            w.key("chain");
+            w.value(c.chain);
+            w.key("completed");
+            w.value(c.completed);
+            w.key("max_latency");
+            w.value(c.max_latency);
+            w.key("misses");
+            w.value(c.miss_count);
+            w.key("max_window_misses");
+            w.value(c.max_window_misses);
+            w.end_object();
+          }
+          w.end_array();
+          w.key("validated");
+          w.value(a.validated);
+          w.key("violations");
+          w.begin_array();
+          for (const std::string& v : a.violations) w.value(v);
+          w.end_array();
+        } else if constexpr (std::is_same_v<A, SearchAnswer>) {
+          w.key("query");
+          w.value("priority_search");
+          w.key("nominal");
+          write_objective(w, a.nominal);
+          w.key("best");
+          write_objective(w, a.result.best_objective);
+          w.key("evaluations");
+          w.value(a.result.evaluations);
+          w.key("priorities");
+          w.begin_array();
+          for (const Priority p : a.result.best_priorities) w.value(p);
+          w.end_array();
+        }
+      },
+      result.answer);
+}
+
+}  // namespace
+
+std::string to_json(const AnalysisReport& report) {
+  std::ostringstream os;
+  io::JsonWriter w(os);
+  w.begin_object();
+  w.key("system");
+  w.value(report.system);
+  write_status(w, report.worst_status());
+  w.key("results");
+  w.begin_array();
+  for (const QueryResult& result : report.results) {
+    w.begin_object();
+    if (result.ok()) {
+      write_answer(w, result);
+    }
+    write_status(w, result.status);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("diagnostics");
+  w.begin_object();
+  w.key("system_hash");
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(report.diagnostics.system_hash));
+    w.value(std::string(buf));
+  }
+  w.key("cache_hit");
+  w.value(report.diagnostics.cache_hit);
+  w.key("cache_hits");
+  w.value(static_cast<long long>(report.diagnostics.cache_hits));
+  w.key("cache_misses");
+  w.value(static_cast<long long>(report.diagnostics.cache_misses));
+  w.key("queries_failed");
+  w.value(static_cast<long long>(report.diagnostics.queries_failed));
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace wharf

@@ -1,0 +1,252 @@
+/// \file engine.hpp
+/// The unified wharf entry point: a request/response facade over the
+/// whole analysis stack (TWCA latency + DMM, weakly-hard checks,
+/// simulation cross-validation, priority synthesis).
+///
+/// An AnalysisRequest bundles a System with a set of queries; the Engine
+/// answers them in an AnalysisReport with one structured, Status-carrying
+/// result per query — malformed queries never throw across this
+/// boundary, so batch drivers and servers need no exception handling.
+///
+/// Scaling levers (the reason this facade exists):
+///  * batching  — run_batch() answers many requests in one call;
+///  * parallelism — independent queries (chains x k-grids x systems) are
+///    evaluated on a worker pool (EngineOptions::jobs), with results
+///    bit-identical to sequential execution;
+///  * caching — per-system artifacts (interference contexts, K/WCL/N_b,
+///    slack, unschedulable combinations) are memoized across requests,
+///    keyed by a content hash of the System plus the analysis options,
+///    so repeated queries on the same model are near-free.  Cache
+///    effectiveness is observable via ReportDiagnostics / cache_stats().
+///
+/// TwcaAnalyzer remains the internal engine core and stays available for
+/// code that wants lower-level control (ablation studies, custom loops).
+
+#ifndef WHARF_ENGINE_ENGINE_HPP
+#define WHARF_ENGINE_ENGINE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/twca.hpp"
+#include "search/priority_search.hpp"
+#include "sim/simulator.hpp"
+#include "util/status.hpp"
+
+namespace wharf {
+
+// ---------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------
+
+/// Worst-case latency of one chain (Theorem 2), optionally with all
+/// overload chains abstracted away (the paper's "second analysis").
+struct LatencyQuery {
+  std::string chain;
+  bool without_overload = false;
+};
+
+/// dmm(k) over a k-grid for one chain (Theorem 3).  Empty `ks` means
+/// {10}.
+struct DmmQuery {
+  std::string chain;
+  std::vector<Count> ks;
+};
+
+/// Weakly-hard (m,k) verification: does the chain miss at most m
+/// deadlines in any k consecutive activations?
+struct WeaklyHardQuery {
+  std::string chain;
+  Count m = 0;
+  Count k = 10;
+};
+
+/// Discrete-event simulation of the whole system, cross-validated
+/// against the analytic bounds (any violation disproves soundness and is
+/// reported, never swallowed).
+struct SimulationQuery {
+  Time horizon = 100'000;
+  std::uint64_t seed = 1;
+  /// Mean extra inter-arrival gap; < 0 simulates the densest legal
+  /// (greedy) arrivals instead of randomized ones.
+  double extra_gap = -1.0;
+  /// Window for the empirical miss-count cross-check against dmm(k).
+  Count check_k = 10;
+  bool cross_validate = true;
+  /// Record the exact schedule (SimulationAnswer::trace) for rendering.
+  bool record_trace = false;
+};
+
+/// Priority-assignment synthesis (paper Experiment 2 turned design
+/// tool): search permutations for the best weakly-hard objective.
+struct PrioritySearchQuery {
+  enum class Strategy { kRandom, kHillClimb };
+  Strategy strategy = Strategy::kHillClimb;
+  Count k = 10;
+  int budget = 200;  ///< samples (random) / improving steps per restart (climb)
+  int restarts = 4;  ///< independent starting points (climb only)
+  std::uint64_t seed = 1;
+};
+
+using Query =
+    std::variant<LatencyQuery, DmmQuery, WeaklyHardQuery, SimulationQuery, PrioritySearchQuery>;
+
+/// One unit of work: a system plus the queries to answer on it.
+struct AnalysisRequest {
+  System system;
+  TwcaOptions options = {};
+  std::vector<Query> queries;
+
+  /// The standard full-system request (what `wharf analyze` runs): for
+  /// every non-overload chain a LatencyQuery with and without overload,
+  /// plus a DmmQuery over `ks` (default {10}) when the chain has a
+  /// deadline.
+  [[nodiscard]] static AnalysisRequest standard(System system, std::vector<Count> ks = {},
+                                                TwcaOptions options = {});
+};
+
+// ---------------------------------------------------------------------
+// Answers
+// ---------------------------------------------------------------------
+
+struct LatencyAnswer {
+  std::string chain;
+  bool without_overload = false;
+  LatencyResult result;
+};
+
+struct DmmAnswer {
+  std::string chain;
+  std::vector<DmmResult> curve;  ///< one entry per requested k, in order
+};
+
+struct WeaklyHardAnswer {
+  std::string chain;
+  Count m = 0;
+  Count k = 0;
+  Count dmm = 0;
+  DmmStatus dmm_status = DmmStatus::kNoGuarantee;
+  bool satisfied = false;
+};
+
+struct SimulationAnswer {
+  struct ChainStats {
+    std::string chain;
+    Count completed = 0;
+    Time max_latency = 0;
+    Count miss_count = 0;
+    Count max_window_misses = 0;  ///< max misses in any check_k window
+  };
+  std::vector<ChainStats> chains;  ///< indexed like System::chains()
+  Time makespan = 0;
+  /// Soundness violations found by the cross-check (must stay empty).
+  std::vector<std::string> violations;
+  bool validated = false;  ///< cross_validate ran and found no violation
+  /// Exact schedule when SimulationQuery::record_trace (not in JSON).
+  std::vector<sim::ExecSlice> trace;
+};
+
+struct SearchAnswer {
+  search::Objective nominal;  ///< objective of the given assignment
+  search::SearchResult result;
+};
+
+/// Outcome of one query: an OK status with an answer, or an error status
+/// (unknown chain, invalid arguments, resource caps) with no answer.
+struct QueryResult {
+  Status status;
+  std::variant<std::monostate, LatencyAnswer, DmmAnswer, WeaklyHardAnswer, SimulationAnswer,
+               SearchAnswer>
+      answer;
+
+  [[nodiscard]] bool ok() const { return status.is_ok(); }
+};
+
+/// Cache/runtime observability for one served request.
+struct ReportDiagnostics {
+  /// FNV-1a content hash of the serialized system + analysis options —
+  /// the artifact-cache key fingerprint.
+  std::uint64_t system_hash = 0;
+  /// True when this request found its per-system artifacts cached.
+  bool cache_hit = false;
+  /// Artifact-cache hits/misses incurred by this request (0 or 1 each:
+  /// acquisition happens once per request).
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t queries_failed = 0;
+};
+
+/// The response: one QueryResult per request query, index-aligned.
+struct AnalysisReport {
+  std::string system;  ///< System::name() of the analyzed system
+  std::vector<QueryResult> results;
+  ReportDiagnostics diagnostics;
+
+  /// True iff every query succeeded.
+  [[nodiscard]] bool ok() const;
+
+  /// The most severe outcome for exit-code mapping: the first query
+  /// error if any; else kNoGuarantee when any DMM-carrying answer holds
+  /// DmmStatus::kNoGuarantee; else OK.
+  [[nodiscard]] Status worst_status() const;
+};
+
+/// Serializes a report (results + diagnostics) as JSON.  Deterministic:
+/// equal reports serialize identically regardless of the jobs knob.
+[[nodiscard]] std::string to_json(const AnalysisReport& report);
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+struct EngineOptions {
+  /// Worker threads for query evaluation; 1 = sequential, 0 = all
+  /// hardware threads.
+  int jobs = 1;
+  /// Maximum number of per-system artifact-cache entries (LRU beyond).
+  std::size_t cache_capacity = 128;
+};
+
+/// The facade.  Thread-compatible: one Engine may be shared by callers
+/// of run()/run_batch() from a single thread; the parallelism happens
+/// inside.  The artifact cache persists across calls.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(Engine&&) noexcept;
+  Engine& operator=(Engine&&) noexcept;
+
+  [[nodiscard]] const EngineOptions& options() const;
+
+  /// Answers one request.
+  [[nodiscard]] AnalysisReport run(const AnalysisRequest& request);
+
+  /// Answers many requests, evaluating all queries of all requests on
+  /// the worker pool.  reports[i] answers requests[i]; every report is
+  /// bit-identical to what sequential execution produces.
+  [[nodiscard]] std::vector<AnalysisReport> run_batch(
+      const std::vector<AnalysisRequest>& requests);
+
+  /// Engine-lifetime artifact-cache counters.
+  struct CacheStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t entries = 0;  ///< current resident entries
+  };
+  [[nodiscard]] CacheStats cache_stats() const;
+  void clear_cache();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace wharf
+
+#endif  // WHARF_ENGINE_ENGINE_HPP

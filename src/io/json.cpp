@@ -102,6 +102,11 @@ void JsonWriter::null() {
   os_ << "null";
 }
 
+void JsonWriter::raw(const std::string& json) {
+  prefix();
+  os_ << json;
+}
+
 std::string to_json(const LatencyResult& result) {
   std::ostringstream os;
   JsonWriter w(os);

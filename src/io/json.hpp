@@ -42,6 +42,10 @@ class JsonWriter {
   void value(bool v);
   void null();
 
+  /// Splices a pre-serialized JSON fragment in value position (comma
+  /// placement still handled).  The caller guarantees well-formedness.
+  void raw(const std::string& json);
+
  private:
   void prefix();
   void write_string(const std::string& s);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/twca.hpp"
+#include "engine/engine.hpp"
 
 namespace wharf::io {
 
@@ -18,6 +19,12 @@ namespace wharf::io {
 /// overload chain inventory.  `ks` defaults to {10} when empty.
 [[nodiscard]] std::string render_system_report(const TwcaAnalyzer& analyzer,
                                                std::vector<Count> ks = {});
+
+/// Same layout, but driven by an Engine response (the answers of an
+/// AnalysisRequest::standard() run): per-chain latency with/without
+/// overload, verdict and dmm columns, plus the overload inventory.
+/// Queries that failed render as "error" cells.
+[[nodiscard]] std::string render_report(const System& system, const AnalysisReport& report);
 
 }  // namespace wharf::io
 

@@ -1,0 +1,54 @@
+#include "util/worker_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wharf::util {
+
+int hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void parallel_for_index(std::size_t n, int jobs,
+                        const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (jobs == 0) jobs = hardware_jobs();
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs > 1 ? jobs : 1), n);
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_lock;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> guard(error_lock);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) threads.emplace_back(worker);
+  worker();  // the caller thread participates
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace wharf::util

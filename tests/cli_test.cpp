@@ -167,6 +167,75 @@ TEST(Cli, Validate) {
   EXPECT_EQ(bad.exit_code, 2);
 }
 
+// A system that can miss deadlines with no overload chain declared:
+// TWCA can prove nothing (DmmStatus::kNoGuarantee) — exit code 3.
+std::string no_guarantee_text() {
+  return "system tight\n"
+         "chain a kind=sync activation=periodic(100) deadline=10\n"
+         "  task t1 prio=2 wcet=9\n"
+         "chain b kind=sync activation=periodic(100) deadline=50\n"
+         "  task t2 prio=1 wcet=50\n";
+}
+
+TEST(Cli, AnalyzeNoGuaranteeExitsThree) {
+  const CliRun r = invoke({"analyze", "-"}, no_guarantee_text());
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.out.find("no guar"), std::string::npos);
+  EXPECT_NE(r.err.find("no-guarantee"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeJsonCarriesStatusAndReason) {
+  const CliRun r = invoke({"analyze", "-", "--json"}, no_guarantee_text());
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.out.find("\"status\":\"no-guarantee\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"reason\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"diagnostics\""), std::string::npos);
+}
+
+TEST(Cli, AnalyzeJsonOkStatus) {
+  const CliRun r = invoke({"analyze", "-", "--json", "--k", "3"}, case_study_text());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"cache_misses\":1"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeJobsProducesIdenticalOutput) {
+  const CliRun sequential = invoke({"analyze", "-", "--k", "3,76", "--jobs", "1"},
+                                   case_study_text());
+  const CliRun parallel = invoke({"analyze", "-", "--k", "3,76", "--jobs", "4"},
+                                 case_study_text());
+  EXPECT_EQ(sequential.exit_code, 0) << sequential.err;
+  EXPECT_EQ(parallel.exit_code, 0) << parallel.err;
+  EXPECT_EQ(sequential.out, parallel.out);
+}
+
+TEST(Cli, AnalyzeRejectsBadJobs) {
+  const CliRun r = invoke({"analyze", "-", "--jobs", "minus-two"}, case_study_text());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("invalid --jobs"), std::string::npos);
+}
+
+TEST(Cli, DmmNoGuaranteeExitsThree) {
+  const CliRun r = invoke({"dmm", "-", "b"}, no_guarantee_text());
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.out.find("no-guarantee"), std::string::npos);
+}
+
+TEST(Cli, DmmJsonCarriesStatusFields) {
+  const CliRun r = invoke({"dmm", "-", "sigma_c", "--k", "76", "--json"}, case_study_text());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"query\":\"dmm\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"dmm\":4"), std::string::npos);
+}
+
+TEST(Cli, DmmRejectsJsonWithBreakpoints) {
+  const CliRun r = invoke({"dmm", "-", "sigma_c", "--json", "--breakpoints", "100"},
+                          case_study_text());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("--breakpoints cannot be combined with --json"), std::string::npos);
+}
+
 TEST(Cli, MissingOptionValue) {
   const CliRun r = invoke({"analyze", "-", "--k"}, case_study_text());
   EXPECT_EQ(r.exit_code, 1);

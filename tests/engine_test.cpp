@@ -1,0 +1,229 @@
+// Tests for the wharf::Engine request/response facade: query dispatch,
+// the non-throwing Status channel, batched parallel execution (results
+// must be bit-identical to sequential), and the per-system artifact
+// cache with its hit/miss diagnostics.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/case_studies.hpp"
+#include "engine/engine.hpp"
+#include "gen/random_systems.hpp"
+
+namespace wharf {
+namespace {
+
+using case_studies::date17_case_study;
+using case_studies::kSigmaC;
+using case_studies::kSigmaD;
+using case_studies::OverloadModel;
+
+System case_study() { return date17_case_study(OverloadModel::kRareOverload); }
+
+TEST(Engine, StandardRequestAnswersEveryQuery) {
+  Engine engine;
+  const AnalysisRequest request = AnalysisRequest::standard(case_study(), {3, 76, 250});
+  const AnalysisReport report = engine.run(request);
+
+  EXPECT_EQ(report.system, "date17_case_study");
+  ASSERT_EQ(report.results.size(), request.queries.size());
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.worst_status().is_ok());
+  EXPECT_EQ(report.diagnostics.queries_failed, 0u);
+
+  // sigma_d and sigma_c each get latency (2x) + dmm: 6 queries total.
+  ASSERT_EQ(report.results.size(), 6u);
+  const auto& dmm_c = std::get<DmmAnswer>(report.results[5].answer);
+  EXPECT_EQ(dmm_c.chain, "sigma_c");
+  ASSERT_EQ(dmm_c.curve.size(), 3u);
+  EXPECT_EQ(dmm_c.curve[0].dmm, 3);   // Table II: dmm_c(3) = 3
+  EXPECT_EQ(dmm_c.curve[1].dmm, 4);   // dmm_c(76) = 4
+  EXPECT_EQ(dmm_c.curve[2].dmm, 5);   // dmm_c(250) = 5
+
+  const auto& lat_d = std::get<LatencyAnswer>(report.results[0].answer);
+  EXPECT_EQ(lat_d.chain, "sigma_d");
+  EXPECT_FALSE(lat_d.without_overload);
+  EXPECT_EQ(lat_d.result.wcl, 175);  // Table I
+}
+
+TEST(Engine, UnknownChainYieldsNotFoundNotThrow) {
+  Engine engine;
+  const AnalysisReport report =
+      engine.run(AnalysisRequest{case_study(), {}, {DmmQuery{"sigma_zz", {10}}}});
+  ASSERT_EQ(report.results.size(), 1u);
+  EXPECT_FALSE(report.results[0].ok());
+  EXPECT_EQ(report.results[0].status.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.diagnostics.queries_failed, 1u);
+  EXPECT_EQ(report.worst_status().code(), StatusCode::kNotFound);
+}
+
+TEST(Engine, OverloadDmmTargetYieldsInvalidArgument) {
+  Engine engine;
+  const AnalysisReport report =
+      engine.run(AnalysisRequest{case_study(), {}, {DmmQuery{"sigma_a", {10}}}});
+  ASSERT_EQ(report.results.size(), 1u);
+  EXPECT_EQ(report.results[0].status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Engine, MixedFailuresDoNotPoisonTheBatch) {
+  Engine engine;
+  const AnalysisReport report = engine.run(AnalysisRequest{
+      case_study(),
+      {},
+      {DmmQuery{"sigma_c", {10}}, DmmQuery{"nope", {10}}, LatencyQuery{"sigma_d", false}}});
+  ASSERT_EQ(report.results.size(), 3u);
+  EXPECT_TRUE(report.results[0].ok());
+  EXPECT_EQ(report.results[1].status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(report.results[2].ok());
+  EXPECT_EQ(report.diagnostics.queries_failed, 1u);
+}
+
+TEST(Engine, WeaklyHardQueryMatchesAnalyzer) {
+  Engine engine;
+  const AnalysisReport report = engine.run(AnalysisRequest{
+      case_study(), {}, {WeaklyHardQuery{"sigma_c", 3, 10}, WeaklyHardQuery{"sigma_c", 2, 10}}});
+  const auto& ok3 = std::get<WeaklyHardAnswer>(report.results[0].answer);
+  const auto& bad2 = std::get<WeaklyHardAnswer>(report.results[1].answer);
+  const TwcaAnalyzer analyzer{case_study()};
+  EXPECT_EQ(ok3.satisfied, analyzer.satisfies_weakly_hard(kSigmaC, 3, 10));
+  EXPECT_EQ(bad2.satisfied, analyzer.satisfies_weakly_hard(kSigmaC, 2, 10));
+  EXPECT_EQ(ok3.dmm, analyzer.dmm(kSigmaC, 10).dmm);
+}
+
+TEST(Engine, SimulationCrossValidationFindsNoViolations) {
+  Engine engine;
+  SimulationQuery query;
+  query.horizon = 50'000;
+  const AnalysisReport report = engine.run(AnalysisRequest{case_study(), {}, {query}});
+  ASSERT_TRUE(report.results[0].ok()) << report.results[0].status.to_string();
+  const auto& answer = std::get<SimulationAnswer>(report.results[0].answer);
+  EXPECT_TRUE(answer.validated);
+  EXPECT_TRUE(answer.violations.empty());
+  ASSERT_EQ(answer.chains.size(), 4u);
+  EXPECT_GT(answer.chains[static_cast<std::size_t>(kSigmaC)].completed, 0);
+}
+
+TEST(Engine, PrioritySearchRandomUsesExactBudget) {
+  Engine engine;
+  PrioritySearchQuery query;
+  query.strategy = PrioritySearchQuery::Strategy::kRandom;
+  query.budget = 25;
+  query.seed = 7;
+  const AnalysisReport report = engine.run(AnalysisRequest{case_study(), {}, {query}});
+  ASSERT_TRUE(report.results[0].ok()) << report.results[0].status.to_string();
+  const auto& answer = std::get<SearchAnswer>(report.results[0].answer);
+  EXPECT_EQ(answer.result.evaluations, 25);
+  EXPECT_LE(answer.result.best_objective, answer.nominal);
+}
+
+TEST(Engine, RepeatedRequestHitsArtifactCache) {
+  Engine engine;
+  const AnalysisRequest request = AnalysisRequest::standard(case_study());
+
+  const AnalysisReport first = engine.run(request);
+  EXPECT_FALSE(first.diagnostics.cache_hit);
+  EXPECT_EQ(first.diagnostics.cache_hits, 0u);
+  EXPECT_EQ(first.diagnostics.cache_misses, 1u);
+
+  const AnalysisReport second = engine.run(request);
+  EXPECT_TRUE(second.diagnostics.cache_hit);
+  EXPECT_EQ(second.diagnostics.cache_hits, 1u);
+  EXPECT_EQ(second.diagnostics.cache_misses, 0u);
+  EXPECT_EQ(second.diagnostics.system_hash, first.diagnostics.system_hash);
+
+  const Engine::CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // Apart from the cache diagnostics the reports are identical.
+  ASSERT_EQ(first.results.size(), second.results.size());
+  AnalysisReport first_copy = first;
+  first_copy.diagnostics = second.diagnostics;
+  EXPECT_EQ(to_json(first_copy), to_json(second));
+}
+
+TEST(Engine, DifferentOptionsMissTheCache) {
+  Engine engine;
+  AnalysisRequest request{case_study(), {}, {DmmQuery{"sigma_c", {10}}}};
+  (void)engine.run(request);
+  request.options.criterion = SchedulabilityCriterion::kExactEq3;
+  const AnalysisReport other = engine.run(request);
+  EXPECT_FALSE(other.diagnostics.cache_hit);
+  EXPECT_EQ(engine.cache_stats().misses, 2u);
+}
+
+TEST(Engine, LruEvictionAtCapacity) {
+  Engine engine{EngineOptions{1, /*cache_capacity=*/1}};
+  const AnalysisRequest a{case_study(), {}, {LatencyQuery{"sigma_c", false}}};
+  const AnalysisRequest b{date17_case_study(OverloadModel::kLiteralSporadic),
+                          {},
+                          {LatencyQuery{"sigma_c", false}}};
+  (void)engine.run(a);
+  (void)engine.run(b);          // evicts a
+  const AnalysisReport again = engine.run(a);
+  EXPECT_FALSE(again.diagnostics.cache_hit);
+  EXPECT_GE(engine.cache_stats().evictions, 1u);
+  EXPECT_EQ(engine.cache_stats().entries, 1u);
+}
+
+/// The acceptance workload: Fig. 5-style random priority assignments of
+/// the case study, one request per sampled system, run as one batch.
+std::vector<AnalysisRequest> fig5_workload(int samples, std::uint64_t seed) {
+  const System base = case_study();
+  std::mt19937_64 rng(seed);
+  std::vector<AnalysisRequest> requests;
+  requests.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    System sys = gen::with_random_priorities(base, rng);
+    requests.push_back(AnalysisRequest{
+        std::move(sys),
+        {},
+        {DmmQuery{"sigma_c", {10}}, DmmQuery{"sigma_d", {10}},
+         LatencyQuery{"sigma_c", false}, LatencyQuery{"sigma_d", true}}});
+  }
+  return requests;
+}
+
+TEST(Engine, BatchParallelReportsBitIdenticalToSequential) {
+  const std::vector<AnalysisRequest> requests = fig5_workload(24, 42);
+
+  Engine sequential{EngineOptions{1, 256}};
+  Engine parallel{EngineOptions{4, 256}};
+  const std::vector<AnalysisReport> seq = sequential.run_batch(requests);
+  const std::vector<AnalysisReport> par = parallel.run_batch(requests);
+
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(to_json(seq[i]), to_json(par[i])) << "report " << i << " diverged";
+  }
+}
+
+TEST(Engine, BatchSharesCacheAcrossIdenticalSystems) {
+  Engine engine{EngineOptions{3, 256}};
+  const AnalysisRequest request{case_study(), {}, {DmmQuery{"sigma_c", {10}}}};
+  const std::vector<AnalysisReport> reports = engine.run_batch({request, request, request});
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_FALSE(reports[0].diagnostics.cache_hit);
+  EXPECT_TRUE(reports[1].diagnostics.cache_hit);
+  EXPECT_TRUE(reports[2].diagnostics.cache_hit);
+  // All three share one entry, so the answers agree exactly.
+  EXPECT_EQ(to_json(reports[1]), to_json(reports[2]));
+}
+
+TEST(Engine, JsonReportCarriesStatusAndDiagnostics) {
+  Engine engine;
+  const AnalysisReport report =
+      engine.run(AnalysisRequest{case_study(), {}, {DmmQuery{"sigma_c", {3}}}});
+  const std::string json = to_json(report);
+  EXPECT_NE(json.find("\"system\":\"date17_case_study\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"dmm\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_misses\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"system_hash\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wharf

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/case_studies.hpp"
 #include "core/chain.hpp"
 #include "core/system.hpp"
@@ -200,6 +202,51 @@ TEST(System, WithPrioritiesRejectsDuplicates) {
   std::vector<Priority> p = s.flat_priorities();
   p[0] = p[1];
   EXPECT_THROW(s.with_priorities(p), InvalidArgument);
+}
+
+TEST(System, FindTaskDegenerateDottedNames) {
+  const System s = case_studies::date17_case_study();
+  EXPECT_FALSE(s.find_task("").has_value());
+  EXPECT_FALSE(s.find_task(".").has_value());
+  EXPECT_FALSE(s.find_task("sigma_c.").has_value());     // empty task part
+  EXPECT_FALSE(s.find_task(".tau1_c").has_value());      // empty chain part
+  EXPECT_FALSE(s.find_task("sigma_c.tau1_c.x").has_value());  // nested dot
+  // Task names resolve only within their own chain.
+  EXPECT_FALSE(s.find_task("sigma_d.tau1_c").has_value());
+}
+
+TEST(System, FindTaskResolvesFirstAndLastTask) {
+  const System s = case_studies::date17_case_study();
+  const Chain& sigma_c = s.chain(case_studies::kSigmaC);
+  const auto head = s.find_task("sigma_c." + sigma_c.header().name);
+  const auto tail = s.find_task("sigma_c." + sigma_c.tail().name);
+  ASSERT_TRUE(head.has_value());
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(head->chain, case_studies::kSigmaC);
+  EXPECT_EQ(head->task, 0);
+  EXPECT_EQ(tail->task, sigma_c.size() - 1);
+  EXPECT_EQ(*head, (TaskRef{case_studies::kSigmaC, 0}));
+}
+
+TEST(System, WithPrioritiesRejectsEmptyVector) {
+  const System s = case_studies::date17_case_study();
+  EXPECT_THROW(s.with_priorities({}), InvalidArgument);
+}
+
+TEST(System, WithPrioritiesPreservesModelStructure) {
+  const System s = case_studies::date17_case_study();
+  std::vector<Priority> p = s.flat_priorities();
+  std::reverse(p.begin(), p.end());
+  const System t = s.with_priorities(p);
+  EXPECT_EQ(t.name(), s.name());
+  EXPECT_EQ(t.size(), s.size());
+  for (int c = 0; c < s.size(); ++c) {
+    EXPECT_EQ(t.chain(c).name(), s.chain(c).name());
+    EXPECT_EQ(t.chain(c).deadline(), s.chain(c).deadline());
+    EXPECT_EQ(t.chain(c).is_overload(), s.chain(c).is_overload());
+    EXPECT_EQ(t.chain(c).arrival().describe(), s.chain(c).arrival().describe());
+  }
+  EXPECT_EQ(t.overload_indices(), s.overload_indices());
 }
 
 TEST(System, Figure1Shape) {

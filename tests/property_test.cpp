@@ -8,6 +8,7 @@
 
 #include "core/case_studies.hpp"
 #include "core/twca.hpp"
+#include "engine/engine.hpp"
 #include "gen/random_systems.hpp"
 #include "io/system_format.hpp"
 #include "sim/arrival_sequence.hpp"
@@ -127,6 +128,50 @@ TEST_P(RandomSystemProperties, DmmMonotoneInK) {
       }
       prev = v;
       first = false;
+    }
+  }
+}
+
+TEST_P(RandomSystemProperties, DmmMonotoneAndCappedAtKViaEngine) {
+  // The satellite property: over random systems, dmm(k) is monotone
+  // non-decreasing in k and never exceeds k when cap_at_k is set —
+  // checked through the Engine facade, cross-validated against the
+  // analyzer core.
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  const System sys = gen::random_system(property_spec(GetParam() % 2 == 0), rng);
+
+  std::vector<Count> ks;
+  for (Count k = 1; k <= 24; ++k) ks.push_back(k);
+
+  TwcaOptions options;
+  ASSERT_TRUE(options.cap_at_k);  // the default the property relies on
+
+  AnalysisRequest request{sys, options, {}};
+  for (int c : sys.regular_indices()) {
+    if (sys.chain(c).deadline().has_value()) {
+      request.queries.push_back(DmmQuery{sys.chain(c).name(), ks});
+    }
+  }
+  Engine engine;
+  const AnalysisReport report = engine.run(request);
+  ASSERT_TRUE(report.ok()) << report.worst_status().to_string();
+
+  const TwcaAnalyzer analyzer{sys};
+  for (const QueryResult& result : report.results) {
+    const auto& answer = std::get<DmmAnswer>(result.answer);
+    ASSERT_EQ(answer.curve.size(), ks.size());
+    Count prev = 0;
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      const DmmResult& r = answer.curve[i];
+      EXPECT_EQ(r.k, ks[i]);
+      EXPECT_GE(r.dmm, 0) << "chain " << answer.chain << " k=" << r.k;
+      EXPECT_LE(r.dmm, r.k) << "cap_at_k violated on chain " << answer.chain;
+      EXPECT_GE(r.dmm, prev) << "non-monotone on chain " << answer.chain << " at k=" << r.k;
+      prev = r.dmm;
+      // The facade must agree with the analyzer core bit for bit.
+      const auto chain = sys.chain_index(answer.chain);
+      ASSERT_TRUE(chain.has_value());
+      EXPECT_EQ(r.dmm, analyzer.dmm(*chain, ks[i]).dmm);
     }
   }
 }

@@ -1,0 +1,113 @@
+// Tests for the non-throwing error channel (src/util/status.hpp):
+// Status codes, Expected<T>, and exception capture at the boundary.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/expect.hpp"
+#include "util/status.hpp"
+
+namespace wharf {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+  EXPECT_EQ(s, Status::ok());
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::not_found("no such chain");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such chain");
+  EXPECT_EQ(s.to_string(), "not-found: no such chain");
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_EQ(to_string(StatusCode::kOk), "ok");
+  EXPECT_EQ(to_string(StatusCode::kInvalidArgument), "invalid-argument");
+  EXPECT_EQ(to_string(StatusCode::kNotFound), "not-found");
+  EXPECT_EQ(to_string(StatusCode::kParseError), "parse-error");
+  EXPECT_EQ(to_string(StatusCode::kResourceExhausted), "resource-exhausted");
+  EXPECT_EQ(to_string(StatusCode::kNoGuarantee), "no-guarantee");
+  EXPECT_EQ(to_string(StatusCode::kInternal), "internal");
+}
+
+TEST(Expected, HoldsValue) {
+  const Expected<int> e = 42;
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(e.value_or(7), 42);
+  EXPECT_TRUE(e.status().is_ok());
+}
+
+TEST(Expected, HoldsError) {
+  const Expected<int> e = Status::invalid_argument("bad k");
+  EXPECT_FALSE(e.has_value());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(e.value_or(7), 7);
+  EXPECT_THROW((void)e.value(), std::logic_error);
+}
+
+TEST(Expected, RejectsOkStatusAsError) {
+  EXPECT_THROW(Expected<int>{Status::ok()}, InvalidArgument);
+}
+
+TEST(Capture, PassesValuesThrough) {
+  const Expected<int> e = capture([] { return 5; });
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e.value(), 5);
+}
+
+TEST(Capture, MapsWharfExceptionsToCodes) {
+  const Expected<int> invalid =
+      capture([]() -> int { throw InvalidArgument("negative period"); });
+  EXPECT_EQ(invalid.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(invalid.status().message().find("negative period"), std::string::npos);
+
+  const Expected<int> parse = capture([]() -> int { throw ParseError("bad token", 3); });
+  EXPECT_EQ(parse.status().code(), StatusCode::kParseError);
+  EXPECT_NE(parse.status().message().find("line 3"), std::string::npos);
+
+  const Expected<int> solver = capture([]() -> int { throw SolverError("node cap"); });
+  EXPECT_EQ(solver.status().code(), StatusCode::kResourceExhausted);
+
+  const Expected<int> analysis = capture([]() -> int { throw AnalysisError("window cap"); });
+  EXPECT_EQ(analysis.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Capture, MapsForeignExceptionsToInternal) {
+  const Expected<int> logic = capture([]() -> int { throw std::logic_error("invariant"); });
+  EXPECT_EQ(logic.status().code(), StatusCode::kInternal);
+
+  const Expected<int> unknown = capture([]() -> int { throw 42; });
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(unknown.status().message(), "unknown exception");
+}
+
+TEST(Capture, VoidVariantReturnsStatus) {
+  const Status ok = capture([] {});
+  EXPECT_TRUE(ok.is_ok());
+
+  const Status bad = capture([] { throw InvalidArgument("nope"); });
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Capture, PreconditionMacroRoutesThroughCapture) {
+  const auto guarded = [](int k) {
+    return capture([&] {
+      WHARF_EXPECT(k >= 1, "k must be >= 1, got " << k);
+      return k * 2;
+    });
+  };
+  EXPECT_EQ(guarded(4).value(), 8);
+  EXPECT_EQ(guarded(0).status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace wharf
