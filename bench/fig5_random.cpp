@@ -99,7 +99,7 @@ void print_tables() {
   const int repeats = env_int("WHARF_FIG5_REPEATS", 3);
   const int jobs = env_int("WHARF_JOBS", 0);
   const System base = date17_case_study(OverloadModel::kRareOverload);
-  Engine engine{EngineOptions{jobs, /*cache_capacity=*/16}};
+  Engine engine{EngineOptions{jobs, EngineOptions{}.cache_bytes}};
 
   std::cout << "=== Figure 5: dmm(10) over random priority assignments ===\n"
             << "(paper: sigma_c schedulable 633/1000, sigma_d 307/1000; for >500 of\n"
@@ -129,7 +129,7 @@ void print_tables() {
 void BM_OneAssignmentBothDmms(benchmark::State& state) {
   const System base = date17_case_study(OverloadModel::kRareOverload);
   std::mt19937_64 rng(7);
-  Engine engine{EngineOptions{1, 16}};
+  Engine engine{EngineOptions{1, EngineOptions{}.cache_bytes}};
   for (auto _ : state) {
     const AnalysisRequest request{gen::with_random_priorities(base, rng),
                                   {},
@@ -141,7 +141,7 @@ BENCHMARK(BM_OneAssignmentBothDmms);
 
 void BM_BatchExperiment100(benchmark::State& state) {
   const System base = date17_case_study(OverloadModel::kRareOverload);
-  Engine engine{EngineOptions{static_cast<int>(state.range(0)), 16}};
+  Engine engine{EngineOptions{static_cast<int>(state.range(0)), EngineOptions{}.cache_bytes}};
   for (auto _ : state) {
     benchmark::DoNotOptimize(run_experiment(engine, base, 100, 42));
   }
@@ -156,7 +156,7 @@ void BM_RepeatedRequestHitsCache(benchmark::State& state) {
   // The artifact cache makes repeated queries on the same model
   // near-free: everything k-independent is memoized per system.
   const System base = date17_case_study(OverloadModel::kRareOverload);
-  Engine engine{EngineOptions{1, 16}};
+  Engine engine{EngineOptions{1, EngineOptions{}.cache_bytes}};
   const AnalysisRequest request{base, {}, {DmmQuery{"sigma_c", {10}}}};
   (void)engine.run(request);  // warm the cache
   for (auto _ : state) {

@@ -49,7 +49,7 @@ void print_tables() {
     request.queries.push_back(query);
     labels.push_back(util::cat("hill_climb(restarts=", restarts, ")"));
   }
-  Engine engine{EngineOptions{0, 16}};  // all hardware threads
+  Engine engine{EngineOptions{0, EngineOptions{}.cache_bytes}};  // all hardware threads
   const AnalysisReport report = engine.run(request);
 
   std::cout << "=== Priority synthesis on the case study (objective: lexicographic\n"

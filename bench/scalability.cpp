@@ -73,7 +73,7 @@ void BM_EngineBatchJobs(benchmark::State& state) {
         AnalysisRequest::standard(sized_system(4, 4, 1, 200 + static_cast<std::uint64_t>(i))));
   }
   for (auto _ : state) {
-    Engine engine{EngineOptions{static_cast<int>(state.range(0)), 64}};
+    Engine engine{EngineOptions{static_cast<int>(state.range(0)), EngineOptions{}.cache_bytes}};
     benchmark::DoNotOptimize(engine.run_batch(requests));
   }
 }

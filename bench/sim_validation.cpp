@@ -75,8 +75,15 @@ void print_tables() {
   spec.overload_gap = 20'000;
   std::mt19937_64 rng(31337);
   std::vector<AnalysisRequest> sweep;
+  sweep.reserve(50);
+// GCC 12 reports a spurious -Wmaybe-uninitialized deep inside the Query
+// variant's inlined move when push_back relocates (no real path reads
+// uninitialized storage; fixed in GCC 13).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
   for (int i = 0; i < 50; ++i) {
     AnalysisRequest request{gen::random_system(spec, rng), {}, {}};
+    request.queries.reserve(3);
     for (const Count k : {1, 5, 10}) {
       SimulationQuery query;
       query.horizon = 60'000;
@@ -85,7 +92,8 @@ void print_tables() {
     }
     sweep.push_back(std::move(request));
   }
-  Engine sweep_engine{EngineOptions{0, 64}};  // all hardware threads
+#pragma GCC diagnostic pop
+  Engine sweep_engine{EngineOptions{0, EngineOptions{}.cache_bytes}};  // all hardware threads
   const std::vector<AnalysisReport> reports = sweep_engine.run_batch(sweep);
 
   int checks = 0;

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   climb.seed = seed;
   requests.push_back(AnalysisRequest{base, {}, {climb}});
 
-  Engine engine{EngineOptions{0, 16}};  // 0 = all hardware threads
+  Engine engine{EngineOptions{0, EngineOptions{}.cache_bytes}};  // 0 = all hardware threads
   const std::vector<AnalysisReport> reports = engine.run_batch(requests);
 
   const auto dmm_of = [](const AnalysisReport& report, std::size_t query) {

@@ -30,8 +30,10 @@ constexpr int kNoGuaranteeExit = 3;
 const char kUsage[] = R"(wharf — weakly-hard analysis of SPP task-chain systems (DATE'17 TWCA)
 
 usage:
-  wharf analyze  <file> [--k K1,K2,...] [--json] [--jobs N]
+  wharf analyze  <file> [--k K1,K2,...] [--json] [--jobs N] [--cache-bytes N]
   wharf dmm      <file> <chain> [--k K] [--breakpoints KMAX] [--json]
+  wharf path     <file> <chain1,chain2,...> [--deadline D] [--budgets B1,B2,...]
+                 [--k K1,K2,...] [--json] [--jobs N]
   wharf simulate <file> [--horizon H] [--seed S] [--extra-gap G] [--gantt WIDTH]
   wharf search   <file> [--k K] [--strategy random|climb] [--budget N] [--seed S]
   wharf validate <file>
@@ -56,7 +58,8 @@ struct Options {
 bool option_takes_value(const std::string& name) {
   return name == "--k" || name == "--breakpoints" || name == "--horizon" || name == "--seed" ||
          name == "--extra-gap" || name == "--gantt" || name == "--strategy" ||
-         name == "--budget" || name == "--jobs";
+         name == "--budget" || name == "--jobs" || name == "--cache-bytes" ||
+         name == "--deadline" || name == "--budgets";
 }
 
 bool parse_options(const std::vector<std::string>& args, std::size_t first, Options& out,
@@ -101,6 +104,19 @@ bool parse_jobs(const Options& options, int& jobs, std::ostream& err) {
     return false;
   }
   jobs = static_cast<int>(v);
+  return true;
+}
+
+/// Parses --cache-bytes (>= 0; 0 = unlimited artifact-store budget).
+bool parse_cache_bytes(const Options& options, std::size_t& bytes, std::ostream& err) {
+  bytes = EngineOptions{}.cache_bytes;
+  if (!options.has("--cache-bytes")) return true;
+  long long v = 0;
+  if (!util::parse_int64(options.get("--cache-bytes", ""), v) || v < 0) {
+    err << "invalid --cache-bytes: '" << options.get("--cache-bytes", "") << "'\n";
+    return false;
+  }
+  bytes = static_cast<std::size_t>(v);
   return true;
 }
 
@@ -162,8 +178,10 @@ int cmd_analyze(const Options& options, std::istream& in, std::ostream& out, std
   }
   int jobs = 1;
   if (!parse_jobs(options, jobs, err)) return kUsageError;
+  std::size_t cache_bytes = 0;
+  if (!parse_cache_bytes(options, cache_bytes, err)) return kUsageError;
 
-  Engine engine{EngineOptions{jobs, /*cache_capacity=*/16}};
+  Engine engine{EngineOptions{jobs, cache_bytes}};
   const AnalysisReport report = engine.run(AnalysisRequest::standard(*system, ks));
 
   if (options.has("--json")) {
@@ -236,6 +254,79 @@ int cmd_dmm(const Options& options, std::istream& in, std::ostream& out, std::os
     out << table_or.value();
   }
   return r.status == DmmStatus::kNoGuarantee ? kNoGuaranteeExit : kOk;
+}
+
+int cmd_path(const Options& options, std::istream& in, std::ostream& out, std::ostream& err) {
+  if (options.positional.size() != 2) {
+    err << "path expects <file> <chain1,chain2,...>\n";
+    return kUsageError;
+  }
+  const auto system = load_system(options.positional[0], in, err);
+  if (!system.has_value()) return kInputError;
+  const std::vector<std::string> chains = util::split(options.positional[1], ',');
+
+  AnalysisRequest request{*system, {}, {PathLatencyQuery{chains}}};
+  if (options.has("--deadline")) {
+    PathDmmQuery dmm_query;
+    dmm_query.chains = chains;
+    Count deadline = 0;
+    if (!parse_count(options.get("--deadline", ""), deadline, err, "deadline")) {
+      return kUsageError;
+    }
+    dmm_query.deadline = deadline;
+    if (options.has("--budgets")) {
+      for (const std::string& field : util::split(options.get("--budgets", ""), ',')) {
+        Count budget = 0;
+        if (!parse_count(field, budget, err, "budget")) return kUsageError;
+        dmm_query.budgets.push_back(budget);
+      }
+    }
+    if (options.has("--k")) {
+      dmm_query.ks = parse_k_list(options.get("--k", ""), err);
+      if (dmm_query.ks.empty()) return kUsageError;
+    }
+    request.queries.push_back(dmm_query);
+  } else if (options.has("--budgets") || options.has("--k")) {
+    err << "--budgets/--k require --deadline (they parameterize the path DMM)\n";
+    return kUsageError;
+  }
+  int jobs = 1;
+  if (!parse_jobs(options, jobs, err)) return kUsageError;
+
+  Engine engine{EngineOptions{jobs, EngineOptions{}.cache_bytes}};
+  const AnalysisReport report = engine.run(request);
+
+  if (options.has("--json")) {
+    // Like analyze: failed queries are structured status entries in the
+    // JSON stream, never a bare stderr line with empty stdout.
+    out << to_json(report) << "\n";
+    return exit_code_for(report.worst_status());
+  }
+
+  for (const QueryResult& result : report.results) {
+    if (!result.ok()) {
+      err << result.status.to_string() << "\n";
+      return exit_code_for(result.status);
+    }
+  }
+
+  const auto& latency = std::get<PathLatencyAnswer>(report.results.front().answer);
+  out << "path " << options.positional[1] << ": ";
+  if (latency.result.bounded) {
+    out << "WCL <= " << latency.result.wcl << " (per chain:";
+    for (const Time t : latency.result.per_chain_wcl) out << ' ' << t;
+    out << ")\n";
+  } else {
+    out << "unbounded: " << latency.result.reason << "\n";
+  }
+  if (report.results.size() > 1) {
+    const auto& dmm = std::get<PathDmmAnswer>(report.results[1].answer);
+    for (const PathDmmResult& r : dmm.curve) {
+      out << "dmm_path(" << r.k << ") = " << r.dmm << "  [" << to_string(r.status)
+          << (r.reason.empty() ? "" : ": " + r.reason) << "]\n";
+    }
+  }
+  return exit_code_for(report.worst_status());
 }
 
 int cmd_simulate(const Options& options, std::istream& in, std::ostream& out, std::ostream& err) {
@@ -381,6 +472,7 @@ int run(const std::vector<std::string>& args, std::istream& in, std::ostream& ou
   const std::string& command = args[0];
   if (command == "analyze") return cmd_analyze(options, in, out, err);
   if (command == "dmm") return cmd_dmm(options, in, out, err);
+  if (command == "path") return cmd_path(options, in, out, err);
   if (command == "simulate") return cmd_simulate(options, in, out, err);
   if (command == "search") return cmd_search(options, in, out, err);
   if (command == "validate") return cmd_validate(options, in, out, err);

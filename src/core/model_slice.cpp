@@ -1,0 +1,142 @@
+#include "core/model_slice.hpp"
+
+#include <sstream>
+
+#include "core/segments.hpp"
+
+namespace wharf {
+
+namespace {
+
+void append_chain_content(std::ostream& os, const Chain& chain) {
+  os << "chain{" << chain.name() << ';' << (chain.is_synchronous() ? 'S' : 'A') << ';'
+     << chain.arrival().describe() << ';';
+  if (chain.deadline().has_value()) {
+    os << *chain.deadline();
+  } else {
+    os << '-';
+  }
+  os << ';' << (chain.is_overload() ? 'O' : '.') << ";[";
+  for (const Task& task : chain.tasks()) {
+    os << task.priority << ':' << task.wcet << ',';
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+std::string chain_content(const Chain& chain) {
+  std::ostringstream os;
+  append_chain_content(os, chain);
+  return os.str();
+}
+
+std::string interference_slice(const Chain& a, const Chain& b) {
+  std::ostringstream os;
+  const Priority min_b = b.min_priority();
+  os << "ifc{" << a.name() << ';' << (a.is_synchronous() ? 'S' : 'A') << ";[";
+  for (const Task& task : a.tasks()) {
+    os << task.wcet << ':' << (task.priority > min_b ? '1' : '0') << ',';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string busy_interference_slice(const Chain& a, const Chain& b) {
+  std::ostringstream os;
+  os << "bwi{" << a.name() << ';' << (a.is_synchronous() ? 'S' : 'A') << ';'
+     << a.arrival().describe() << ";C=" << a.total_wcet() << ';';
+  if (!is_deferred(a, b)) {
+    os << "arb}";
+    return os.str();
+  }
+  os << "def;hdr=" << cost_of(a, header_segment_wrt(a, b)) << ";segs=[";
+  Time total = 0;
+  for (const Segment& s : segments_wrt(a, b)) {
+    os << s.cost << (s.wraps ? 'w' : '.') << ',';
+    total = sat_add(total, s.cost);
+  }
+  const auto critical = critical_segment(a, b);
+  os << "];sum=" << total << ";crit=" << (critical ? critical->cost : 0) << '}';
+  return os.str();
+}
+
+std::string overload_slice(const Chain& a, const Chain& b) {
+  std::ostringstream os;
+  os << "ovl{" << a.name() << ';' << a.arrival().describe() << ";active=[";
+  for (const ActiveSegment& s : active_segments_wrt(a, b)) {
+    os << s.segment_index << ':' << s.cost << ',';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string analysis_options_slice(const AnalysisOptions& options) {
+  std::ostringstream os;
+  os << "ao{" << options.max_busy_windows << ';' << options.max_fixed_point_iterations << ';'
+     << options.divergence_guard << ';' << options.naive_arbitrary << '}';
+  return os.str();
+}
+
+std::string combination_options_slice(const TwcaOptions& options) {
+  std::ostringstream os;
+  os << "co{" << static_cast<int>(options.criterion) << ';' << options.max_combinations << ';'
+     << options.minimal_only << '}';
+  return os.str();
+}
+
+std::string interference_key(const System& system, int target) {
+  // The cached InterferenceContext embeds absolute chain indices
+  // (ctx.target, others[].chain) that consumers dereference against the
+  // *current* system, so the key pins every position: two systems
+  // listing the same chains in a different order must not collide.
+  std::ostringstream os;
+  os << "ifc|t=" << target << ';';
+  append_chain_content(os, system.chain(target));
+  for (int a = 0; a < system.size(); ++a) {
+    if (a == target) continue;
+    os << '@' << a << interference_slice(system.chain(a), system.chain(target));
+  }
+  return os.str();
+}
+
+std::string busy_window_key(const System& system, int target, const AnalysisOptions& options,
+                            bool without_overload) {
+  std::ostringstream os;
+  os << (without_overload ? "bw-noov|" : "bw|") << analysis_options_slice(options);
+  append_chain_content(os, system.chain(target));
+  for (int a = 0; a < system.size(); ++a) {
+    if (a == target) continue;
+    if (without_overload && system.chain(a).is_overload()) continue;
+    os << busy_interference_slice(system.chain(a), system.chain(target));
+  }
+  return os.str();
+}
+
+std::string overload_key(const System& system, int target, const TwcaOptions& options) {
+  // The k-independent artifacts read the full latency result (whose key
+  // is the busy-window slice), the typical/exact slack (same reads, with
+  // overload chains excluded — a subset), and the active segments of
+  // every overload chain.  The cached TargetArtifacts embed absolute
+  // chain indices (structure.target, per_chain[].chain) and the slack
+  // computation dereferences the cached interference context's indices,
+  // so — unlike the busy-window key, whose artifact is pure data — the
+  // target and overload positions are pinned into the key.
+  std::ostringstream os;
+  os << "ov|t=" << target << ';' << combination_options_slice(options)
+     << busy_window_key(system, target, options.analysis, /*without_overload=*/false);
+  for (const int a : system.overload_indices()) {
+    if (a == target) continue;
+    os << '@' << a << overload_slice(system.chain(a), system.chain(target));
+  }
+  return os.str();
+}
+
+std::string dmm_key(const System& system, int target, Count k, const TwcaOptions& options) {
+  std::ostringstream os;
+  os << "dmm|k=" << k << ";cap=" << options.cap_at_k << ";dfs=" << options.use_dfs_packer << ';'
+     << overload_key(system, target, options);
+  return os.str();
+}
+
+}  // namespace wharf

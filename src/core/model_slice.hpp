@@ -1,0 +1,101 @@
+/// \file model_slice.hpp
+/// Canonical content encodings of the model slices each analysis stage
+/// reads — the substrate of artifact-granular caching.
+///
+/// The TWCA pipeline is staged: interference/segment structure (Defs
+/// 2–5) → busy windows (Thm 1/2) → overload structures + unschedulable
+/// combinations (Defs 8/9, Eq. 5) → dmm(k) (Thm 3) → combination-packing
+/// ILP.  Each stage's result is a pure function of a *slice* of the
+/// system model, usually much smaller than the whole system:
+///
+///  * the busy window of target σ_b reads σ_b in full, but of every
+///    other chain σ_a only a derived interference summary — the
+///    deferred/arbitrary classification and a handful of segment costs
+///    (Eq. 1 never looks at σ_a's raw priorities, only at comparisons
+///    against σ_b's minimum priority);
+///  * the overload structure additionally reads the active segments of
+///    overload chains w.r.t. σ_b;
+///  * the packing ILP reads nothing but capacities and item-resource
+///    incidence.
+///
+/// The functions here serialize exactly those read sets into canonical
+/// strings.  Two systems with equal slices provably yield bit-identical
+/// stage results, so the strings are sound cache keys: tweaking one
+/// chain's priority invalidates only the targets whose slices actually
+/// change (typically the mutated chain itself), not the whole system.
+///
+/// Caveat (shared with io::serialize_system): arrival models are encoded
+/// via ArrivalModel::describe(), which is a faithful content encoding
+/// for every library model but relies on user-defined models describing
+/// themselves uniquely.
+
+#ifndef WHARF_CORE_MODEL_SLICE_HPP
+#define WHARF_CORE_MODEL_SLICE_HPP
+
+#include <string>
+
+#include "core/system.hpp"
+#include "core/twca.hpp"
+
+namespace wharf {
+
+/// Full canonical encoding of one chain (name, kind, arrival curve,
+/// deadline, overload flag, per-task priorities and WCETs).  This is the
+/// target side of every per-target slice.
+[[nodiscard]] std::string chain_content(const Chain& chain);
+
+/// What the interference-context stage (Defs 2–5) reads about chain `a`
+/// w.r.t. target `b`: per-task WCETs plus the comparison of each task's
+/// priority against b's minimum priority (priorities are globally
+/// unique, so one boolean per task captures every comparison Defs 2–5
+/// make).
+[[nodiscard]] std::string interference_slice(const Chain& a, const Chain& b);
+
+/// What the busy-window fixed point (Eq. 1/3/4) reads about interferer
+/// `a` w.r.t. target `b`: arrival curve, total WCET, kind, and — when
+/// `a` is deferred — the derived header/segment/critical costs.  Raw
+/// priorities never appear: an interferer whose derived summary is
+/// unchanged cannot change the fixed point.
+[[nodiscard]] std::string busy_interference_slice(const Chain& a, const Chain& b);
+
+/// What the overload-structure/combination stage (Defs 8/9) reads about
+/// overload chain `a` w.r.t. target `b`: the arrival curve (Lemma 4's
+/// Ω term) and the active segments (parent segment and cost each).
+[[nodiscard]] std::string overload_slice(const Chain& a, const Chain& b);
+
+/// Canonical encoding of the analysis knobs that change busy-window
+/// results (caps, divergence guard, naive-arbitrary ablation).
+[[nodiscard]] std::string analysis_options_slice(const AnalysisOptions& options);
+
+/// Canonical encoding of the TWCA knobs that change k-independent
+/// combination artifacts (criterion, enumeration cap, minimality).
+[[nodiscard]] std::string combination_options_slice(const TwcaOptions& options);
+
+/// Cache key of the interference context of `target`.  Pins the target
+/// and interferer *positions* in addition to their content: the cached
+/// context embeds absolute chain indices that consumers dereference
+/// against the current system.
+[[nodiscard]] std::string interference_key(const System& system, int target);
+
+/// Cache key of the busy-window/latency stage of `target`.  When
+/// `without_overload` is set, overload chains are excluded from the walk
+/// (the paper's "second analysis"), so their slices do not taint the key
+/// and overload-model changes cannot invalidate it.
+[[nodiscard]] std::string busy_window_key(const System& system, int target,
+                                          const AnalysisOptions& options,
+                                          bool without_overload);
+
+/// Cache key of the k-independent overload artifacts of `target` (slack,
+/// overload structure, unschedulable combinations, Thm 3 preconditions).
+/// Pins the target's and each overload chain's position (the cached
+/// OverloadStructure embeds absolute indices).
+[[nodiscard]] std::string overload_key(const System& system, int target,
+                                       const TwcaOptions& options);
+
+/// Cache key of one dmm(k) query result for `target`.
+[[nodiscard]] std::string dmm_key(const System& system, int target, Count k,
+                                  const TwcaOptions& options);
+
+}  // namespace wharf
+
+#endif  // WHARF_CORE_MODEL_SLICE_HPP

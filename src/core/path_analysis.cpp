@@ -11,63 +11,10 @@ namespace wharf {
 
 namespace {
 
-/// Copy of `system` with the deadline of chain `target` replaced.
-System with_deadline(const System& system, int target, Time deadline) {
-  std::vector<Chain> chains;
-  chains.reserve(static_cast<std::size_t>(system.size()));
-  for (int c = 0; c < system.size(); ++c) {
-    const Chain& chain = system.chain(c);
-    Chain::Spec spec;
-    spec.name = chain.name();
-    spec.kind = chain.kind();
-    spec.arrival = chain.arrival_ptr();
-    spec.deadline = c == target ? std::optional<Time>(deadline) : chain.deadline();
-    spec.overload = chain.is_overload();
-    spec.tasks = chain.tasks();
-    chains.emplace_back(std::move(spec));
-  }
-  return System(system.name(), std::move(chains));
-}
-
-}  // namespace
-
-PathAnalyzer::PathAnalyzer(System system, TwcaOptions options)
-    : system_(std::move(system)), options_(options) {}
-
-void PathAnalyzer::validate_path(const PathSpec& path) const {
-  WHARF_EXPECT(!path.chains.empty(), "a path needs at least one chain");
-  std::unordered_set<int> seen;
-  for (int c : path.chains) {
-    WHARF_EXPECT(c >= 0 && c < system_.size(),
-                 "path chain index " << c << " out of range [0, " << system_.size() << ")");
-    WHARF_EXPECT(seen.insert(c).second, "path lists chain '" << system_.chain(c).name()
-                                                             << "' twice (chains in a path "
-                                                                "must be distinct)");
-    WHARF_EXPECT(!system_.chain(c).is_overload(),
-                 "overload chain '" << system_.chain(c).name() << "' cannot be on a path");
-  }
-}
-
-PathLatencyResult PathAnalyzer::latency(const PathSpec& path) const {
-  validate_path(path);
-  PathLatencyResult result;
-  for (int c : path.chains) {
-    const LatencyResult chain_result = latency_analysis(system_, c, options_.analysis);
-    if (!chain_result.bounded) {
-      result.bounded = false;
-      result.reason = util::cat("chain '", system_.chain(c).name(),
-                                "' has no latency bound: ", chain_result.reason);
-      return result;
-    }
-    result.per_chain_wcl.push_back(chain_result.wcl);
-    result.wcl = sat_add(result.wcl, chain_result.wcl);
-  }
-  result.bounded = true;
-  return result;
-}
-
-std::vector<Time> PathAnalyzer::resolve_budgets(const PathSpec& path,
-                                                const std::vector<Time>& wcls) const {
+/// Splits an end-to-end deadline into per-chain budgets: explicit
+/// budgets when given (validated), else proportional to the standalone
+/// WCLs.
+std::vector<Time> resolve_budgets(const PathSpec& path, const std::vector<Time>& wcls) {
   const Time deadline = *path.deadline;
   const auto n = static_cast<Time>(path.chains.size());
   if (!path.budgets.empty()) {
@@ -85,18 +32,22 @@ std::vector<Time> PathAnalyzer::resolve_budgets(const PathSpec& path,
   WHARF_EXPECT(deadline >= n,
                "path deadline " << deadline << " cannot be split over " << n << " chains");
   // Proportional to standalone WCLs (weight >= 1 so that zero-cost chains
-  // still receive a budget).
+  // still receive a budget).  The products run in 128-bit arithmetic:
+  // deadline * weight overflows Time for large-but-bounded WCLs, and the
+  // quotient is always <= deadline.
   Time total_weight = 0;
   std::vector<Time> weights;
   for (Time w : wcls) {
     weights.push_back(std::max<Time>(w, 1));
-    total_weight += weights.back();
+    total_weight = sat_add(total_weight, weights.back());
   }
   std::vector<Time> budgets(path.chains.size(), 1);
   Time assigned = 0;
   for (std::size_t i = 0; i < budgets.size(); ++i) {
-    budgets[i] = std::max<Time>(1, deadline * weights[i] / total_weight);
-    assigned += budgets[i];
+    const auto share = static_cast<Time>(static_cast<__int128>(deadline) * weights[i] /
+                                         total_weight);
+    budgets[i] = std::max<Time>(1, share);
+    assigned = sat_add(assigned, budgets[i]);
   }
   // Fix the rounding drift on the last chain (keeping every budget >= 1).
   Time drift = deadline - assigned;
@@ -109,15 +60,72 @@ std::vector<Time> PathAnalyzer::resolve_budgets(const PathSpec& path,
   return budgets;
 }
 
-PathDmmResult PathAnalyzer::dmm(const PathSpec& path, Count k) const {
-  validate_path(path);
+/// The default artifact source: standalone analyses on the given system
+/// (one TwcaAnalyzer per budgeted variant, as PathAnalyzer always did).
+class AnalyzerOracle final : public PathChainOracle {
+ public:
+  AnalyzerOracle(const System& system, const TwcaOptions& options)
+      : system_(system), options_(options) {}
+
+  LatencyResult latency(int chain) override {
+    return latency_analysis(system_, chain, options_.analysis);
+  }
+
+  DmmResult dmm_with_budget(int chain, Time budget, Count k) override {
+    const TwcaAnalyzer analyzer{system_.with_deadline(chain, budget), options_};
+    return analyzer.dmm(chain, k);
+  }
+
+ private:
+  const System& system_;
+  const TwcaOptions& options_;
+};
+
+}  // namespace
+
+void validate_path(const System& system, const PathSpec& path) {
+  WHARF_EXPECT(!path.chains.empty(), "a path needs at least one chain");
+  std::unordered_set<int> seen;
+  for (int c : path.chains) {
+    WHARF_EXPECT(c >= 0 && c < system.size(),
+                 "path chain index " << c << " out of range [0, " << system.size() << ")");
+    WHARF_EXPECT(seen.insert(c).second, "path lists chain '" << system.chain(c).name()
+                                                             << "' twice (chains in a path "
+                                                                "must be distinct)");
+    WHARF_EXPECT(!system.chain(c).is_overload(),
+                 "overload chain '" << system.chain(c).name() << "' cannot be on a path");
+  }
+}
+
+PathLatencyResult path_latency(const System& system, const PathSpec& path,
+                               PathChainOracle& oracle) {
+  validate_path(system, path);
+  PathLatencyResult result;
+  for (int c : path.chains) {
+    const LatencyResult chain_result = oracle.latency(c);
+    if (!chain_result.bounded) {
+      result.bounded = false;
+      result.reason = util::cat("chain '", system.chain(c).name(),
+                                "' has no latency bound: ", chain_result.reason);
+      return result;
+    }
+    result.per_chain_wcl.push_back(chain_result.wcl);
+    result.wcl = sat_add(result.wcl, chain_result.wcl);
+  }
+  result.bounded = true;
+  return result;
+}
+
+PathDmmResult path_dmm(const System& system, const PathSpec& path, Count k,
+                       PathChainOracle& oracle) {
+  validate_path(system, path);
   WHARF_EXPECT(k >= 1, "dmm requires k >= 1, got " << k);
   WHARF_EXPECT(path.deadline.has_value(), "path DMM requires an end-to-end deadline");
 
   PathDmmResult result;
   result.k = k;
 
-  const PathLatencyResult lat = latency(path);
+  const PathLatencyResult lat = path_latency(system, path, oracle);
   if (!lat.bounded) {
     result.status = DmmStatus::kNoGuarantee;
     result.reason = lat.reason;
@@ -135,12 +143,10 @@ PathDmmResult PathAnalyzer::dmm(const PathSpec& path, Count k) const {
   Count total = 0;
   for (std::size_t i = 0; i < path.chains.size(); ++i) {
     const int c = path.chains[i];
-    const System budgeted = with_deadline(system_, c, result.budgets[i]);
-    TwcaAnalyzer analyzer{budgeted, options_};
-    const DmmResult chain_dmm = analyzer.dmm(c, k);
+    const DmmResult chain_dmm = oracle.dmm_with_budget(c, result.budgets[i], k);
     if (chain_dmm.status == DmmStatus::kNoGuarantee) {
       result.status = DmmStatus::kNoGuarantee;
-      result.reason = util::cat("chain '", system_.chain(c).name(), "' with budget ",
+      result.reason = util::cat("chain '", system.chain(c).name(), "' with budget ",
                                 result.budgets[i], ": ", chain_dmm.reason);
       result.dmm = k;
       return result;
@@ -151,6 +157,19 @@ PathDmmResult PathAnalyzer::dmm(const PathSpec& path, Count k) const {
   result.status = DmmStatus::kBounded;
   result.dmm = std::min<Count>(total, k);
   return result;
+}
+
+PathAnalyzer::PathAnalyzer(System system, TwcaOptions options)
+    : system_(std::move(system)), options_(options) {}
+
+PathLatencyResult PathAnalyzer::latency(const PathSpec& path) const {
+  AnalyzerOracle oracle{system_, options_};
+  return path_latency(system_, path, oracle);
+}
+
+PathDmmResult PathAnalyzer::dmm(const PathSpec& path, Count k) const {
+  AnalyzerOracle oracle{system_, options_};
+  return path_dmm(system_, path, k, oracle);
 }
 
 ArrivalModelPtr derived_output_model(const Chain& chain, const LatencyResult& latency) {

@@ -60,8 +60,39 @@ struct PathDmmResult {
   std::vector<Count> per_chain;   ///< dmm_i^{D_i}(k)
 };
 
+/// Artifact-boundary interface of path analysis: where the per-chain
+/// stage results come from.  path_latency()/path_dmm() compose purely
+/// over this oracle, so callers that cache per-chain artifacts (the
+/// Engine's ArtifactStore pipeline) plug in directly, while
+/// PathAnalyzer supplies a standalone-analyzer default.
+class PathChainOracle {
+ public:
+  virtual ~PathChainOracle() = default;
+
+  /// Full latency result of `chain` (Theorem 2).
+  [[nodiscard]] virtual LatencyResult latency(int chain) = 0;
+
+  /// dmm(k) of `chain` with its deadline replaced by `budget` (the
+  /// per-chain share of the end-to-end deadline).
+  [[nodiscard]] virtual DmmResult dmm_with_budget(int chain, Time budget, Count k) = 0;
+};
+
+/// Validates a path against a system (>= 1 chain, indices in range and
+/// distinct, no overload chains); throws wharf::InvalidArgument.
+void validate_path(const System& system, const PathSpec& path);
+
+/// WCL_path <= Σ WCL_i (unbounded when any chain is).
+[[nodiscard]] PathLatencyResult path_latency(const System& system, const PathSpec& path,
+                                             PathChainOracle& oracle);
+
+/// dmm_path(k) <= min(Σ dmm_i^{D_i}(k), k); requires path.deadline.
+[[nodiscard]] PathDmmResult path_dmm(const System& system, const PathSpec& path, Count k,
+                                     PathChainOracle& oracle);
+
 /// Path analyses on top of a system (validates the path: >= 1 chain,
-/// distinct indices, no overload chains on the path).
+/// distinct indices, no overload chains on the path).  A convenience
+/// façade over path_latency()/path_dmm() with a TwcaAnalyzer-backed
+/// oracle.
 class PathAnalyzer {
  public:
   explicit PathAnalyzer(System system, TwcaOptions options = {});
@@ -75,10 +106,6 @@ class PathAnalyzer {
   [[nodiscard]] PathDmmResult dmm(const PathSpec& path, Count k) const;
 
  private:
-  void validate_path(const PathSpec& path) const;
-  [[nodiscard]] std::vector<Time> resolve_budgets(const PathSpec& path,
-                                                  const std::vector<Time>& wcls) const;
-
   System system_;
   TwcaOptions options_;
 };

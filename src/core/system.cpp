@@ -75,6 +75,25 @@ System System::with_priorities(const std::vector<Priority>& priorities) const {
   return System(name_, std::move(new_chains));
 }
 
+System System::with_deadline(int chain, std::optional<Time> deadline) const {
+  WHARF_EXPECT(chain >= 0 && chain < size(),
+               "chain index " << chain << " out of range [0, " << size() << ")");
+  std::vector<Chain> new_chains;
+  new_chains.reserve(chains_.size());
+  for (int c = 0; c < size(); ++c) {
+    const Chain& current = chains_[static_cast<std::size_t>(c)];
+    Chain::Spec spec;
+    spec.name = current.name();
+    spec.kind = current.kind();
+    spec.arrival = current.arrival_ptr();
+    spec.deadline = c == chain ? deadline : current.deadline();
+    spec.overload = current.is_overload();
+    spec.tasks = current.tasks();
+    new_chains.emplace_back(std::move(spec));
+  }
+  return System(name_, std::move(new_chains));
+}
+
 std::optional<TaskRef> System::find_task(const std::string& dotted) const {
   const auto dot = dotted.find('.');
   if (dot == std::string::npos) return std::nullopt;

@@ -57,6 +57,11 @@ class System {
   /// random priority assignments (paper Experiment 2).
   [[nodiscard]] System with_priorities(const std::vector<Priority>& priorities) const;
 
+  /// Returns a copy of this system with the deadline of chain `chain`
+  /// replaced (std::nullopt removes it).  Used by path analysis to give
+  /// a chain its per-chain deadline budget.
+  [[nodiscard]] System with_deadline(int chain, std::optional<Time> deadline) const;
+
   /// Resolves a "chain.task" dotted name; returns std::nullopt if unknown.
   [[nodiscard]] std::optional<TaskRef> find_task(const std::string& dotted) const;
 

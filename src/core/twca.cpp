@@ -20,173 +20,76 @@ std::string to_string(DmmStatus status) {
   return "unknown";
 }
 
-namespace {
+// ---------------------------------------------------------------------
+// Stage boundaries
+// ---------------------------------------------------------------------
 
-/// k-independent artefacts of the DMM computation for one chain.
-struct ChainDmmData {
-  InterferenceContext context;
-  LatencyResult full;          ///< all chains, Theorem 2
-  Time slack = 0;              ///< theta_b, only valid when usable
-  OverloadStructure structure;
-  std::vector<Combination> unschedulable;
-  /// When set, every dmm query returns kNoGuarantee with this reason.
-  std::optional<std::string> no_guarantee_reason;
-  /// When true, the chain never misses (WCL <= D): dmm == 0.
-  bool always_meets = false;
-};
+TargetArtifacts build_target_artifacts(const System& system, int target,
+                                       const InterferenceContext& context,
+                                       const LatencyResult& latency,
+                                       const TwcaOptions& options) {
+  const Chain& chain_b = system.chain(target);
+  WHARF_EXPECT(chain_b.deadline().has_value(),
+               "DMM computation requires chain '" << chain_b.name() << "' to have a deadline");
 
-}  // namespace
-
-struct TwcaAnalyzer::Impl {
-  System system;
-  TwcaOptions options;
-  mutable std::vector<std::optional<InterferenceContext>> context_cache;
-  mutable std::vector<std::optional<LatencyResult>> latency_cache;
-  mutable std::vector<std::optional<LatencyResult>> typical_latency_cache;
-  mutable std::vector<std::optional<ChainDmmData>> dmm_cache;
-  /// One lock per chain: the public methods hold the target chain's lock
-  /// for the whole query, so concurrent queries on *different* chains of
-  /// one analyzer run in parallel while each chain's cache slots stay
-  /// write-once.  Returned references remain valid after unlocking
-  /// because engaged slots are never reassigned and the vectors are
-  /// never resized.
-  mutable std::unique_ptr<std::mutex[]> chain_locks;
-
-  Impl(System sys, TwcaOptions opts) : system(std::move(sys)), options(opts) {
-    const auto n = static_cast<std::size_t>(system.size());
-    context_cache.resize(n);
-    latency_cache.resize(n);
-    typical_latency_cache.resize(n);
-    dmm_cache.resize(n);
-    chain_locks = std::make_unique<std::mutex[]>(n);
+  TargetArtifacts data;
+  if (!latency.bounded) {
+    data.no_guarantee_reason = util::cat("latency analysis unbounded: ", latency.reason);
+    return data;
+  }
+  if (latency.schedulable) {
+    data.always_meets = true;
+    return data;
+  }
+  if (system.overload_indices().empty()) {
+    data.no_guarantee_reason =
+        "chain can miss its deadline but the system declares no overload chains; TWCA "
+        "attributes misses to overload only";
+    return data;
   }
 
-  std::unique_lock<std::mutex> lock_chain(int chain) const {
-    return std::unique_lock<std::mutex>(chain_locks[static_cast<std::size_t>(chain)]);
+  data.structure = overload_structure(system, target);
+
+  if (options.criterion == SchedulabilityCriterion::kExactEq3) {
+    // Largest conceivable combination cost: every active segment of
+    // every overload chain at once.
+    Time max_cost = 0;
+    for (const OverloadActiveSegments& pc : data.structure.per_chain) {
+      for (const ActiveSegment& s : pc.active) max_cost = sat_add(max_cost, s.cost);
+    }
+    data.slack = exact_combination_slack(system, context, latency.K, max_cost,
+                                         options.analysis);
+  } else {
+    data.slack = typical_slack(system, context, latency.K, options.analysis);
+  }
+  if (data.slack < 0) {
+    data.no_guarantee_reason = util::cat(
+        "negative slack (", data.slack,
+        "): the chain can miss deadlines even when no overload chain is activated");
+    return data;
   }
 
-  const InterferenceContext& context(int chain) const {
-    auto& slot = context_cache[static_cast<std::size_t>(chain)];
-    if (!slot.has_value()) slot = make_interference_context(system, chain);
-    return *slot;
-  }
-
-  const LatencyResult& latency(int chain) const {
-    auto& slot = latency_cache[static_cast<std::size_t>(chain)];
-    if (!slot.has_value()) slot = latency_analysis(system, chain, options.analysis);
-    return *slot;
-  }
-
-  const LatencyResult& latency_without_overload(int chain) const {
-    auto& slot = typical_latency_cache[static_cast<std::size_t>(chain)];
-    if (!slot.has_value()) {
-      slot = latency_analysis(system, chain, options.analysis, system.overload_indices());
-    }
-    return *slot;
-  }
-
-  /// Builds (and caches) everything about chain `b` that Theorem 3 needs
-  /// and that does not depend on k.
-  const ChainDmmData& dmm_data(int b) const {
-    auto& slot = dmm_cache[static_cast<std::size_t>(b)];
-    if (slot.has_value()) return *slot;
-
-    ChainDmmData data;
-    data.context = context(b);
-    data.full = latency(b);
-
-    const Chain& chain_b = system.chain(b);
-    WHARF_EXPECT(chain_b.deadline().has_value(),
-                 "DMM computation requires chain '" << chain_b.name() << "' to have a deadline");
-
-    if (!data.full.bounded) {
-      data.no_guarantee_reason = util::cat("latency analysis unbounded: ", data.full.reason);
-      slot = std::move(data);
-      return *slot;
-    }
-    if (data.full.schedulable) {
-      data.always_meets = true;
-      slot = std::move(data);
-      return *slot;
-    }
-    if (system.overload_indices().empty()) {
-      data.no_guarantee_reason =
-          "chain can miss its deadline but the system declares no overload chains; TWCA "
-          "attributes misses to overload only";
-      slot = std::move(data);
-      return *slot;
-    }
-
-    data.structure = overload_structure(system, b);
-
-    if (options.criterion == SchedulabilityCriterion::kExactEq3) {
-      // Largest conceivable combination cost: every active segment of
-      // every overload chain at once.
-      Time max_cost = 0;
-      for (const OverloadActiveSegments& pc : data.structure.per_chain) {
-        for (const ActiveSegment& s : pc.active) max_cost = sat_add(max_cost, s.cost);
-      }
-      data.slack = exact_combination_slack(system, data.context, data.full.K, max_cost,
-                                           options.analysis);
-    } else {
-      data.slack = typical_slack(system, data.context, data.full.K, options.analysis);
-    }
-    if (data.slack < 0) {
-      data.no_guarantee_reason = util::cat(
-          "negative slack (", data.slack,
-          "): the chain can miss deadlines even when no overload chain is activated");
-      slot = std::move(data);
-      return *slot;
-    }
-
-    data.unschedulable = unschedulable_combinations(system, data.structure, data.slack,
-                                                    options.max_combinations,
-                                                    options.minimal_only);
-    slot = std::move(data);
-    return *slot;
-  }
-};
-
-TwcaAnalyzer::TwcaAnalyzer(System system, TwcaOptions options)
-    : impl_(std::make_unique<Impl>(std::move(system), options)) {}
-
-TwcaAnalyzer::~TwcaAnalyzer() = default;
-TwcaAnalyzer::TwcaAnalyzer(TwcaAnalyzer&&) noexcept = default;
-TwcaAnalyzer& TwcaAnalyzer::operator=(TwcaAnalyzer&&) noexcept = default;
-
-const System& TwcaAnalyzer::system() const { return impl_->system; }
-const TwcaOptions& TwcaAnalyzer::options() const { return impl_->options; }
-
-const LatencyResult& TwcaAnalyzer::latency(int chain) const {
-  WHARF_EXPECT(chain >= 0 && chain < impl_->system.size(),
-               "chain index " << chain << " out of range [0, " << impl_->system.size() << ")");
-  const auto lock = impl_->lock_chain(chain);
-  return impl_->latency(chain);
+  data.unschedulable = unschedulable_combinations(system, data.structure, data.slack,
+                                                  options.max_combinations,
+                                                  options.minimal_only);
+  return data;
 }
 
-const LatencyResult& TwcaAnalyzer::latency_without_overload(int chain) const {
-  WHARF_EXPECT(chain >= 0 && chain < impl_->system.size(),
-               "chain index " << chain << " out of range [0, " << impl_->system.size() << ")");
-  const auto lock = impl_->lock_chain(chain);
-  return impl_->latency_without_overload(chain);
-}
-
-DmmResult TwcaAnalyzer::dmm(int b, Count k) const {
+DmmResult dmm_from_artifacts(const System& system, int target, const LatencyResult& latency,
+                             const TargetArtifacts& data, Count k, const TwcaOptions& options,
+                             const PackingSolver& solver) {
   WHARF_EXPECT(k >= 1, "dmm requires k >= 1, got " << k);
-  const System& system = impl_->system;
-  WHARF_EXPECT(b >= 0 && b < system.size(),
-               "chain index " << b << " out of range [0, " << system.size() << ")");
-  WHARF_EXPECT(!system.chain(b).is_overload(),
-               "DMM target '" << system.chain(b).name() << "' must not be an overload chain");
-
-  const auto lock = impl_->lock_chain(b);
-  const ChainDmmData& data = impl_->dmm_data(b);
+  WHARF_EXPECT(target >= 0 && target < system.size(),
+               "chain index " << target << " out of range [0, " << system.size() << ")");
+  WHARF_EXPECT(!system.chain(target).is_overload(),
+               "DMM target '" << system.chain(target).name()
+                              << "' must not be an overload chain");
 
   DmmResult result;
   result.k = k;
-  result.wcl = data.full.bounded ? data.full.wcl : 0;
-  result.K = data.full.K;
-  result.n_b = data.full.misses_per_window.value_or(0);
+  result.wcl = latency.bounded ? latency.wcl : 0;
+  result.K = latency.K;
+  result.n_b = latency.misses_per_window.value_or(0);
   result.slack = data.slack;
 
   if (data.no_guarantee_reason.has_value()) {
@@ -202,7 +105,7 @@ DmmResult TwcaAnalyzer::dmm(int b, Count k) const {
   }
 
   // Lemma 4: Ω^a_b = η⁺_a(δ⁺_b(k) + WCL_b) + 1 per overload chain.
-  const Chain& chain_b = system.chain(b);
+  const Chain& chain_b = system.chain(target);
   const Time delta_plus_k = chain_b.arrival().delta_plus(k);
   if (is_infinite(delta_plus_k)) {
     result.status = DmmStatus::kNoGuarantee;
@@ -211,7 +114,7 @@ DmmResult TwcaAnalyzer::dmm(int b, Count k) const {
     result.dmm = k;
     return result;
   }
-  const Time window = sat_add(delta_plus_k, data.full.wcl);
+  const Time window = sat_add(delta_plus_k, latency.wcl);
   for (const OverloadActiveSegments& pc : data.structure.per_chain) {
     const Count eta = system.chain(pc.chain).arrival().eta_plus(window);
     if (eta == kCountInfinity) {
@@ -258,16 +161,118 @@ DmmResult TwcaAnalyzer::dmm(int b, Count k) const {
     packing.item_resources.push_back(std::move(resources));
   }
 
-  const ilp::PackingSolution packed = impl_->options.use_dfs_packer
-                                          ? ilp::solve_packing_dfs(packing)
-                                          : ilp::solve_packing_ilp(packing);
+  const ilp::PackingSolution packed =
+      solver ? solver(packing)
+             : (options.use_dfs_packer ? ilp::solve_packing_dfs(packing)
+                                       : ilp::solve_packing_ilp(packing));
   result.packing_optimum = packed.total;
   result.solver_nodes = packed.nodes;
 
   Time dmm = sat_mul(result.n_b, packed.total);
-  if (impl_->options.cap_at_k) dmm = std::min<Time>(dmm, k);
+  if (options.cap_at_k) dmm = std::min<Time>(dmm, k);
   result.dmm = dmm;
   return result;
+}
+
+// ---------------------------------------------------------------------
+// TwcaAnalyzer
+// ---------------------------------------------------------------------
+
+struct TwcaAnalyzer::Impl {
+  System system;
+  TwcaOptions options;
+  mutable std::vector<std::optional<InterferenceContext>> context_cache;
+  mutable std::vector<std::optional<LatencyResult>> latency_cache;
+  mutable std::vector<std::optional<LatencyResult>> typical_latency_cache;
+  mutable std::vector<std::optional<TargetArtifacts>> artifact_cache;
+  /// One lock per chain: the public methods hold the target chain's lock
+  /// for the whole query, so concurrent queries on *different* chains of
+  /// one analyzer run in parallel while each chain's cache slots stay
+  /// write-once.  Returned references remain valid after unlocking
+  /// because engaged slots are never reassigned and the vectors are
+  /// never resized.
+  mutable std::unique_ptr<std::mutex[]> chain_locks;
+
+  Impl(System sys, TwcaOptions opts) : system(std::move(sys)), options(opts) {
+    const auto n = static_cast<std::size_t>(system.size());
+    context_cache.resize(n);
+    latency_cache.resize(n);
+    typical_latency_cache.resize(n);
+    artifact_cache.resize(n);
+    chain_locks = std::make_unique<std::mutex[]>(n);
+  }
+
+  std::unique_lock<std::mutex> lock_chain(int chain) const {
+    return std::unique_lock<std::mutex>(chain_locks[static_cast<std::size_t>(chain)]);
+  }
+
+  const InterferenceContext& context(int chain) const {
+    auto& slot = context_cache[static_cast<std::size_t>(chain)];
+    if (!slot.has_value()) slot = make_interference_context(system, chain);
+    return *slot;
+  }
+
+  const LatencyResult& latency(int chain) const {
+    auto& slot = latency_cache[static_cast<std::size_t>(chain)];
+    if (!slot.has_value()) slot = latency_analysis(system, chain, options.analysis);
+    return *slot;
+  }
+
+  const LatencyResult& latency_without_overload(int chain) const {
+    auto& slot = typical_latency_cache[static_cast<std::size_t>(chain)];
+    if (!slot.has_value()) {
+      slot = latency_analysis(system, chain, options.analysis, system.overload_indices());
+    }
+    return *slot;
+  }
+
+  /// Builds (and caches) everything about chain `b` that Theorem 3 needs
+  /// and that does not depend on k.
+  const TargetArtifacts& artifacts(int b) const {
+    auto& slot = artifact_cache[static_cast<std::size_t>(b)];
+    if (!slot.has_value()) {
+      slot = build_target_artifacts(system, b, context(b), latency(b), options);
+    }
+    return *slot;
+  }
+};
+
+TwcaAnalyzer::TwcaAnalyzer(System system, TwcaOptions options)
+    : impl_(std::make_unique<Impl>(std::move(system), options)) {}
+
+TwcaAnalyzer::~TwcaAnalyzer() = default;
+TwcaAnalyzer::TwcaAnalyzer(TwcaAnalyzer&&) noexcept = default;
+TwcaAnalyzer& TwcaAnalyzer::operator=(TwcaAnalyzer&&) noexcept = default;
+
+const System& TwcaAnalyzer::system() const { return impl_->system; }
+const TwcaOptions& TwcaAnalyzer::options() const { return impl_->options; }
+
+const LatencyResult& TwcaAnalyzer::latency(int chain) const {
+  WHARF_EXPECT(chain >= 0 && chain < impl_->system.size(),
+               "chain index " << chain << " out of range [0, " << impl_->system.size() << ")");
+  const auto lock = impl_->lock_chain(chain);
+  return impl_->latency(chain);
+}
+
+const LatencyResult& TwcaAnalyzer::latency_without_overload(int chain) const {
+  WHARF_EXPECT(chain >= 0 && chain < impl_->system.size(),
+               "chain index " << chain << " out of range [0, " << impl_->system.size() << ")");
+  const auto lock = impl_->lock_chain(chain);
+  return impl_->latency_without_overload(chain);
+}
+
+DmmResult TwcaAnalyzer::dmm(int b, Count k) const {
+  WHARF_EXPECT(k >= 1, "dmm requires k >= 1, got " << k);
+  const System& system = impl_->system;
+  WHARF_EXPECT(b >= 0 && b < system.size(),
+               "chain index " << b << " out of range [0, " << system.size() << ")");
+  WHARF_EXPECT(!system.chain(b).is_overload(),
+               "DMM target '" << system.chain(b).name() << "' must not be an overload chain");
+
+  const auto lock = impl_->lock_chain(b);
+  const LatencyResult& latency = impl_->latency(b);
+  const TargetArtifacts& artifacts = impl_->artifacts(b);
+  return dmm_from_artifacts(system, b, latency, artifacts, k, impl_->options);
 }
 
 std::vector<DmmResult> TwcaAnalyzer::dmm_curve(int chain, const std::vector<Count>& ks) const {

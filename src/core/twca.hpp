@@ -6,13 +6,16 @@
 #ifndef WHARF_CORE_TWCA_HPP
 #define WHARF_CORE_TWCA_HPP
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/busy_window.hpp"
 #include "core/combinations.hpp"
 #include "core/system.hpp"
+#include "ilp/packing.hpp"
 
 namespace wharf {
 
@@ -80,6 +83,58 @@ struct DmmResult {
   Count packing_optimum = 0;             ///< ILP optimum (Σ x_c̄)
   long long solver_nodes = 0;            ///< B&B / DFS nodes
 };
+
+// ---------------------------------------------------------------------
+// Stage boundaries (artifact pipeline)
+// ---------------------------------------------------------------------
+//
+// The DMM computation is staged: interference context -> busy windows
+// (LatencyResult) -> k-independent overload artifacts (TargetArtifacts)
+// -> dmm(k) with a combination-packing solve.  The free functions below
+// expose each boundary so callers that cache artifacts at a finer grain
+// than "one analyzer per system" (wharf::Engine's ArtifactStore) can
+// inject upstream results and intercept the packing solve.  TwcaAnalyzer
+// remains the convenient per-system façade over the same functions.
+
+/// Injectable solver for the Theorem-3 packing step.  The default (an
+/// empty function) picks solve_packing_ilp / solve_packing_dfs per
+/// TwcaOptions::use_dfs_packer; the Engine injects a solver that caches
+/// solutions by problem content and splits independent subproblems
+/// across its worker pool.
+using PackingSolver = std::function<ilp::PackingSolution(const ilp::PackingProblem&)>;
+
+/// The k-independent artifacts of Theorem 3 for one target chain: the
+/// overload structure (Def. 8), the slack threshold (Eq. 5 or the exact
+/// Eq. 3 variant), the unschedulable combinations (Def. 9), and the
+/// short-circuit classification (always-meets / no-guarantee).
+struct TargetArtifacts {
+  Time slack = 0;  ///< theta_b; valid when no short-circuit applies
+  OverloadStructure structure;
+  std::vector<Combination> unschedulable;
+  /// When set, every dmm query returns kNoGuarantee with this reason.
+  std::optional<std::string> no_guarantee_reason;
+  /// When true, the chain never misses (WCL <= D): dmm == 0.
+  bool always_meets = false;
+};
+
+/// Builds the k-independent overload artifacts of `target` from its
+/// interference context and full latency result.  The target must have a
+/// deadline.
+[[nodiscard]] TargetArtifacts build_target_artifacts(const System& system, int target,
+                                                     const InterferenceContext& context,
+                                                     const LatencyResult& latency,
+                                                     const TwcaOptions& options);
+
+/// The k-dependent step of Theorem 3: Lemma-4 capacities, the packing
+/// problem over `artifacts.unschedulable`, and the final dmm(k) bound.
+/// `latency` and `artifacts` must describe `target` (the outputs of the
+/// upstream stages); `solver` intercepts the packing solve (empty =
+/// built-in exact solvers).
+[[nodiscard]] DmmResult dmm_from_artifacts(const System& system, int target,
+                                           const LatencyResult& latency,
+                                           const TargetArtifacts& artifacts, Count k,
+                                           const TwcaOptions& options,
+                                           const PackingSolver& solver = {});
 
 /// Façade bundling latency analysis and DMM computation with caching of
 /// the per-chain artefacts that do not depend on k (interference context,

@@ -1,0 +1,108 @@
+#include "engine/artifact_store.hpp"
+
+#include <utility>
+
+namespace wharf {
+
+namespace {
+
+std::string tagged_key(ArtifactStage stage, const std::string& key) {
+  std::string tagged;
+  tagged.reserve(key.size() + 2);
+  tagged.push_back(static_cast<char>('0' + static_cast<int>(stage)));
+  tagged.push_back('|');
+  tagged.append(key);
+  return tagged;
+}
+
+std::size_t stage_index(ArtifactStage stage) {
+  return static_cast<std::size_t>(static_cast<int>(stage));
+}
+
+}  // namespace
+
+const char* to_string(ArtifactStage stage) {
+  switch (stage) {
+    case ArtifactStage::kInterference: return "interference";
+    case ArtifactStage::kBusyWindow: return "busy_window";
+    case ArtifactStage::kOverload: return "overload";
+    case ArtifactStage::kDmmCurve: return "dmm_curve";
+    case ArtifactStage::kIlp: return "ilp";
+  }
+  return "unknown";
+}
+
+ArtifactStore::ArtifactStore(std::size_t byte_budget) : byte_budget_(byte_budget) {}
+
+std::uint64_t ArtifactStore::begin_epoch() {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return ++epoch_;
+}
+
+std::optional<ArtifactStore::Found> ArtifactStore::lookup(ArtifactStage stage,
+                                                          const std::string& key) {
+  const std::string tagged = tagged_key(stage, key);
+  const std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = entries_.find(tagged);
+  if (it == entries_.end()) return std::nullopt;
+  recency_.splice(recency_.begin(), recency_, it->second.lru);
+  return Found{it->second.value, it->second.epoch};
+}
+
+void ArtifactStore::insert(ArtifactStage stage, const std::string& key,
+                           std::shared_ptr<const void> value, std::size_t weight) {
+  std::string tagged = tagged_key(stage, key);
+  const std::size_t charged = weight + tagged.size();
+  const std::lock_guard<std::mutex> guard(mutex_);
+  StageStats& stats = stage_stats_[stage_index(stage)];
+  if (byte_budget_ > 0 && charged > byte_budget_) {
+    ++stats.rejected;
+    return;
+  }
+  if (entries_.count(tagged) != 0) return;  // first insertion wins
+
+  recency_.push_front(std::move(tagged));
+  Entry entry{std::move(value), stage, charged, epoch_, recency_.begin()};
+  entries_.emplace(recency_.front(), std::move(entry));
+  resident_bytes_ += charged;
+  ++stats.insertions;
+  ++stats.resident_entries;
+  stats.resident_bytes += charged;
+  evict_to_budget_locked();
+}
+
+void ArtifactStore::evict_to_budget_locked() {
+  while (byte_budget_ > 0 && resident_bytes_ > byte_budget_ && !recency_.empty()) {
+    const auto victim = entries_.find(recency_.back());
+    StageStats& stats = stage_stats_[stage_index(victim->second.stage)];
+    resident_bytes_ -= victim->second.weight;
+    stats.resident_bytes -= victim->second.weight;
+    --stats.resident_entries;
+    ++stats.evictions;
+    entries_.erase(victim);
+    recency_.pop_back();
+  }
+}
+
+ArtifactStore::Stats ArtifactStore::stats() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  Stats out;
+  out.stage = stage_stats_;
+  out.resident_entries = entries_.size();
+  out.resident_bytes = resident_bytes_;
+  for (const StageStats& s : stage_stats_) out.evictions += s.evictions;
+  return out;
+}
+
+void ArtifactStore::clear() {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  entries_.clear();
+  recency_.clear();
+  resident_bytes_ = 0;
+  for (StageStats& s : stage_stats_) {
+    s.resident_entries = 0;
+    s.resident_bytes = 0;
+  }
+}
+
+}  // namespace wharf

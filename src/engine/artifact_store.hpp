@@ -1,0 +1,139 @@
+/// \file artifact_store.hpp
+/// The staged artifact store behind wharf::Engine: a shared,
+/// weight-accounted, LRU-evicting cache of analysis-stage results.
+///
+/// Where PR 1's engine cached one opaque analyzer per system, the store
+/// caches every pipeline stage separately — interference contexts, busy
+/// windows, overload artifacts, dmm(k) results, packing-ILP solutions —
+/// keyed by a canonical serialization of the model slice the stage
+/// actually reads (core/model_slice.hpp).  Two requests that differ in
+/// one chain's priority therefore share every artifact whose slice is
+/// unchanged: a design-space sweep recomputes only what the mutation
+/// touches.
+///
+/// Size accounting is by artifact *weight* (bytes, measured per type via
+/// util/weight.hpp) against a configurable byte budget, replacing the
+/// old entry-count cap: admission rejects artifacts larger than the
+/// whole budget, and eviction drops least-recently-used artifacts —
+/// across all stages — until the budget holds.
+///
+/// Epochs keep per-request diagnostics meaningful under parallelism:
+/// the engine begins an epoch per run()/run_batch() call, and a lookup
+/// classifies as a *hit* only when the artifact was resident before the
+/// current epoch.  Artifacts inserted by a concurrent request of the
+/// same batch are shared once resident but count as misses for everyone
+/// in that batch; sibling requests that miss simultaneously may each
+/// compute the artifact (first insertion wins — values for equal keys
+/// are equal, so only work is duplicated, never correctness).  Request
+/// *answers* are bit-identical for any jobs value; batch cache
+/// telemetry is demand-driven and may vary with scheduling.
+///
+/// Thread-safe: all methods may be called concurrently.
+
+#ifndef WHARF_ENGINE_ARTIFACT_STORE_HPP
+#define WHARF_ENGINE_ARTIFACT_STORE_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace wharf {
+
+/// The pipeline stages the store distinguishes (one counter set each).
+enum class ArtifactStage : int {
+  kInterference = 0,  ///< per-target interference contexts (Defs 2-5)
+  kBusyWindow,        ///< per-target latency results (Thm 1/2), both variants
+  kOverload,          ///< per-target k-independent overload artifacts (Eq. 5 / Def. 9)
+  kDmmCurve,          ///< per-(target, k) dmm results (Thm 3)
+  kIlp,               ///< packing solutions keyed by problem content
+};
+
+inline constexpr std::size_t kArtifactStageCount = 5;
+
+/// Short stable stage name ("interference", "busy_window", ...).
+[[nodiscard]] const char* to_string(ArtifactStage stage);
+
+class ArtifactStore {
+ public:
+  /// Default weight budget: 64 MiB of resident artifacts.
+  static constexpr std::size_t kDefaultByteBudget = std::size_t{64} << 20;
+
+  /// `byte_budget` caps resident weight (keys + artifacts); 0 means
+  /// unlimited.
+  explicit ArtifactStore(std::size_t byte_budget = kDefaultByteBudget);
+
+  /// Starts a new epoch (request/batch boundary) and returns its id.
+  std::uint64_t begin_epoch();
+
+  struct Found {
+    std::shared_ptr<const void> value;
+    /// Epoch in which the artifact was inserted (for hit classification).
+    std::uint64_t epoch = 0;
+  };
+
+  /// Looks an artifact up and bumps its recency.  Does not touch the
+  /// per-stage lookup counters — the pipeline owns request-local
+  /// counting; the store counts only insertions/evictions/residency.
+  [[nodiscard]] std::optional<Found> lookup(ArtifactStage stage, const std::string& key);
+
+  /// Inserts an artifact of `weight` bytes.  A key already present is
+  /// left untouched (first insertion wins — values for equal keys are
+  /// equal by construction).  Artifacts heavier than the whole budget
+  /// are rejected, everything else is admitted and the LRU tail is
+  /// evicted until the budget holds.
+  void insert(ArtifactStage stage, const std::string& key,
+              std::shared_ptr<const void> value, std::size_t weight);
+
+  /// Monotonic counters plus current residency, per stage.
+  struct StageStats {
+    std::size_t insertions = 0;
+    std::size_t evictions = 0;
+    std::size_t rejected = 0;  ///< admission refusals (artifact > budget)
+    std::size_t resident_entries = 0;
+    std::size_t resident_bytes = 0;
+  };
+  struct Stats {
+    std::array<StageStats, kArtifactStageCount> stage;
+    std::size_t resident_entries = 0;
+    std::size_t resident_bytes = 0;
+    std::size_t evictions = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] std::size_t byte_budget() const { return byte_budget_; }
+
+  /// Drops every artifact (counters other than residency are kept).
+  void clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> value;
+    ArtifactStage stage{};
+    std::size_t weight = 0;
+    std::uint64_t epoch = 0;
+    /// Position in `recency_` (O(1) bump via splice on a hit).
+    std::list<std::string>::iterator lru;
+  };
+
+  void evict_to_budget_locked();
+
+  const std::size_t byte_budget_;
+  mutable std::mutex mutex_;
+  std::uint64_t epoch_ = 0;
+  std::size_t resident_bytes_ = 0;
+  /// Keys in recency order, most recent first (LRU eviction from the
+  /// back).  Keys are stage-prefixed, so stages never collide.
+  std::list<std::string> recency_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::array<StageStats, kArtifactStageCount> stage_stats_{};
+};
+
+}  // namespace wharf
+
+#endif  // WHARF_ENGINE_ARTIFACT_STORE_HPP

@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <list>
 #include <mutex>
 #include <sstream>
-#include <unordered_map>
 #include <utility>
 
 #include "io/json.hpp"
@@ -13,6 +11,7 @@
 #include "sim/arrival_sequence.hpp"
 #include "sim/busy_windows.hpp"
 #include "sim/simulator.hpp"
+#include "util/hash.hpp"
 #include "util/strings.hpp"
 #include "util/worker_pool.hpp"
 
@@ -20,25 +19,10 @@ namespace wharf {
 
 namespace {
 
-// ---------------------------------------------------------------------
-// Artifact-cache keys
-// ---------------------------------------------------------------------
-
-/// FNV-1a over a byte string (diagnostic fingerprint of a cache key).
-std::uint64_t fnv1a64(const std::string& bytes) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-/// The full cache key: the serialized system (a faithful content
-/// encoding — the format round-trips) plus every analysis knob that
-/// changes cached artifacts.  Keying the map by the full string (not the
-/// 64-bit hash) rules out collisions serving wrong artifacts.
-std::string cache_key(const System& system, const TwcaOptions& o) {
+/// Whole-request fingerprint (diagnostics only — stage artifacts key on
+/// the finer model slices of core/model_slice.hpp): the serialized
+/// system plus every analysis knob.
+std::string request_fingerprint(const System& system, const TwcaOptions& o) {
   std::ostringstream os;
   os << io::serialize_system(system) << '\n'
      << "criterion=" << static_cast<int>(o.criterion) << " max_combinations="
@@ -50,15 +34,6 @@ std::string cache_key(const System& system, const TwcaOptions& o) {
      << " naive_arbitrary=" << o.analysis.naive_arbitrary;
   return os.str();
 }
-
-/// One memoized per-system artifact holder.  The TwcaAnalyzer inside
-/// is thread-safe (per-chain locking) and lazily computes/caches the
-/// k-independent artifacts on first use.
-struct ArtifactEntry {
-  ArtifactEntry(System system, const TwcaOptions& twca_options)
-      : analyzer(std::move(system), twca_options) {}
-  TwcaAnalyzer analyzer;
-};
 
 /// True when the DMM-carrying payload of a successful answer reports
 /// kNoGuarantee anywhere.
@@ -73,6 +48,14 @@ bool answer_has_no_guarantee(const QueryResult& r) {
   }
   if (const auto* lat = std::get_if<LatencyAnswer>(&r.answer)) {
     return !lat->result.bounded;
+  }
+  if (const auto* path = std::get_if<PathLatencyAnswer>(&r.answer)) {
+    return !path->result.bounded;
+  }
+  if (const auto* pd = std::get_if<PathDmmAnswer>(&r.answer)) {
+    return std::any_of(pd->curve.begin(), pd->curve.end(), [](const PathDmmResult& d) {
+      return d.status == DmmStatus::kNoGuarantee;
+    });
   }
   return false;
 }
@@ -122,66 +105,41 @@ Status AnalysisReport::worst_status() const {
 
 struct Engine::Impl {
   EngineOptions options;
+  ArtifactStore store;
 
-  struct CacheSlot {
-    std::shared_ptr<ArtifactEntry> entry;
-    /// Position in `recency` (O(1) bump via splice on a hit).
-    std::list<std::string>::iterator lru;
-  };
+  /// Engine-lifetime lookup totals, accumulated from per-request
+  /// diagnostics after every served request.
+  std::mutex totals_mutex;
+  std::size_t total_hits = 0;
+  std::size_t total_misses = 0;
 
-  std::mutex cache_mutex;
-  std::unordered_map<std::string, CacheSlot> cache;
-  /// Keys in recency order, most recent first (LRU eviction).
-  std::list<std::string> recency;
-  CacheStats stats;
+  explicit Impl(EngineOptions opts) : options(opts), store(opts.cache_bytes) {}
 
-  explicit Impl(EngineOptions opts) : options(opts) {}
+  QueryResult execute(const AnalysisRequest& request, Pipeline& pipeline, const Query& query);
 
-  /// Finds or builds the entry for (system, options).  Called
-  /// sequentially in request order, which makes the per-request
-  /// hit/miss diagnostics deterministic regardless of the jobs knob.
-  std::shared_ptr<ArtifactEntry> acquire(const System& system, const TwcaOptions& twca_options,
-                                         ReportDiagnostics& diagnostics) {
-    std::string key = cache_key(system, twca_options);
-    diagnostics.system_hash = fnv1a64(key);
-
-    const std::lock_guard<std::mutex> guard(cache_mutex);
-    auto it = cache.find(key);
-    if (it != cache.end()) {
-      diagnostics.cache_hit = true;
-      diagnostics.cache_hits = 1;
-      ++stats.hits;
-      recency.splice(recency.begin(), recency, it->second.lru);
-      return it->second.entry;
+  /// Fills the report's diagnostics from the pipeline's telemetry and
+  /// folds them into the engine-lifetime totals.
+  void finalize(AnalysisReport& report, const Pipeline& pipeline) {
+    report.diagnostics.stages = pipeline.stage_diagnostics();
+    std::size_t lookups = 0;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    for (const StageDiagnostics& stage : report.diagnostics.stages) {
+      lookups += stage.lookups;
+      hits += stage.hits;
+      misses += stage.misses;
     }
-
-    diagnostics.cache_misses = 1;
-    ++stats.misses;
-    auto entry = std::make_shared<ArtifactEntry>(system, twca_options);
-    recency.push_front(std::move(key));
-    cache.emplace(recency.front(), CacheSlot{entry, recency.begin()});
-    while (options.cache_capacity > 0 && cache.size() > options.cache_capacity) {
-      cache.erase(recency.back());
-      recency.pop_back();
-      ++stats.evictions;
-    }
-    stats.entries = cache.size();
-    return entry;
-  }
-
-  QueryResult execute(const AnalysisRequest& request, const ArtifactEntry& entry,
-                      const Query& query);
-
-  /// Serves one request into `report` (diagnostics must already be
-  /// filled by acquire()).
-  void serve(const AnalysisRequest& request, const ArtifactEntry& entry,
-             AnalysisReport& report) {
-    util::parallel_for_index(request.queries.size(), options.jobs, [&](std::size_t q) {
-      report.results[q] = execute(request, entry, request.queries[q]);
-    });
+    report.diagnostics.cache_hits = hits;
+    report.diagnostics.cache_misses = misses;
+    report.diagnostics.cache_hit = lookups > 0 && misses == 0;
     report.diagnostics.queries_failed = static_cast<std::size_t>(
         std::count_if(report.results.begin(), report.results.end(),
                       [](const QueryResult& r) { return !r.ok(); }));
+    {
+      const std::lock_guard<std::mutex> guard(totals_mutex);
+      total_hits += hits;
+      total_misses += misses;
+    }
   }
 };
 
@@ -197,18 +155,17 @@ Expected<int> resolve_chain(const System& system, const std::string& name) {
   return *index;
 }
 
-QueryResult run_latency(const ArtifactEntry& entry, const LatencyQuery& query) {
+QueryResult run_latency(Pipeline& pipeline, const LatencyQuery& query) {
   QueryResult out;
-  const System& system = entry.analyzer.system();
-  const Expected<int> chain = resolve_chain(system, query.chain);
+  const Expected<int> chain = resolve_chain(pipeline.system(), query.chain);
   if (!chain) {
     out.status = chain.status();
     return out;
   }
   const auto answer = capture([&] {
     LatencyAnswer a{query.chain, query.without_overload, {}};
-    a.result = query.without_overload ? entry.analyzer.latency_without_overload(chain.value())
-                                      : entry.analyzer.latency(chain.value());
+    a.result = query.without_overload ? *pipeline.latency_without_overload(chain.value())
+                                      : *pipeline.latency(chain.value());
     return a;
   });
   if (answer) {
@@ -219,16 +176,16 @@ QueryResult run_latency(const ArtifactEntry& entry, const LatencyQuery& query) {
   return out;
 }
 
-QueryResult run_dmm(const ArtifactEntry& entry, const DmmQuery& query) {
+QueryResult run_dmm(Pipeline& pipeline, const DmmQuery& query) {
   QueryResult out;
-  const Expected<int> chain = resolve_chain(entry.analyzer.system(), query.chain);
+  const Expected<int> chain = resolve_chain(pipeline.system(), query.chain);
   if (!chain) {
     out.status = chain.status();
     return out;
   }
   const std::vector<Count> ks = query.ks.empty() ? std::vector<Count>{10} : query.ks;
-  const auto answer = capture(
-      [&] { return DmmAnswer{query.chain, entry.analyzer.dmm_curve(chain.value(), ks)}; });
+  const auto answer =
+      capture([&] { return DmmAnswer{query.chain, pipeline.dmm_curve(chain.value(), ks)}; });
   if (answer) {
     out.answer = answer.value();
   } else {
@@ -237,16 +194,16 @@ QueryResult run_dmm(const ArtifactEntry& entry, const DmmQuery& query) {
   return out;
 }
 
-QueryResult run_weakly_hard(const ArtifactEntry& entry, const WeaklyHardQuery& query) {
+QueryResult run_weakly_hard(Pipeline& pipeline, const WeaklyHardQuery& query) {
   QueryResult out;
-  const Expected<int> chain = resolve_chain(entry.analyzer.system(), query.chain);
+  const Expected<int> chain = resolve_chain(pipeline.system(), query.chain);
   if (!chain) {
     out.status = chain.status();
     return out;
   }
   const auto answer = capture([&] {
     WHARF_EXPECT(query.m >= 0, "weakly-hard m must be >= 0, got " << query.m);
-    const DmmResult r = entry.analyzer.dmm(chain.value(), query.k);
+    const DmmResult r = pipeline.dmm(chain.value(), query.k);
     return WeaklyHardAnswer{query.chain, query.m,    query.k,
                             r.dmm,       r.status,   r.dmm <= query.m};
   });
@@ -258,12 +215,67 @@ QueryResult run_weakly_hard(const ArtifactEntry& entry, const WeaklyHardQuery& q
   return out;
 }
 
-QueryResult run_simulation(const ArtifactEntry& entry, const SimulationQuery& query) {
+/// Resolves a path's chain names into a PathSpec, or a not-found Status.
+Expected<PathSpec> resolve_path(const System& system, const std::vector<std::string>& names) {
+  PathSpec spec;
+  for (const std::string& name : names) {
+    const Expected<int> chain = resolve_chain(system, name);
+    if (!chain) return chain.status();
+    spec.chains.push_back(chain.value());
+  }
+  return spec;
+}
+
+QueryResult run_path_latency(Pipeline& pipeline, const PathLatencyQuery& query) {
+  QueryResult out;
+  const Expected<PathSpec> spec = resolve_path(pipeline.system(), query.chains);
+  if (!spec) {
+    out.status = spec.status();
+    return out;
+  }
+  const auto answer =
+      capture([&] { return PathLatencyAnswer{query.chains, pipeline.path_latency(spec.value())}; });
+  if (answer) {
+    out.answer = answer.value();
+  } else {
+    out.status = answer.status();
+  }
+  return out;
+}
+
+QueryResult run_path_dmm(Pipeline& pipeline, const PathDmmQuery& query) {
+  QueryResult out;
+  const Expected<PathSpec> resolved = resolve_path(pipeline.system(), query.chains);
+  if (!resolved) {
+    out.status = resolved.status();
+    return out;
+  }
+  const auto answer = capture([&] {
+    WHARF_EXPECT(query.deadline >= 1,
+                 "path DMM requires a deadline >= 1, got " << query.deadline);
+    PathSpec spec = resolved.value();
+    spec.deadline = query.deadline;
+    spec.budgets = query.budgets;
+    const std::vector<Count> ks = query.ks.empty() ? std::vector<Count>{10} : query.ks;
+    PathDmmAnswer a{query.chains, {}};
+    a.curve.reserve(ks.size());
+    for (const Count k : ks) a.curve.push_back(pipeline.path_dmm(spec, k));
+    return a;
+  });
+  if (answer) {
+    out.answer = answer.value();
+  } else {
+    out.status = answer.status();
+  }
+  return out;
+}
+
+QueryResult run_simulation(Pipeline& pipeline, const SimulationQuery& query) {
   QueryResult out;
   const auto answer = capture([&] {
     WHARF_EXPECT(query.horizon >= 1, "simulation horizon must be >= 1, got " << query.horizon);
     WHARF_EXPECT(query.check_k >= 1, "simulation check_k must be >= 1, got " << query.check_k);
-    const System& system = entry.analyzer.system();
+    const System& system = pipeline.system();
 
     std::vector<std::vector<Time>> arrivals;
     arrivals.reserve(static_cast<std::size_t>(system.size()));
@@ -297,7 +309,7 @@ QueryResult run_simulation(const ArtifactEntry& entry, const SimulationQuery& qu
     if (query.cross_validate) {
       for (const int c : system.regular_indices()) {
         const auto& stats = a.chains[static_cast<std::size_t>(c)];
-        const LatencyResult& bound = entry.analyzer.latency(c);
+        const LatencyResult& bound = *pipeline.latency(c);
         if (bound.bounded && stats.max_latency > bound.wcl) {
           a.violations.push_back(util::cat("chain '", stats.chain, "': simulated latency ",
                                            stats.max_latency, " exceeds WCL bound ", bound.wcl));
@@ -317,7 +329,7 @@ QueryResult run_simulation(const ArtifactEntry& entry, const SimulationQuery& qu
                                                   arrivals[static_cast<std::size_t>(o)]);
         }
         if (!assumption_holds) continue;
-        const DmmResult dmm = entry.analyzer.dmm(c, query.check_k);
+        const DmmResult dmm = pipeline.dmm(c, query.check_k);
         if (dmm.status != DmmStatus::kNoGuarantee && stats.max_window_misses > dmm.dmm) {
           a.violations.push_back(util::cat("chain '", stats.chain, "': ",
                                            stats.max_window_misses, " misses in a window of ",
@@ -366,20 +378,23 @@ QueryResult run_search(const AnalysisRequest& request, const PrioritySearchQuery
 
 }  // namespace
 
-QueryResult Engine::Impl::execute(const AnalysisRequest& request,
-                                  const ArtifactEntry& entry,
+QueryResult Engine::Impl::execute(const AnalysisRequest& request, Pipeline& pipeline,
                                   const Query& query) {
   return std::visit(
       [&](const auto& q) -> QueryResult {
         using Q = std::decay_t<decltype(q)>;
         if constexpr (std::is_same_v<Q, LatencyQuery>) {
-          return run_latency(entry, q);
+          return run_latency(pipeline, q);
         } else if constexpr (std::is_same_v<Q, DmmQuery>) {
-          return run_dmm(entry, q);
+          return run_dmm(pipeline, q);
         } else if constexpr (std::is_same_v<Q, WeaklyHardQuery>) {
-          return run_weakly_hard(entry, q);
+          return run_weakly_hard(pipeline, q);
         } else if constexpr (std::is_same_v<Q, SimulationQuery>) {
-          return run_simulation(entry, q);
+          return run_simulation(pipeline, q);
+        } else if constexpr (std::is_same_v<Q, PathLatencyQuery>) {
+          return run_path_latency(pipeline, q);
+        } else if constexpr (std::is_same_v<Q, PathDmmQuery>) {
+          return run_path_dmm(pipeline, q);
         } else {
           return run_search(request, q);
         }
@@ -398,60 +413,75 @@ AnalysisReport Engine::run(const AnalysisRequest& request) {
   AnalysisReport report;
   report.system = request.system.name();
   report.results.resize(request.queries.size());
-  const std::shared_ptr<ArtifactEntry> entry =
-      impl_->acquire(request.system, request.options, report.diagnostics);
-  impl_->serve(request, *entry, report);
+  report.diagnostics.system_hash =
+      util::fnv1a64(request_fingerprint(request.system, request.options));
+
+  const std::uint64_t epoch = impl_->store.begin_epoch();
+  Pipeline pipeline(request.system, request.options, impl_->store, epoch,
+                    impl_->options.jobs);
+  util::parallel_for_index(request.queries.size(), impl_->options.jobs, [&](std::size_t q) {
+    report.results[q] = impl_->execute(request, pipeline, request.queries[q]);
+  });
+  impl_->finalize(report, pipeline);
   return report;
 }
 
 std::vector<AnalysisReport> Engine::run_batch(const std::vector<AnalysisRequest>& requests) {
   std::vector<AnalysisReport> reports(requests.size());
-  std::vector<std::shared_ptr<ArtifactEntry>> entries(requests.size());
 
-  // Phase 1 (sequential, in request order): acquire cache entries so the
-  // hit/miss diagnostics do not depend on worker scheduling.
+  // One epoch for the whole batch: per-request hit/miss classification
+  // is relative to the store state at batch start, which makes the
+  // diagnostics independent of worker scheduling (artifacts produced by
+  // sibling requests are shared but count as misses everywhere).
+  const std::uint64_t epoch = impl_->store.begin_epoch();
+
   struct TaskRef {
     std::size_t request = 0;
     std::size_t query = 0;
   };
   std::vector<TaskRef> tasks;
+  std::vector<Pipeline> pipelines;
+  pipelines.reserve(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
     reports[i].system = requests[i].system.name();
     reports[i].results.resize(requests[i].queries.size());
-    entries[i] = impl_->acquire(requests[i].system, requests[i].options, reports[i].diagnostics);
+    reports[i].diagnostics.system_hash =
+        util::fnv1a64(request_fingerprint(requests[i].system, requests[i].options));
+    pipelines.emplace_back(requests[i].system, requests[i].options, impl_->store, epoch,
+                           impl_->options.jobs);
     for (std::size_t q = 0; q < requests[i].queries.size(); ++q) tasks.push_back({i, q});
   }
 
-  // Phase 2 (parallel): every query is independent and writes its own
-  // preallocated slot — results are identical for any jobs value.
+  // Every query is independent and writes its own preallocated slot —
+  // results are identical for any jobs value.
   util::parallel_for_index(tasks.size(), impl_->options.jobs, [&](std::size_t t) {
     const TaskRef& ref = tasks[t];
     reports[ref.request].results[ref.query] =
-        impl_->execute(requests[ref.request], *entries[ref.request],
+        impl_->execute(requests[ref.request], pipelines[ref.request],
                        requests[ref.request].queries[ref.query]);
   });
 
-  for (AnalysisReport& report : reports) {
-    report.diagnostics.queries_failed = static_cast<std::size_t>(
-        std::count_if(report.results.begin(), report.results.end(),
-                      [](const QueryResult& r) { return !r.ok(); }));
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    impl_->finalize(reports[i], pipelines[i]);
   }
   return reports;
 }
 
 Engine::CacheStats Engine::cache_stats() const {
-  const std::lock_guard<std::mutex> guard(impl_->cache_mutex);
-  Engine::CacheStats stats = impl_->stats;
-  stats.entries = impl_->cache.size();
-  return stats;
+  const ArtifactStore::Stats stats = impl_->store.stats();
+  Engine::CacheStats out;
+  out.evictions = stats.evictions;
+  out.entries = stats.resident_entries;
+  out.resident_bytes = stats.resident_bytes;
+  const std::lock_guard<std::mutex> guard(impl_->totals_mutex);
+  out.hits = impl_->total_hits;
+  out.misses = impl_->total_misses;
+  return out;
 }
 
-void Engine::clear_cache() {
-  const std::lock_guard<std::mutex> guard(impl_->cache_mutex);
-  impl_->cache.clear();
-  impl_->recency.clear();
-  impl_->stats.entries = 0;
-}
+ArtifactStore::Stats Engine::store_stats() const { return impl_->store.stats(); }
+
+void Engine::clear_cache() { impl_->store.clear(); }
 
 // ---------------------------------------------------------------------
 // JSON serialization
@@ -476,6 +506,35 @@ void write_objective(io::JsonWriter& w, const search::Objective& o) {
   w.value(o.total_dmm);
   w.key("total_wcl");
   w.value(o.total_wcl);
+  w.end_object();
+}
+
+void write_string_array(io::JsonWriter& w, const std::vector<std::string>& values) {
+  w.begin_array();
+  for (const std::string& v : values) w.value(v);
+  w.end_array();
+}
+
+void write_path_dmm(io::JsonWriter& w, const PathDmmResult& r) {
+  w.begin_object();
+  w.key("k");
+  w.value(r.k);
+  w.key("dmm");
+  w.value(r.dmm);
+  w.key("status");
+  w.value(to_string(r.status));
+  if (!r.reason.empty()) {
+    w.key("reason");
+    w.value(r.reason);
+  }
+  w.key("budgets");
+  w.begin_array();
+  for (const Time b : r.budgets) w.value(b);
+  w.end_array();
+  w.key("per_chain");
+  w.begin_array();
+  for (const Count c : r.per_chain) w.value(c);
+  w.end_array();
   w.end_object();
 }
 
@@ -560,6 +619,32 @@ void write_answer(io::JsonWriter& w, const QueryResult& result) {
           w.begin_array();
           for (const Priority p : a.result.best_priorities) w.value(p);
           w.end_array();
+        } else if constexpr (std::is_same_v<A, PathLatencyAnswer>) {
+          w.key("query");
+          w.value("path_latency");
+          w.key("chains");
+          write_string_array(w, a.chains);
+          w.key("bounded");
+          w.value(a.result.bounded);
+          if (!a.result.reason.empty()) {
+            w.key("reason");
+            w.value(a.result.reason);
+          }
+          w.key("wcl");
+          w.value(a.result.wcl);
+          w.key("per_chain_wcl");
+          w.begin_array();
+          for (const Time t : a.result.per_chain_wcl) w.value(t);
+          w.end_array();
+        } else if constexpr (std::is_same_v<A, PathDmmAnswer>) {
+          w.key("query");
+          w.value("path_dmm");
+          w.key("chains");
+          write_string_array(w, a.chains);
+          w.key("dmm");
+          w.begin_array();
+          for (const PathDmmResult& r : a.curve) write_path_dmm(w, r);
+          w.end_array();
         }
       },
       result.answer);
@@ -600,6 +685,23 @@ std::string to_json(const AnalysisReport& report) {
   w.value(static_cast<long long>(report.diagnostics.cache_hits));
   w.key("cache_misses");
   w.value(static_cast<long long>(report.diagnostics.cache_misses));
+  w.key("stages");
+  w.begin_object();
+  for (std::size_t s = 0; s < kArtifactStageCount; ++s) {
+    const StageDiagnostics& stage = report.diagnostics.stages[s];
+    w.key(to_string(static_cast<ArtifactStage>(static_cast<int>(s))));
+    w.begin_object();
+    w.key("lookups");
+    w.value(static_cast<long long>(stage.lookups));
+    w.key("hits");
+    w.value(static_cast<long long>(stage.hits));
+    w.key("misses");
+    w.value(static_cast<long long>(stage.misses));
+    w.key("bytes_inserted");
+    w.value(static_cast<long long>(stage.bytes_inserted));
+    w.end_object();
+  }
+  w.end_object();
   w.key("queries_failed");
   w.value(static_cast<long long>(report.diagnostics.queries_failed));
   w.end_object();

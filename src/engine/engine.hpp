@@ -1,7 +1,7 @@
 /// \file engine.hpp
 /// The unified wharf entry point: a request/response facade over the
-/// whole analysis stack (TWCA latency + DMM, weakly-hard checks,
-/// simulation cross-validation, priority synthesis).
+/// whole analysis stack (TWCA latency + DMM, weakly-hard checks, path
+/// composition, simulation cross-validation, priority synthesis).
 ///
 /// An AnalysisRequest bundles a System with a set of queries; the Engine
 /// answers them in an AnalysisReport with one structured, Status-carrying
@@ -12,12 +12,18 @@
 ///  * batching  — run_batch() answers many requests in one call;
 ///  * parallelism — independent queries (chains x k-grids x systems) are
 ///    evaluated on a worker pool (EngineOptions::jobs), with results
-///    bit-identical to sequential execution;
-///  * caching — per-system artifacts (interference contexts, K/WCL/N_b,
-///    slack, unschedulable combinations) are memoized across requests,
-///    keyed by a content hash of the System plus the analysis options,
-///    so repeated queries on the same model are near-free.  Cache
-///    effectiveness is observable via ReportDiagnostics / cache_stats().
+///    bit-identical to sequential execution; one target's combination-
+///    packing ILP is additionally split across the pool via a
+///    work-stealing deque over its independent subproblems;
+///  * caching — every pipeline stage (interference contexts, busy
+///    windows, overload artifacts, dmm(k) curves, packing-ILP
+///    solutions) is cached separately in a shared ArtifactStore, keyed
+///    by the model slice the stage reads and size-bounded by artifact
+///    weight (EngineOptions::cache_bytes).  Near-identical systems — a
+///    design-space sweep mutating one chain at a time — share every
+///    artifact the mutation does not touch.  Effectiveness is
+///    observable per stage via ReportDiagnostics / cache_stats() /
+///    store_stats().
 ///
 /// TwcaAnalyzer remains the internal engine core and stays available for
 /// code that wants lower-level control (ablation studies, custom loops).
@@ -25,13 +31,17 @@
 #ifndef WHARF_ENGINE_ENGINE_HPP
 #define WHARF_ENGINE_ENGINE_HPP
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "core/path_analysis.hpp"
 #include "core/twca.hpp"
+#include "engine/artifact_store.hpp"
+#include "engine/pipeline.hpp"
 #include "search/priority_search.hpp"
 #include "sim/simulator.hpp"
 #include "util/status.hpp"
@@ -91,8 +101,25 @@ struct PrioritySearchQuery {
   std::uint64_t seed = 1;
 };
 
-using Query =
-    std::variant<LatencyQuery, DmmQuery, WeaklyHardQuery, SimulationQuery, PrioritySearchQuery>;
+/// End-to-end latency of a path: an ordered sequence of distinct,
+/// non-overload chains activating each other (WCL_path <= Σ WCL_i; see
+/// path_analysis.hpp for the composition argument).
+struct PathLatencyQuery {
+  std::vector<std::string> chains;  ///< chain names, in path order
+};
+
+/// End-to-end deadline miss model of a path over a k-grid: the deadline
+/// is split into per-chain budgets (explicit or proportional to the
+/// standalone WCLs) and dmm_path(k) <= min(Σ dmm_i^{D_i}(k), k).
+struct PathDmmQuery {
+  std::vector<std::string> chains;  ///< chain names, in path order
+  Time deadline = 0;                ///< end-to-end deadline (required)
+  std::vector<Time> budgets;        ///< optional per-chain split (sums to deadline)
+  std::vector<Count> ks;            ///< empty means {10}
+};
+
+using Query = std::variant<LatencyQuery, DmmQuery, WeaklyHardQuery, SimulationQuery,
+                           PrioritySearchQuery, PathLatencyQuery, PathDmmQuery>;
 
 /// One unit of work: a system plus the queries to answer on it.
 struct AnalysisRequest {
@@ -154,12 +181,22 @@ struct SearchAnswer {
   search::SearchResult result;
 };
 
+struct PathLatencyAnswer {
+  std::vector<std::string> chains;
+  PathLatencyResult result;
+};
+
+struct PathDmmAnswer {
+  std::vector<std::string> chains;
+  std::vector<PathDmmResult> curve;  ///< one entry per requested k, in order
+};
+
 /// Outcome of one query: an OK status with an answer, or an error status
 /// (unknown chain, invalid arguments, resource caps) with no answer.
 struct QueryResult {
   Status status;
   std::variant<std::monostate, LatencyAnswer, DmmAnswer, WeaklyHardAnswer, SimulationAnswer,
-               SearchAnswer>
+               SearchAnswer, PathLatencyAnswer, PathDmmAnswer>
       answer;
 
   [[nodiscard]] bool ok() const { return status.is_ok(); }
@@ -168,15 +205,21 @@ struct QueryResult {
 /// Cache/runtime observability for one served request.
 struct ReportDiagnostics {
   /// FNV-1a content hash of the serialized system + analysis options —
-  /// the artifact-cache key fingerprint.
+  /// the whole-request fingerprint (stage artifacts key on finer model
+  /// slices; see core/model_slice.hpp).
   std::uint64_t system_hash = 0;
-  /// True when this request found its per-system artifacts cached.
+  /// Derived convenience bool: the request resolved at least one
+  /// artifact and every store lookup hit.
   bool cache_hit = false;
-  /// Artifact-cache hits/misses incurred by this request (0 or 1 each:
-  /// acquisition happens once per request).
+  /// Real store lookups this request performed, summed over stages (one
+  /// lookup per distinct artifact needed).  Deterministic for any jobs
+  /// value: a lookup counts as a hit only when the artifact was resident
+  /// before this request's epoch (see artifact_store.hpp).
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t queries_failed = 0;
+  /// Per-stage lookup/hit/miss/weight breakdown of this request.
+  std::array<StageDiagnostics, kArtifactStageCount> stages{};
 };
 
 /// The response: one QueryResult per request query, index-aligned.
@@ -203,11 +246,12 @@ struct AnalysisReport {
 // ---------------------------------------------------------------------
 
 struct EngineOptions {
-  /// Worker threads for query evaluation; 1 = sequential, 0 = all
-  /// hardware threads.
+  /// Worker threads for query evaluation and intra-ILP work stealing;
+  /// 1 = sequential, 0 = all hardware threads.
   int jobs = 1;
-  /// Maximum number of per-system artifact-cache entries (LRU beyond).
-  std::size_t cache_capacity = 128;
+  /// Artifact-store weight budget in bytes (admission and LRU eviction
+  /// are by measured artifact weight; 0 = unlimited).
+  std::size_t cache_bytes = ArtifactStore::kDefaultByteBudget;
 };
 
 /// The facade.  Thread-compatible: one Engine may be shared by callers
@@ -227,19 +271,28 @@ class Engine {
   [[nodiscard]] AnalysisReport run(const AnalysisRequest& request);
 
   /// Answers many requests, evaluating all queries of all requests on
-  /// the worker pool.  reports[i] answers requests[i]; every report is
-  /// bit-identical to what sequential execution produces.
+  /// the worker pool.  reports[i] answers requests[i]; every report's
+  /// *answers* are bit-identical to what sequential execution produces.
+  /// Cache telemetry (ReportDiagnostics stage counters) is demand-driven
+  /// and may differ with scheduling when sibling requests of one batch
+  /// race on shared artifacts; within run() it is deterministic.
   [[nodiscard]] std::vector<AnalysisReport> run_batch(
       const std::vector<AnalysisRequest>& requests);
 
-  /// Engine-lifetime artifact-cache counters.
+  /// Engine-lifetime artifact-store counters, summed over stages.
   struct CacheStats {
     std::size_t hits = 0;
     std::size_t misses = 0;
     std::size_t evictions = 0;
-    std::size_t entries = 0;  ///< current resident entries
+    std::size_t entries = 0;        ///< current resident artifacts
+    std::size_t resident_bytes = 0; ///< current resident weight
   };
   [[nodiscard]] CacheStats cache_stats() const;
+
+  /// Full per-stage store statistics (insertions, evictions, admission
+  /// rejections, residency).
+  [[nodiscard]] ArtifactStore::Stats store_stats() const;
+
   void clear_cache();
 
  private:

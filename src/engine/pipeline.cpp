@@ -1,0 +1,315 @@
+#include "engine/pipeline.hpp"
+
+#include <exception>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "core/model_slice.hpp"
+#include "util/expect.hpp"
+#include "util/weight.hpp"
+
+namespace wharf {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Artifact weights (bytes resident per artifact type)
+// ---------------------------------------------------------------------
+
+using util::heap_bytes;
+
+std::size_t weight_of(const InterferenceContext& ctx) {
+  std::size_t total = sizeof(ctx) + heap_bytes(ctx.self_header);
+  for (const ChainInterference& info : ctx.others) {
+    total += sizeof(info) + heap_bytes(info.header_segment);
+    for (const Segment& s : info.segments) total += sizeof(s) + heap_bytes(s.tasks);
+    if (info.critical.has_value()) total += heap_bytes(info.critical->tasks);
+  }
+  return total;
+}
+
+std::size_t weight_of(const LatencyResult& r) {
+  return sizeof(r) + heap_bytes(r.busy_times) + heap_bytes(r.reason);
+}
+
+std::size_t weight_of(const TargetArtifacts& a) {
+  std::size_t total = sizeof(a);
+  for (const OverloadActiveSegments& pc : a.structure.per_chain) {
+    total += sizeof(pc);
+    for (const ActiveSegment& s : pc.active) total += sizeof(s) + heap_bytes(s.tasks);
+  }
+  for (const Combination& c : a.unschedulable) total += sizeof(c) + heap_bytes(c.segments);
+  if (a.no_guarantee_reason.has_value()) total += heap_bytes(*a.no_guarantee_reason);
+  return total;
+}
+
+std::size_t weight_of(const DmmResult& r) {
+  return sizeof(r) + heap_bytes(r.omegas) + heap_bytes(r.reason);
+}
+
+std::size_t weight_of(const ilp::PackingSolution& s) {
+  return sizeof(s) + heap_bytes(s.counts);
+}
+
+/// Canonical content encoding of a packing problem (the ILP stage key —
+/// two targets or k values yielding the same capacities and incidence
+/// share one solve).
+std::string packing_key(const ilp::PackingProblem& problem, bool use_dfs) {
+  std::ostringstream os;
+  os << "ilp|dfs=" << use_dfs << ";cap=[";
+  for (const Count c : problem.capacities) os << c << ',';
+  os << "];items=[";
+  for (const auto& item : problem.item_resources) {
+    for (const int r : item) os << r << '.';
+    os << '|';
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Pipeline state
+// ---------------------------------------------------------------------
+
+/// State shared between a request's root pipeline and the budgeted
+/// sub-pipelines its path queries spawn: the store session and the
+/// request-wide diagnostics.
+struct Pipeline::Shared {
+  ArtifactStore* store = nullptr;
+  std::uint64_t epoch = 0;
+  int jobs = 1;
+  std::mutex diag_mutex;
+  std::array<StageDiagnostics, kArtifactStageCount> diag{};
+};
+
+struct Pipeline::State {
+  std::shared_ptr<const System> owned;  ///< engaged for budgeted sub-pipelines
+  const System* system = nullptr;
+  TwcaOptions options;
+  std::shared_ptr<Shared> shared;
+
+  /// Request-local single-flight memo: one cell per (stage, key); the
+  /// first visitor resolves the artifact (store lookup, then compute)
+  /// while concurrent visitors wait on the cell instead of duplicating
+  /// the lookup — which is what keeps the per-stage counters
+  /// deterministic under the worker pool.
+  struct Cell {
+    std::mutex mutex;
+    bool done = false;
+    std::shared_ptr<const void> value;
+    std::exception_ptr error;
+  };
+  std::mutex memo_mutex;
+  std::unordered_map<std::string, std::shared_ptr<Cell>> memo;
+
+  /// Budgeted sub-pipelines, memoized per (target, deadline): a k-grid
+  /// over one budget reuses the sub-pipeline's request-local memo
+  /// instead of re-resolving (and re-counting) the same artifacts per k.
+  std::mutex budgeted_mutex;
+  std::map<std::pair<int, Time>, std::unique_ptr<Pipeline>> budgeted_memo;
+
+  template <typename T, typename Make>
+  std::shared_ptr<const T> acquire(ArtifactStage stage, const std::string& key, Make&& make);
+};
+
+template <typename T, typename Make>
+std::shared_ptr<const T> Pipeline::State::acquire(ArtifactStage stage, const std::string& key,
+                                                  Make&& make) {
+  std::shared_ptr<Cell> cell;
+  {
+    const std::lock_guard<std::mutex> guard(memo_mutex);
+    std::shared_ptr<Cell>& slot =
+        memo[std::string(to_string(stage)) + '|' + key];
+    if (!slot) slot = std::make_shared<Cell>();
+    cell = slot;
+  }
+
+  const std::lock_guard<std::mutex> cell_guard(cell->mutex);
+  if (cell->done) {
+    if (cell->error) std::rethrow_exception(cell->error);
+    return std::static_pointer_cast<const T>(cell->value);
+  }
+
+  const auto found = shared->store->lookup(stage, key);
+  {
+    const std::lock_guard<std::mutex> guard(shared->diag_mutex);
+    StageDiagnostics& diag = shared->diag[static_cast<std::size_t>(stage)];
+    ++diag.lookups;
+    if (found.has_value() && found->epoch < shared->epoch) {
+      ++diag.hits;
+    } else {
+      ++diag.misses;
+    }
+  }
+  if (found.has_value()) {
+    cell->value = found->value;
+    cell->done = true;
+    return std::static_pointer_cast<const T>(cell->value);
+  }
+
+  std::shared_ptr<const T> value;
+  try {
+    value = std::make_shared<const T>(make());
+  } catch (...) {
+    cell->error = std::current_exception();
+    cell->done = true;
+    throw;
+  }
+  const std::size_t weight = weight_of(*value);
+  shared->store->insert(stage, key, value, weight);
+  {
+    const std::lock_guard<std::mutex> guard(shared->diag_mutex);
+    shared->diag[static_cast<std::size_t>(stage)].bytes_inserted += weight;
+  }
+  cell->value = value;
+  cell->done = true;
+  return value;
+}
+
+// ---------------------------------------------------------------------
+// Pipeline
+// ---------------------------------------------------------------------
+
+Pipeline::Pipeline(const System& system, const TwcaOptions& options, ArtifactStore& store,
+                   std::uint64_t epoch, int jobs)
+    : state_(std::make_unique<State>()) {
+  state_->system = &system;
+  state_->options = options;
+  state_->shared = std::make_shared<Shared>();
+  state_->shared->store = &store;
+  state_->shared->epoch = epoch;
+  state_->shared->jobs = jobs;
+}
+
+Pipeline::Pipeline(std::shared_ptr<const System> owned, const TwcaOptions& options,
+                   std::shared_ptr<Shared> shared)
+    : state_(std::make_unique<State>()) {
+  state_->owned = std::move(owned);
+  state_->system = state_->owned.get();
+  state_->options = options;
+  state_->shared = std::move(shared);
+}
+
+Pipeline::~Pipeline() = default;
+Pipeline::Pipeline(Pipeline&&) noexcept = default;
+
+const System& Pipeline::system() const { return *state_->system; }
+
+std::shared_ptr<const InterferenceContext> Pipeline::interference(int target) {
+  return state_->acquire<InterferenceContext>(
+      ArtifactStage::kInterference, interference_key(system(), target),
+      [&] { return make_interference_context(system(), target); });
+}
+
+std::shared_ptr<const LatencyResult> Pipeline::latency(int target) {
+  return state_->acquire<LatencyResult>(
+      ArtifactStage::kBusyWindow,
+      busy_window_key(system(), target, state_->options.analysis, /*without_overload=*/false),
+      [&] { return latency_analysis(system(), target, state_->options.analysis); });
+}
+
+std::shared_ptr<const LatencyResult> Pipeline::latency_without_overload(int target) {
+  return state_->acquire<LatencyResult>(
+      ArtifactStage::kBusyWindow,
+      busy_window_key(system(), target, state_->options.analysis, /*without_overload=*/true),
+      [&] {
+        return latency_analysis(system(), target, state_->options.analysis,
+                                system().overload_indices());
+      });
+}
+
+std::shared_ptr<const TargetArtifacts> Pipeline::overload_artifacts(int target) {
+  return state_->acquire<TargetArtifacts>(
+      ArtifactStage::kOverload, overload_key(system(), target, state_->options), [&] {
+        return build_target_artifacts(system(), target, *interference(target), *latency(target),
+                                      state_->options);
+      });
+}
+
+DmmResult Pipeline::dmm(int target, Count k) {
+  // Same preconditions (and messages) as TwcaAnalyzer::dmm, checked
+  // before any key is derived.
+  WHARF_EXPECT(k >= 1, "dmm requires k >= 1, got " << k);
+  WHARF_EXPECT(target >= 0 && target < system().size(),
+               "chain index " << target << " out of range [0, " << system().size() << ")");
+  WHARF_EXPECT(!system().chain(target).is_overload(),
+               "DMM target '" << system().chain(target).name()
+                              << "' must not be an overload chain");
+
+  const auto result = state_->acquire<DmmResult>(
+      ArtifactStage::kDmmCurve, dmm_key(system(), target, k, state_->options), [&] {
+        const auto full = latency(target);
+        const auto artifacts = overload_artifacts(target);
+        const PackingSolver solver = [this](const ilp::PackingProblem& problem) {
+          return *state_->acquire<ilp::PackingSolution>(
+              ArtifactStage::kIlp, packing_key(problem, state_->options.use_dfs_packer), [&] {
+                return ilp::solve_packing_split(problem, state_->shared->jobs,
+                                                state_->options.use_dfs_packer);
+              });
+        };
+        return dmm_from_artifacts(system(), target, *full, *artifacts, k, state_->options,
+                                  solver);
+      });
+  return *result;
+}
+
+std::vector<DmmResult> Pipeline::dmm_curve(int target, const std::vector<Count>& ks) {
+  std::vector<DmmResult> out;
+  out.reserve(ks.size());
+  for (const Count k : ks) out.push_back(dmm(target, k));
+  return out;
+}
+
+Pipeline& Pipeline::budgeted(int target, Time deadline) {
+  const std::lock_guard<std::mutex> guard(state_->budgeted_mutex);
+  std::unique_ptr<Pipeline>& slot = state_->budgeted_memo[{target, deadline}];
+  if (!slot) {
+    auto owned = std::make_shared<const System>(system().with_deadline(target, deadline));
+    slot = std::unique_ptr<Pipeline>(
+        new Pipeline(std::move(owned), state_->options, state_->shared));
+  }
+  return *slot;
+}
+
+namespace {
+
+/// Oracle plugging the pipeline into the core path composition: plain
+/// latencies come from the root pipeline, budgeted dmm queries from
+/// sub-pipelines over the deadline-substituted system.
+class PipelineOracleImpl final : public PathChainOracle {
+ public:
+  explicit PipelineOracleImpl(Pipeline& root) : root_(root) {}
+
+  LatencyResult latency(int chain) override { return *root_.latency(chain); }
+
+  DmmResult dmm_with_budget(int chain, Time budget, Count k) override {
+    return root_.budgeted(chain, budget).dmm(chain, k);
+  }
+
+ private:
+  Pipeline& root_;
+};
+
+}  // namespace
+
+PathLatencyResult Pipeline::path_latency(const PathSpec& path) {
+  PipelineOracleImpl oracle{*this};
+  return wharf::path_latency(system(), path, oracle);
+}
+
+PathDmmResult Pipeline::path_dmm(const PathSpec& path, Count k) {
+  PipelineOracleImpl oracle{*this};
+  return wharf::path_dmm(system(), path, k, oracle);
+}
+
+std::array<StageDiagnostics, kArtifactStageCount> Pipeline::stage_diagnostics() const {
+  const std::lock_guard<std::mutex> guard(state_->shared->diag_mutex);
+  return state_->shared->diag;
+}
+
+}  // namespace wharf

@@ -47,6 +47,34 @@ struct PackingSolution {
 /// Exact solver via bounded depth-first enumeration (cross-check path).
 [[nodiscard]] PackingSolution solve_packing_dfs(const PackingProblem& problem);
 
+/// An exact decomposition of a packing problem into independent
+/// subproblems: items coupled (transitively) through shared resources
+/// land in the same subproblem, so the optimum of the whole problem is
+/// the sum of the subproblem optima.  In the TWCA instance, items are
+/// unschedulable combinations and resources are (overload chain, active
+/// segment) pairs — combinations touching disjoint chain/segment sets
+/// decompose, which is what makes one target's packing solve splittable
+/// across a worker pool.
+struct PackingPartition {
+  /// Subproblems in deterministic order (by smallest original item
+  /// index), each with resources renumbered densely.
+  std::vector<PackingProblem> subproblems;
+  /// item_map[s][j] = original index of subproblem s's item j.
+  std::vector<std::vector<std::size_t>> item_map;
+};
+
+/// Partitions a problem into independent subproblems (validates first).
+[[nodiscard]] PackingPartition partition_packing(const PackingProblem& problem);
+
+/// Exact solve via decomposition: partitions the problem and solves the
+/// independent subproblems on `jobs` workers through a work-stealing
+/// deque (subproblem sizes are skewed; stealing balances them).  The
+/// result — total, per-item counts, summed node count — is bit-identical
+/// for every jobs value, including 1.  `use_dfs` selects the DFS
+/// cross-check solver per subproblem instead of the B&B ILP.
+[[nodiscard]] PackingSolution solve_packing_split(const PackingProblem& problem, int jobs,
+                                                  bool use_dfs = false);
+
 /// Validates a packing problem (non-negative capacities, resource indices
 /// in range, no duplicate resource within an item); throws
 /// wharf::InvalidArgument on violation.

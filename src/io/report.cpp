@@ -165,10 +165,29 @@ std::string render_report(const System& system, const AnalysisReport& report) {
   out << render_chain_table(system, ks, rows);
   render_overload_inventory(out, system);
 
+  const std::string cache_line = render_diagnostics(report.diagnostics);
+  if (!cache_line.empty()) out << '\n' << cache_line << '\n';
+
   const Status status = report.worst_status();
   if (!status.is_ok() || any_error) {
     out << "\nstatus: " << status.to_string() << '\n';
   }
+  return out.str();
+}
+
+std::string render_diagnostics(const ReportDiagnostics& diagnostics) {
+  std::size_t lookups = 0;
+  for (const StageDiagnostics& stage : diagnostics.stages) lookups += stage.lookups;
+  if (lookups == 0) return {};
+
+  std::ostringstream out;
+  out << "artifact cache:";
+  for (std::size_t s = 0; s < kArtifactStageCount; ++s) {
+    const StageDiagnostics& stage = diagnostics.stages[s];
+    out << ' ' << to_string(static_cast<ArtifactStage>(static_cast<int>(s))) << ' '
+        << stage.hits << '/' << stage.lookups;
+  }
+  out << " (hits/lookups)";
   return out.str();
 }
 

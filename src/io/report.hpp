@@ -22,9 +22,15 @@ namespace wharf::io {
 
 /// Same layout, but driven by an Engine response (the answers of an
 /// AnalysisRequest::standard() run): per-chain latency with/without
-/// overload, verdict and dmm columns, plus the overload inventory.
+/// overload, verdict and dmm columns, plus the overload inventory and a
+/// one-line artifact-cache summary (render_diagnostics).
 /// Queries that failed render as "error" cells.
 [[nodiscard]] std::string render_report(const System& system, const AnalysisReport& report);
+
+/// One-line per-stage artifact-cache summary of a served request, e.g.
+/// "artifact cache: interference 0/4 busy_window 0/8 ... (hits/lookups)".
+/// Empty when the request resolved no artifacts.
+[[nodiscard]] std::string render_diagnostics(const ReportDiagnostics& diagnostics);
 
 }  // namespace wharf::io
 

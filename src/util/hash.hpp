@@ -1,0 +1,30 @@
+/// \file hash.hpp
+/// Content hashing for cache keys: 64-bit FNV-1a over byte strings.
+///
+/// The artifact pipeline keys every stage by a canonical serialization of
+/// the model slice the stage reads; the FNV-1a digest of that key is the
+/// compact fingerprint surfaced in diagnostics.  Maps are keyed by the
+/// full string (never the digest alone), so hash collisions can never
+/// serve wrong artifacts.
+
+#ifndef WHARF_UTIL_HASH_HPP
+#define WHARF_UTIL_HASH_HPP
+
+#include <cstdint>
+#include <string_view>
+
+namespace wharf::util {
+
+/// 64-bit FNV-1a over a byte string.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace wharf::util
+
+#endif  // WHARF_UTIL_HASH_HPP

@@ -1,0 +1,86 @@
+#include "util/work_stealing.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "util/worker_pool.hpp"
+
+namespace wharf::util {
+
+void WorkStealingDeque::push(std::size_t task) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  tasks_.push_back(task);
+}
+
+bool WorkStealingDeque::pop(std::size_t& task) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  if (tasks_.empty()) return false;
+  task = tasks_.back();
+  tasks_.pop_back();
+  return true;
+}
+
+bool WorkStealingDeque::steal(std::size_t& task) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  if (tasks_.empty()) return false;
+  task = tasks_.front();
+  tasks_.pop_front();
+  return true;
+}
+
+std::size_t WorkStealingDeque::size() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return tasks_.size();
+}
+
+void work_steal_for_index(std::size_t n, int jobs,
+                          const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (jobs == 0) jobs = hardware_jobs();
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs > 1 ? jobs : 1), n);
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Deal indices round-robin so every worker starts with a share.
+  std::vector<WorkStealingDeque> deques(workers);
+  for (std::size_t i = 0; i < n; ++i) deques[i % workers].push(i);
+
+  std::exception_ptr first_error;
+  std::mutex error_lock;
+
+  const auto worker = [&](std::size_t self) {
+    for (;;) {
+      std::size_t task = 0;
+      bool found = deques[self].pop(task);
+      for (std::size_t v = 1; !found && v < workers; ++v) {
+        found = deques[(self + v) % workers].steal(task);
+      }
+      // Bodies never enqueue new tasks, so a full scan that finds every
+      // deque empty is terminal: this worker is done (no spinning while
+      // slower workers drain in-flight tasks).
+      if (!found) return;
+      try {
+        body(task);
+      } catch (...) {
+        const std::lock_guard<std::mutex> guard(error_lock);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) threads.emplace_back(worker, t);
+  worker(0);  // the caller thread participates
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace wharf::util

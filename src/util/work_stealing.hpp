@@ -1,0 +1,71 @@
+/// \file work_stealing.hpp
+/// A work-stealing scheduler for irregular task sets.
+///
+/// parallel_for_index (worker_pool.hpp) hands out indices through one
+/// shared atomic counter, which is ideal for many uniform tasks but
+/// serializes on the counter and cannot prioritize locality.  The
+/// work-stealing scheme here gives every worker its own deque: the owner
+/// pushes and pops at the bottom (LIFO, cache-warm), idle workers steal
+/// from the top of a victim's deque (FIFO, oldest first).  The ILP layer
+/// uses it to spread the independent subproblems of one combination-
+/// packing solve across the pool (subproblem sizes are wildly skewed, so
+/// stealing beats static division).
+///
+/// Determinism contract: work_steal_for_index(n, jobs, body) invokes
+/// body(i) exactly once for every i in [0, n); bodies write to disjoint,
+/// preallocated result slots, so the outcome is identical for any thread
+/// count — scheduling only changes *when* a body runs, never *whether*.
+
+#ifndef WHARF_UTIL_WORK_STEALING_HPP
+#define WHARF_UTIL_WORK_STEALING_HPP
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace wharf::util {
+
+/// A mutex-guarded work-stealing deque of task indices.  The owning
+/// worker uses push()/pop() (bottom, LIFO); thieves use steal() (top,
+/// FIFO).  The lock is uncontended in the common case (owner working on
+/// its own deque) and keeps the structure simple enough to run clean
+/// under TSan/ASan — this is a scheduler for coarse-grained analysis
+/// subproblems, not a lock-free microbenchmark.
+class WorkStealingDeque {
+ public:
+  /// Appends a task at the bottom (owner side).
+  void push(std::size_t task);
+
+  /// Pops the most recently pushed task (owner side).  Returns false
+  /// when the deque is empty.
+  bool pop(std::size_t& task);
+
+  /// Steals the oldest task (thief side).  Returns false when empty.
+  bool steal(std::size_t& task);
+
+  /// Snapshot size (approximate under concurrency; exact when quiescent).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<std::size_t> tasks_;
+};
+
+/// Runs body(0), ..., body(n-1) on `jobs` workers with work stealing:
+/// indices are dealt round-robin onto per-worker deques, each worker
+/// drains its own deque bottom-first, steals from the others when it
+/// runs dry, and exits as soon as a full scan finds everything empty
+/// (tasks never spawn tasks, so an empty scan is terminal — no
+/// spinning).  Workers are transient threads spawned per call and
+/// joined before returning; callers nested inside an engine worker pool
+/// should size `jobs` accordingly.  jobs <= 1 runs inline on the caller
+/// thread; jobs == 0 uses hardware_jobs().  The first exception thrown
+/// by any body is rethrown on the caller thread after all workers have
+/// drained.
+void work_steal_for_index(std::size_t n, int jobs,
+                          const std::function<void(std::size_t)>& body);
+
+}  // namespace wharf::util
+
+#endif  // WHARF_UTIL_WORK_STEALING_HPP

@@ -196,7 +196,34 @@ TEST(Cli, AnalyzeJsonOkStatus) {
   const CliRun r = invoke({"analyze", "-", "--json", "--k", "3"}, case_study_text());
   EXPECT_EQ(r.exit_code, 0) << r.err;
   EXPECT_NE(r.out.find("\"status\":\"ok\""), std::string::npos);
-  EXPECT_NE(r.out.find("\"cache_misses\":1"), std::string::npos);
+  EXPECT_NE(r.out.find("\"cache_hit\":false"), std::string::npos);
+  EXPECT_NE(r.out.find("\"cache_misses\":"), std::string::npos);
+  // Per-stage artifact-store counters are part of the --json surface.
+  EXPECT_NE(r.out.find("\"stages\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"busy_window\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"bytes_inserted\""), std::string::npos);
+}
+
+TEST(Cli, AnalyzeTextCarriesCacheSummary) {
+  const CliRun r = invoke({"analyze", "-"}, case_study_text());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("artifact cache:"), std::string::npos);
+  EXPECT_NE(r.out.find("busy_window 0/"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeCacheBytesFlag) {
+  const CliRun tiny = invoke({"analyze", "-", "--cache-bytes", "1024"}, case_study_text());
+  EXPECT_EQ(tiny.exit_code, 0) << tiny.err;
+  const CliRun unlimited = invoke({"analyze", "-", "--cache-bytes", "0"}, case_study_text());
+  EXPECT_EQ(unlimited.exit_code, 0) << unlimited.err;
+  // The budget changes residency, never answers.
+  EXPECT_EQ(tiny.out, unlimited.out);
+}
+
+TEST(Cli, AnalyzeRejectsBadCacheBytes) {
+  const CliRun r = invoke({"analyze", "-", "--cache-bytes", "lots"}, case_study_text());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("invalid --cache-bytes"), std::string::npos);
 }
 
 TEST(Cli, AnalyzeJobsProducesIdenticalOutput) {
@@ -240,6 +267,74 @@ TEST(Cli, MissingOptionValue) {
   const CliRun r = invoke({"analyze", "-", "--k"}, case_study_text());
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_NE(r.err.find("missing value"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// path subcommand
+// ---------------------------------------------------------------------------
+
+std::string linked_text() {
+  // The path_test pipeline fixture: two stages plus an overload chain,
+  // path WCL 220, bounded dmm under an end-to-end deadline of 200.
+  return "system pipeline\n"
+         "chain stage1 kind=sync activation=periodic(300) deadline=300\n"
+         "  task s1a prio=6 wcet=20\n"
+         "  task s1b prio=2 wcet=25\n"
+         "chain stage2 kind=sync activation=periodic(300) deadline=300\n"
+         "  task s2a prio=5 wcet=15\n"
+         "  task s2b prio=1 wcet=30\n"
+         "chain ov kind=sync activation=sporadic(10000) overload\n"
+         "  task ov1 prio=7 wcet=35\n";
+}
+
+TEST(Cli, PathLatencyOnly) {
+  const CliRun r = invoke({"path", "-", "stage1,stage2"}, linked_text());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("path stage1,stage2"), std::string::npos);
+  EXPECT_NE(r.out.find("WCL <="), std::string::npos);
+}
+
+TEST(Cli, PathWithDeadlineEmitsDmm) {
+  const CliRun r = invoke({"path", "-", "stage1,stage2", "--deadline", "200", "--k", "5,10"},
+                          linked_text());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("dmm_path(5)"), std::string::npos);
+  EXPECT_NE(r.out.find("dmm_path(10)"), std::string::npos);
+}
+
+TEST(Cli, PathJson) {
+  const CliRun r = invoke({"path", "-", "stage1,stage2", "--deadline", "200", "--json"}, linked_text());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"query\":\"path_latency\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"query\":\"path_dmm\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"budgets\""), std::string::npos);
+}
+
+TEST(Cli, PathUnknownChainFails) {
+  const CliRun r = invoke({"path", "-", "stage1,nope"}, linked_text());
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("unknown chain"), std::string::npos);
+}
+
+TEST(Cli, PathJsonEmitsFailedQueriesAsStatusEntries) {
+  // Like analyze --json: a failed query is a structured status entry on
+  // stdout, never a bare stderr line with empty stdout.
+  const CliRun r = invoke({"path", "-", "stage1,nope", "--json"}, linked_text());
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.out.find("\"status\":\"not-found\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"reason\""), std::string::npos);
+}
+
+TEST(Cli, PathRejectsKWithoutDeadline) {
+  const CliRun r = invoke({"path", "-", "stage1,stage2", "--k", "5"}, linked_text());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("require --deadline"), std::string::npos);
+}
+
+TEST(Cli, PathUsage) {
+  const CliRun r = invoke({"path", "-"}, linked_text());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("path expects"), std::string::npos);
 }
 
 }  // namespace

@@ -66,6 +66,73 @@ System linked_pipeline_system() {
 }
 
 // ---------------------------------------------------------------------------
+// Oracle boundary: path_latency/path_dmm compose over PathChainOracle
+// ---------------------------------------------------------------------------
+
+/// A recording oracle forwarding to standalone analyses (the default
+/// behavior), capturing which budgets the composition hands out.
+class RecordingOracle final : public PathChainOracle {
+ public:
+  explicit RecordingOracle(const System& system) : system_(system) {}
+
+  LatencyResult latency(int chain) override { return latency_analysis(system_, chain); }
+
+  DmmResult dmm_with_budget(int chain, Time budget, Count k) override {
+    budgets_seen.push_back(budget);
+    const TwcaAnalyzer analyzer{system_.with_deadline(chain, budget)};
+    return analyzer.dmm(chain, k);
+  }
+
+  std::vector<Time> budgets_seen;
+
+ private:
+  const System& system_;
+};
+
+TEST(PathOracle, FreeFunctionsMatchPathAnalyzer) {
+  const System sys = pipeline_system();
+  PathSpec path;
+  path.chains = {0, 1};
+  path.deadline = 200;  // < 220: misses possible
+
+  RecordingOracle oracle{sys};
+  const PathLatencyResult lat = path_latency(sys, path, oracle);
+  const PathDmmResult dmm = path_dmm(sys, path, 5, oracle);
+
+  const PathAnalyzer analyzer{sys};
+  const PathLatencyResult lat_ref = analyzer.latency(path);
+  const PathDmmResult dmm_ref = analyzer.dmm(path, 5);
+  EXPECT_EQ(lat.wcl, lat_ref.wcl);
+  EXPECT_EQ(lat.per_chain_wcl, lat_ref.per_chain_wcl);
+  EXPECT_EQ(dmm.dmm, dmm_ref.dmm);
+  EXPECT_EQ(dmm.status, dmm_ref.status);
+  EXPECT_EQ(dmm.budgets, dmm_ref.budgets);
+}
+
+TEST(PathOracle, BudgetsHandedToOracleSumToDeadline) {
+  const System sys = pipeline_system();
+  PathSpec path;
+  path.chains = {0, 1};
+  path.deadline = 200;
+
+  RecordingOracle oracle{sys};
+  const PathDmmResult result = path_dmm(sys, path, 5, oracle);
+  ASSERT_EQ(oracle.budgets_seen.size(), 2u);
+  EXPECT_EQ(oracle.budgets_seen[0] + oracle.budgets_seen[1], 200);
+  EXPECT_EQ(oracle.budgets_seen, result.budgets);
+}
+
+TEST(SystemWithDeadline, ReplacesOnlyTheTarget) {
+  const System sys = pipeline_system();
+  const System budgeted = sys.with_deadline(0, 123);
+  EXPECT_EQ(budgeted.chain(0).deadline(), std::optional<Time>(123));
+  EXPECT_EQ(budgeted.chain(1).deadline(), sys.chain(1).deadline());
+  const System removed = sys.with_deadline(1, std::nullopt);
+  EXPECT_FALSE(removed.chain(1).deadline().has_value());
+  EXPECT_THROW((void)sys.with_deadline(99, 5), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
 // Derived output models
 // ---------------------------------------------------------------------------
 

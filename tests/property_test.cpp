@@ -337,6 +337,37 @@ TEST_P(RandomSystemProperties, LatencyDominatesEveryInstanceNotJustMax) {
   }
 }
 
+TEST_P(RandomSystemProperties, GranularCacheNeverServesStaleArtifacts) {
+  // The incremental-invalidation property: warm an engine on system S,
+  // mutate one pair of task priorities, and re-analyze warm.  Every
+  // answer must be bit-identical to a cold analysis of the mutated
+  // system — a slice key that is too coarse (missing a real dependency)
+  // would serve stale artifacts exactly here.
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  const System sys = gen::random_system(property_spec(GetParam() % 2 == 0), rng);
+
+  Engine engine;
+  (void)engine.run(AnalysisRequest::standard(sys));
+
+  std::vector<Priority> priorities = sys.flat_priorities();
+  std::uniform_int_distribution<std::size_t> pick(0, priorities.size() - 1);
+  const std::size_t i = pick(rng);
+  const std::size_t j = pick(rng);
+  std::swap(priorities[i], priorities[j]);
+  const System mutated = sys.with_priorities(priorities);
+
+  const AnalysisReport warm = engine.run(AnalysisRequest::standard(mutated, {1, 5, 10}));
+  Engine cold_engine;
+  const AnalysisReport cold = cold_engine.run(AnalysisRequest::standard(mutated, {1, 5, 10}));
+
+  auto answers_json = [](const AnalysisReport& report) {
+    AnalysisReport stripped = report;
+    stripped.diagnostics = ReportDiagnostics{};
+    return to_json(stripped);
+  };
+  EXPECT_EQ(answers_json(warm), answers_json(cold)) << "seed " << GetParam();
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomSystemProperties, ::testing::Range(0, 24));
 
 // ---------------------------------------------------------------------------

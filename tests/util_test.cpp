@@ -1,11 +1,20 @@
-// Unit tests for src/util: saturating arithmetic, error machinery and
-// string helpers.
+// Unit tests for src/util: saturating arithmetic, error machinery,
+// string helpers, content hashing, byte-weight traits and the
+// work-stealing scheduler.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
 #include "util/expect.hpp"
+#include "util/hash.hpp"
 #include "util/strings.hpp"
 #include "util/types.hpp"
+#include "util/weight.hpp"
+#include "util/work_stealing.hpp"
 
 namespace wharf {
 namespace {
@@ -158,6 +167,89 @@ TEST(Strings, ParseDouble) {
 TEST(Strings, Cat) {
   EXPECT_EQ(util::cat("a", 1, 'b', 2.5), "a1b2.5");
   EXPECT_EQ(util::cat(), "");
+}
+
+TEST(Hash, Fnv1a64KnownVectorsAndSensitivity) {
+  // Reference digests of the FNV-1a test vectors.
+  EXPECT_EQ(util::fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(util::fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_NE(util::fnv1a64("busy|c1"), util::fnv1a64("busy|c2"));
+}
+
+TEST(Weight, HeapBytesShapes) {
+  EXPECT_EQ(util::heap_bytes(42), 0u);
+  std::string s = "hello";
+  EXPECT_GE(util::heap_bytes(s), s.size());
+  std::vector<Time> v(10);
+  EXPECT_GE(util::heap_bytes(v), 10 * sizeof(Time));
+  std::optional<std::string> none;
+  EXPECT_EQ(util::heap_bytes(none), 0u);
+  EXPECT_EQ(util::byte_weight(42), sizeof(int));
+  EXPECT_GT(util::byte_weight(v), util::heap_bytes(v));
+}
+
+TEST(WorkStealing, DequeOwnerLifoThiefFifo) {
+  util::WorkStealingDeque deque;
+  deque.push(1);
+  deque.push(2);
+  deque.push(3);
+  EXPECT_EQ(deque.size(), 3u);
+
+  std::size_t task = 0;
+  ASSERT_TRUE(deque.steal(task));  // thief takes the oldest
+  EXPECT_EQ(task, 1u);
+  ASSERT_TRUE(deque.pop(task));  // owner takes the newest
+  EXPECT_EQ(task, 3u);
+  ASSERT_TRUE(deque.pop(task));
+  EXPECT_EQ(task, 2u);
+  EXPECT_FALSE(deque.pop(task));
+  EXPECT_FALSE(deque.steal(task));
+}
+
+TEST(WorkStealing, ForIndexRunsEveryIndexExactlyOnce) {
+  for (const int jobs : {1, 2, 4, 0}) {
+    constexpr std::size_t kN = 500;
+    std::vector<std::atomic<int>> runs(kN);
+    util::work_steal_for_index(kN, jobs, [&](std::size_t i) {
+      runs[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(runs[i].load(), 1) << "index " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(WorkStealing, ForIndexHandlesEmptyAndSingle) {
+  int calls = 0;
+  util::work_steal_for_index(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  util::work_steal_for_index(1, 4, [&](std::size_t i) { calls += static_cast<int>(i) + 1; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(WorkStealing, SkewedTasksAllComplete) {
+  // Wildly skewed task sizes (the ILP-subproblem shape): stealing must
+  // still complete everything and the results must be deterministic.
+  constexpr std::size_t kN = 64;
+  std::vector<long long> results(kN, 0);
+  util::work_steal_for_index(kN, 4, [&](std::size_t i) {
+    long long acc = 0;
+    const long long rounds = i % 8 == 0 ? 200'000 : 100;
+    for (long long r = 0; r < rounds; ++r) acc += static_cast<long long>(i) + r;
+    results[i] = acc;
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_NE(results[i], 0) << "index " << i;
+  }
+}
+
+TEST(WorkStealing, FirstExceptionPropagates) {
+  EXPECT_THROW(
+      util::work_steal_for_index(100, 4,
+                                 [&](std::size_t i) {
+                                   if (i == 37) throw InvalidArgument("boom");
+                                 }),
+      InvalidArgument);
 }
 
 }  // namespace
