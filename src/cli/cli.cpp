@@ -35,7 +35,9 @@ usage:
   wharf path     <file> <chain1,chain2,...> [--deadline D] [--budgets B1,B2,...]
                  [--k K1,K2,...] [--json] [--jobs N]
   wharf simulate <file> [--horizon H] [--seed S] [--extra-gap G] [--gantt WIDTH]
-  wharf search   <file> [--k K] [--strategy random|climb] [--budget N] [--seed S]
+  wharf search   <file> [--k K] [--strategy hill|random|exhaustive] [--budget N]
+                 [--restarts R] [--max-permutations N] [--seed S] [--json]
+                 [--jobs N] [--cache-bytes N]
   wharf validate <file>
   wharf help
 
@@ -58,8 +60,9 @@ struct Options {
 bool option_takes_value(const std::string& name) {
   return name == "--k" || name == "--breakpoints" || name == "--horizon" || name == "--seed" ||
          name == "--extra-gap" || name == "--gantt" || name == "--strategy" ||
-         name == "--budget" || name == "--jobs" || name == "--cache-bytes" ||
-         name == "--deadline" || name == "--budgets";
+         name == "--budget" || name == "--restarts" || name == "--max-permutations" ||
+         name == "--jobs" || name == "--cache-bytes" || name == "--deadline" ||
+         name == "--budgets";
 }
 
 bool parse_options(const std::vector<std::string>& args, std::size_t first, Options& out,
@@ -415,22 +418,50 @@ int cmd_search(const Options& options, std::istream& in, std::ostream& out, std:
     return kUsageError;
   }
   query.seed = static_cast<std::uint64_t>(seed);
-  const std::string strategy = options.get("--strategy", "climb");
-  if (strategy == "random") {
-    query.strategy = PrioritySearchQuery::Strategy::kRandom;
-  } else if (strategy == "climb") {
-    query.strategy = PrioritySearchQuery::Strategy::kHillClimb;
-  } else {
-    err << "unknown strategy '" << strategy << "' (use random|climb)\n";
+  Count restarts = 4;
+  if (options.has("--restarts") &&
+      !parse_count(options.get("--restarts", ""), restarts, err, "restarts")) {
     return kUsageError;
   }
+  query.restarts = static_cast<int>(restarts);
+  Count max_permutations = 0;
+  if (options.has("--max-permutations")) {
+    if (!parse_count(options.get("--max-permutations", ""), max_permutations, err,
+                     "max permutations")) {
+      return kUsageError;
+    }
+    query.max_permutations = max_permutations;
+  }
+  const std::string strategy = options.get("--strategy", "hill");
+  if (strategy == "random") {
+    query.strategy = PrioritySearchQuery::Strategy::kRandom;
+  } else if (strategy == "hill" || strategy == "climb") {
+    query.strategy = PrioritySearchQuery::Strategy::kHillClimb;
+  } else if (strategy == "exhaustive") {
+    query.strategy = PrioritySearchQuery::Strategy::kExhaustive;
+  } else {
+    err << "unknown strategy '" << strategy << "' (use hill|random|exhaustive)\n";
+    return kUsageError;
+  }
+  int jobs = 1;
+  if (!parse_jobs(options, jobs, err)) return kUsageError;
+  std::size_t cache_bytes = 0;
+  if (!parse_cache_bytes(options, cache_bytes, err)) return kUsageError;
 
-  Engine engine;
+  Engine engine{EngineOptions{jobs, cache_bytes}};
   const AnalysisReport report = engine.run(AnalysisRequest{*system, {}, {query}});
   const QueryResult& result = report.results.front();
   if (!result.ok()) {
-    err << result.status.to_string() << "\n";
+    if (options.has("--json")) {
+      out << to_json(report) << "\n";
+    } else {
+      err << result.status.to_string() << "\n";
+    }
     return exit_code_for(result.status);
+  }
+  if (options.has("--json")) {
+    out << to_json(report) << "\n";
+    return kOk;
   }
   const SearchAnswer& answer = std::get<SearchAnswer>(result.answer);
 
@@ -443,6 +474,8 @@ int cmd_search(const Options& options, std::istream& in, std::ostream& out, std:
   out << "priorities (flat task order):";
   for (Priority p : answer.result.best_priorities) out << ' ' << p;
   out << '\n';
+  out << "store: " << answer.stats.hits() << " hits / " << answer.stats.misses()
+      << " misses / " << answer.stats.shared() << " shared\n";
   return kOk;
 }
 

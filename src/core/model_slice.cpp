@@ -1,6 +1,7 @@
 #include "core/model_slice.hpp"
 
-#include <sstream>
+#include <algorithm>
+#include <charconv>
 
 #include "core/segments.hpp"
 
@@ -8,81 +9,172 @@ namespace wharf {
 
 namespace {
 
-void append_chain_content(std::ostream& os, const Chain& chain) {
-  os << "chain{" << chain.name() << ';' << (chain.is_synchronous() ? 'S' : 'A') << ';'
-     << chain.arrival().describe() << ';';
+// Slice strings are built on the Engine's hottest path (one key per
+// artifact per request — a priority search builds them per candidate),
+// so everything appends into one preallocated std::string instead of
+// going through ostringstream.
+
+void append_num(std::string& out, long long v) {
+  char buf[24];
+  const auto end = std::to_chars(buf, buf + sizeof buf, v).ptr;
+  out.append(buf, static_cast<std::size_t>(end - buf));
+}
+
+void append_chain_content(std::string& out, const Chain& chain) {
+  out += "chain{";
+  out += chain.name();
+  out += ';';
+  out += chain.is_synchronous() ? 'S' : 'A';
+  out += ';';
+  out += chain.arrival().describe();
+  out += ';';
   if (chain.deadline().has_value()) {
-    os << *chain.deadline();
+    append_num(out, *chain.deadline());
   } else {
-    os << '-';
+    out += '-';
   }
-  os << ';' << (chain.is_overload() ? 'O' : '.') << ";[";
+  out += ';';
+  out += chain.is_overload() ? 'O' : '.';
+  out += ";[";
   for (const Task& task : chain.tasks()) {
-    os << task.priority << ':' << task.wcet << ',';
+    append_num(out, task.priority);
+    out += ':';
+    append_num(out, task.wcet);
+    out += ',';
   }
-  os << "]}";
+  out += "]}";
+}
+
+void append_interference_slice(std::string& out, const Chain& a, const Chain& b) {
+  const Priority min_b = b.min_priority();
+  out += "ifc{";
+  out += a.name();
+  out += ';';
+  out += a.is_synchronous() ? 'S' : 'A';
+  out += ";[";
+  for (const Task& task : a.tasks()) {
+    append_num(out, task.wcet);
+    out += ':';
+    out += task.priority > min_b ? '1' : '0';
+    out += ',';
+  }
+  out += "]}";
+}
+
+void append_busy_interference_slice(std::string& out, const Chain& a, const Chain& b) {
+  out += "bwi{";
+  out += a.name();
+  out += ';';
+  out += a.is_synchronous() ? 'S' : 'A';
+  out += ';';
+  out += a.arrival().describe();
+  out += ";C=";
+  append_num(out, a.total_wcet());
+  out += ';';
+  if (!is_deferred(a, b)) {
+    out += "arb}";
+    return;
+  }
+  out += "def;hdr=";
+  append_num(out, cost_of(a, header_segment_wrt(a, b)));
+  out += ";segs=[";
+  Time total = 0;
+  Time critical = 0;
+  bool any = false;
+  for (const Segment& s : segments_wrt(a, b)) {
+    append_num(out, s.cost);
+    out += s.wraps ? 'w' : '.';
+    out += ',';
+    total = sat_add(total, s.cost);
+    critical = any ? std::max(critical, s.cost) : s.cost;
+    any = true;
+  }
+  out += "];sum=";
+  append_num(out, total);
+  out += ";crit=";
+  append_num(out, any ? critical : 0);
+  out += '}';
+}
+
+void append_overload_slice(std::string& out, const Chain& a, const Chain& b) {
+  out += "ovl{";
+  out += a.name();
+  out += ';';
+  out += a.arrival().describe();
+  out += ";active=[";
+  for (const ActiveSegment& s : active_segments_wrt(a, b)) {
+    append_num(out, s.segment_index);
+    out += ':';
+    append_num(out, s.cost);
+    out += ',';
+  }
+  out += "]}";
+}
+
+void append_analysis_options_slice(std::string& out, const AnalysisOptions& options) {
+  out += "ao{";
+  append_num(out, static_cast<long long>(options.max_busy_windows));
+  out += ';';
+  append_num(out, static_cast<long long>(options.max_fixed_point_iterations));
+  out += ';';
+  append_num(out, options.divergence_guard);
+  out += ';';
+  append_num(out, options.naive_arbitrary);
+  out += '}';
+}
+
+void append_combination_options_slice(std::string& out, const TwcaOptions& options) {
+  out += "co{";
+  append_num(out, static_cast<int>(options.criterion));
+  out += ';';
+  append_num(out, static_cast<long long>(options.max_combinations));
+  out += ';';
+  append_num(out, options.minimal_only);
+  out += '}';
 }
 
 }  // namespace
 
 std::string chain_content(const Chain& chain) {
-  std::ostringstream os;
-  append_chain_content(os, chain);
-  return os.str();
+  std::string out;
+  out.reserve(64);
+  append_chain_content(out, chain);
+  return out;
 }
 
 std::string interference_slice(const Chain& a, const Chain& b) {
-  std::ostringstream os;
-  const Priority min_b = b.min_priority();
-  os << "ifc{" << a.name() << ';' << (a.is_synchronous() ? 'S' : 'A') << ";[";
-  for (const Task& task : a.tasks()) {
-    os << task.wcet << ':' << (task.priority > min_b ? '1' : '0') << ',';
-  }
-  os << "]}";
-  return os.str();
+  std::string out;
+  out.reserve(48);
+  append_interference_slice(out, a, b);
+  return out;
 }
 
 std::string busy_interference_slice(const Chain& a, const Chain& b) {
-  std::ostringstream os;
-  os << "bwi{" << a.name() << ';' << (a.is_synchronous() ? 'S' : 'A') << ';'
-     << a.arrival().describe() << ";C=" << a.total_wcet() << ';';
-  if (!is_deferred(a, b)) {
-    os << "arb}";
-    return os.str();
-  }
-  os << "def;hdr=" << cost_of(a, header_segment_wrt(a, b)) << ";segs=[";
-  Time total = 0;
-  for (const Segment& s : segments_wrt(a, b)) {
-    os << s.cost << (s.wraps ? 'w' : '.') << ',';
-    total = sat_add(total, s.cost);
-  }
-  const auto critical = critical_segment(a, b);
-  os << "];sum=" << total << ";crit=" << (critical ? critical->cost : 0) << '}';
-  return os.str();
+  std::string out;
+  out.reserve(96);
+  append_busy_interference_slice(out, a, b);
+  return out;
 }
 
 std::string overload_slice(const Chain& a, const Chain& b) {
-  std::ostringstream os;
-  os << "ovl{" << a.name() << ';' << a.arrival().describe() << ";active=[";
-  for (const ActiveSegment& s : active_segments_wrt(a, b)) {
-    os << s.segment_index << ':' << s.cost << ',';
-  }
-  os << "]}";
-  return os.str();
+  std::string out;
+  out.reserve(64);
+  append_overload_slice(out, a, b);
+  return out;
 }
 
 std::string analysis_options_slice(const AnalysisOptions& options) {
-  std::ostringstream os;
-  os << "ao{" << options.max_busy_windows << ';' << options.max_fixed_point_iterations << ';'
-     << options.divergence_guard << ';' << options.naive_arbitrary << '}';
-  return os.str();
+  std::string out;
+  out.reserve(48);
+  append_analysis_options_slice(out, options);
+  return out;
 }
 
 std::string combination_options_slice(const TwcaOptions& options) {
-  std::ostringstream os;
-  os << "co{" << static_cast<int>(options.criterion) << ';' << options.max_combinations << ';'
-     << options.minimal_only << '}';
-  return os.str();
+  std::string out;
+  out.reserve(32);
+  append_combination_options_slice(out, options);
+  return out;
 }
 
 std::string interference_key(const System& system, int target) {
@@ -90,30 +182,44 @@ std::string interference_key(const System& system, int target) {
   // (ctx.target, others[].chain) that consumers dereference against the
   // *current* system, so the key pins every position: two systems
   // listing the same chains in a different order must not collide.
-  std::ostringstream os;
-  os << "ifc|t=" << target << ';';
-  append_chain_content(os, system.chain(target));
+  std::string out;
+  out.reserve(64 * static_cast<std::size_t>(system.size()));
+  out += "ifc|t=";
+  append_num(out, target);
+  out += ';';
+  append_chain_content(out, system.chain(target));
   for (int a = 0; a < system.size(); ++a) {
     if (a == target) continue;
-    os << '@' << a << interference_slice(system.chain(a), system.chain(target));
+    out += '@';
+    append_num(out, a);
+    append_interference_slice(out, system.chain(a), system.chain(target));
   }
-  return os.str();
+  return out;
 }
 
 std::string busy_window_key(const System& system, int target, const AnalysisOptions& options,
                             bool without_overload) {
-  std::ostringstream os;
-  os << (without_overload ? "bw-noov|" : "bw|") << analysis_options_slice(options);
-  append_chain_content(os, system.chain(target));
+  std::string out;
+  out.reserve(96 * static_cast<std::size_t>(system.size()));
+  out += without_overload ? "bw-noov|" : "bw|";
+  append_analysis_options_slice(out, options);
+  append_chain_content(out, system.chain(target));
   for (int a = 0; a < system.size(); ++a) {
     if (a == target) continue;
     if (without_overload && system.chain(a).is_overload()) continue;
-    os << busy_interference_slice(system.chain(a), system.chain(target));
+    append_busy_interference_slice(out, system.chain(a), system.chain(target));
   }
-  return os.str();
+  return out;
 }
 
 std::string overload_key(const System& system, int target, const TwcaOptions& options) {
+  return overload_key(system, target, options,
+                      busy_window_key(system, target, options.analysis,
+                                      /*without_overload=*/false));
+}
+
+std::string overload_key(const System& system, int target, const TwcaOptions& options,
+                         const std::string& busy_window_part) {
   // The k-independent artifacts read the full latency result (whose key
   // is the busy-window slice), the typical/exact slack (same reads, with
   // overload chains excluded — a subset), and the active segments of
@@ -122,21 +228,38 @@ std::string overload_key(const System& system, int target, const TwcaOptions& op
   // computation dereferences the cached interference context's indices,
   // so — unlike the busy-window key, whose artifact is pure data — the
   // target and overload positions are pinned into the key.
-  std::ostringstream os;
-  os << "ov|t=" << target << ';' << combination_options_slice(options)
-     << busy_window_key(system, target, options.analysis, /*without_overload=*/false);
+  std::string out;
+  out.reserve(busy_window_part.size() + 64 * system.overload_indices().size() + 48);
+  out += "ov|t=";
+  append_num(out, target);
+  out += ';';
+  append_combination_options_slice(out, options);
+  out += busy_window_part;
   for (const int a : system.overload_indices()) {
     if (a == target) continue;
-    os << '@' << a << overload_slice(system.chain(a), system.chain(target));
+    out += '@';
+    append_num(out, a);
+    append_overload_slice(out, system.chain(a), system.chain(target));
   }
-  return os.str();
+  return out;
 }
 
 std::string dmm_key(const System& system, int target, Count k, const TwcaOptions& options) {
-  std::ostringstream os;
-  os << "dmm|k=" << k << ";cap=" << options.cap_at_k << ";dfs=" << options.use_dfs_packer << ';'
-     << overload_key(system, target, options);
-  return os.str();
+  return dmm_key(k, options, overload_key(system, target, options));
+}
+
+std::string dmm_key(Count k, const TwcaOptions& options, const std::string& overload_part) {
+  std::string out;
+  out.reserve(overload_part.size() + 40);
+  out += "dmm|k=";
+  append_num(out, k);
+  out += ";cap=";
+  append_num(out, options.cap_at_k);
+  out += ";dfs=";
+  append_num(out, options.use_dfs_packer);
+  out += ';';
+  out += overload_part;
+  return out;
 }
 
 }  // namespace wharf

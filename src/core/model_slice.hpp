@@ -92,9 +92,23 @@ namespace wharf {
 [[nodiscard]] std::string overload_key(const System& system, int target,
                                        const TwcaOptions& options);
 
+/// Composing variant: `busy_window_part` must be
+/// busy_window_key(system, target, options.analysis, false).  The keys
+/// nest (dmm ⊃ overload ⊃ busy window), so callers that key several
+/// stages for one target — the Engine pipeline's per-request key cache —
+/// build the expensive shared part once instead of per stage.
+[[nodiscard]] std::string overload_key(const System& system, int target,
+                                       const TwcaOptions& options,
+                                       const std::string& busy_window_part);
+
 /// Cache key of one dmm(k) query result for `target`.
 [[nodiscard]] std::string dmm_key(const System& system, int target, Count k,
                                   const TwcaOptions& options);
+
+/// Composing variant: `overload_part` must be
+/// overload_key(system, target, options) for the queried target.
+[[nodiscard]] std::string dmm_key(Count k, const TwcaOptions& options,
+                                  const std::string& overload_part);
 
 }  // namespace wharf
 

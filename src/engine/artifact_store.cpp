@@ -52,8 +52,13 @@ std::optional<ArtifactStore::Found> ArtifactStore::lookup(ArtifactStage stage,
 void ArtifactStore::insert(ArtifactStage stage, const std::string& key,
                            std::shared_ptr<const void> value, std::size_t weight) {
   std::string tagged = tagged_key(stage, key);
-  const std::size_t charged = weight + tagged.size();
   const std::lock_guard<std::mutex> guard(mutex_);
+  insert_locked(stage, std::move(tagged), std::move(value), weight);
+}
+
+void ArtifactStore::insert_locked(ArtifactStage stage, std::string tagged,
+                                  std::shared_ptr<const void> value, std::size_t weight) {
+  const std::size_t charged = weight + tagged.size();
   StageStats& stats = stage_stats_[stage_index(stage)];
   if (byte_budget_ > 0 && charged > byte_budget_) {
     ++stats.rejected;
@@ -69,6 +74,74 @@ void ArtifactStore::insert(ArtifactStage stage, const std::string& key,
   ++stats.resident_entries;
   stats.resident_bytes += charged;
   evict_to_budget_locked();
+}
+
+ArtifactStore::Resolved ArtifactStore::resolve(ArtifactStage stage, const std::string& key,
+                                               const Compute& compute) {
+  const std::string tagged = tagged_key(stage, key);
+  std::shared_ptr<Flight> flight;
+  bool owner = false;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    const auto it = entries_.find(tagged);
+    if (it != entries_.end()) {
+      recency_.splice(recency_.begin(), recency_, it->second.lru);
+      return Resolved{it->second.value, it->second.epoch, ResolveSource::kResident, 0};
+    }
+    std::shared_ptr<Flight>& slot = flights_[tagged];
+    if (!slot) {
+      slot = std::make_shared<Flight>();
+      owner = true;
+    } else {
+      ++stage_stats_[stage_index(stage)].flights_shared;
+    }
+    flight = slot;
+  }
+
+  if (!owner) {
+    std::unique_lock<std::mutex> lock(flight->mutex);
+    flight->done_cv.wait(lock, [&] { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    return Resolved{flight->value, 0, ResolveSource::kShared, 0};
+  }
+
+  std::shared_ptr<const void> value;
+  std::size_t weight = 0;
+  try {
+    auto made = compute();
+    value = std::move(made.first);
+    weight = made.second;
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> guard(mutex_);
+      flights_.erase(tagged);
+    }
+    {
+      const std::lock_guard<std::mutex> lock(flight->mutex);
+      flight->error = std::current_exception();
+      flight->done = true;
+    }
+    flight->done_cv.notify_all();
+    throw;
+  }
+
+  std::uint64_t inserted_epoch = 0;
+  {
+    // Publish the entry and retire the flight atomically w.r.t. new
+    // resolve() calls: a caller arriving now either finds the entry
+    // (resident) or, before this block, the open flight — never neither.
+    const std::lock_guard<std::mutex> guard(mutex_);
+    inserted_epoch = epoch_;
+    insert_locked(stage, tagged, value, weight);
+    flights_.erase(tagged);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(flight->mutex);
+    flight->value = value;
+    flight->done = true;
+  }
+  flight->done_cv.notify_all();
+  return Resolved{std::move(value), inserted_epoch, ResolveSource::kComputed, weight};
 }
 
 void ArtifactStore::evict_to_budget_locked() {

@@ -22,11 +22,16 @@
 /// classifies as a *hit* only when the artifact was resident before the
 /// current epoch.  Artifacts inserted by a concurrent request of the
 /// same batch are shared once resident but count as misses for everyone
-/// in that batch; sibling requests that miss simultaneously may each
-/// compute the artifact (first insertion wins — values for equal keys
-/// are equal, so only work is duplicated, never correctness).  Request
-/// *answers* are bit-identical for any jobs value; batch cache
-/// telemetry is demand-driven and may vary with scheduling.
+/// in that batch.  Request *answers* are bit-identical for any jobs
+/// value; batch cache telemetry is demand-driven and may vary with
+/// scheduling.
+///
+/// Cross-request single-flight: resolve() keeps an in-flight table keyed
+/// by stage key, so when several callers — worker threads of one batch,
+/// sibling requests, concurrent search candidates of one neighborhood —
+/// need the same absent artifact at once, exactly one computes it and
+/// the others wait and share the result instead of racing (equal keys
+/// provably yield equal values, so sharing is transparent).
 ///
 /// Thread-safe: all methods may be called concurrently.
 
@@ -34,14 +39,17 @@
 #define WHARF_ENGINE_ARTIFACT_STORE_HPP
 
 #include <array>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 namespace wharf {
 
@@ -90,11 +98,47 @@ class ArtifactStore {
   void insert(ArtifactStage stage, const std::string& key,
               std::shared_ptr<const void> value, std::size_t weight);
 
+  /// Computation callback of resolve(): produces the artifact and its
+  /// weight in bytes.  Runs outside every store lock and may itself call
+  /// back into the store for upstream artifacts (stage dependencies are
+  /// acyclic, so recursive resolution cannot deadlock the flight table).
+  using Compute = std::function<std::pair<std::shared_ptr<const void>, std::size_t>()>;
+
+  /// How resolve() obtained an artifact.
+  enum class ResolveSource {
+    kResident,  ///< found in the store (recency bumped, like lookup())
+    kComputed,  ///< this caller ran `compute` and inserted the result
+    kShared,    ///< joined another caller's in-flight computation
+  };
+
+  struct Resolved {
+    std::shared_ptr<const void> value;
+    /// Epoch the artifact was inserted in (meaningful for kResident —
+    /// computed/shared artifacts are by definition of this epoch).
+    std::uint64_t epoch = 0;
+    ResolveSource source = ResolveSource::kComputed;
+    /// Weight handed to insert(); non-zero only for kComputed.
+    std::size_t weight = 0;
+  };
+
+  /// Single-flight resolution: returns the resident artifact when
+  /// present; otherwise the *first* caller of `key` runs `compute` and
+  /// inserts the result while concurrent callers of the same key wait on
+  /// the in-flight entry and share the value instead of recomputing.
+  /// When compute throws, every waiter rethrows the same error and the
+  /// flight is retired (a later caller computes afresh).
+  [[nodiscard]] Resolved resolve(ArtifactStage stage, const std::string& key,
+                                 const Compute& compute);
+
   /// Monotonic counters plus current residency, per stage.
   struct StageStats {
     std::size_t insertions = 0;
     std::size_t evictions = 0;
     std::size_t rejected = 0;  ///< admission refusals (artifact > budget)
+    /// resolve() calls that joined another caller's in-flight
+    /// computation (incremented when the caller *starts* waiting, so a
+    /// compute callback can observe how many callers share its flight).
+    std::size_t flights_shared = 0;
     std::size_t resident_entries = 0;
     std::size_t resident_bytes = 0;
   };
@@ -121,6 +165,17 @@ class ArtifactStore {
     std::list<std::string>::iterator lru;
   };
 
+  /// One in-flight computation: the owner computes, everyone else waits.
+  struct Flight {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    bool done = false;
+    std::shared_ptr<const void> value;
+    std::exception_ptr error;
+  };
+
+  void insert_locked(ArtifactStage stage, std::string tagged,
+                     std::shared_ptr<const void> value, std::size_t weight);
   void evict_to_budget_locked();
 
   const std::size_t byte_budget_;
@@ -131,6 +186,8 @@ class ArtifactStore {
   /// back).  Keys are stage-prefixed, so stages never collide.
   std::list<std::string> recency_;
   std::unordered_map<std::string, Entry> entries_;
+  /// Open single-flight computations by tagged key (resolve()).
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
   std::array<StageStats, kArtifactStageCount> stage_stats_{};
 };
 

@@ -112,33 +112,52 @@ struct Engine::Impl {
   std::mutex totals_mutex;
   std::size_t total_hits = 0;
   std::size_t total_misses = 0;
+  std::size_t total_shared = 0;
 
   explicit Impl(EngineOptions opts) : options(opts), store(opts.cache_bytes) {}
 
-  QueryResult execute(const AnalysisRequest& request, Pipeline& pipeline, const Query& query);
+  /// `concurrent_tasks` is how many query tasks the current
+  /// run()/run_batch() call spreads over the worker pool — nested
+  /// parallelism (search neighborhoods) stays sequential unless this
+  /// query has the pool to itself.
+  QueryResult execute(const AnalysisRequest& request, Pipeline& pipeline, const Query& query,
+                      std::size_t concurrent_tasks);
 
-  /// Fills the report's diagnostics from the pipeline's telemetry and
-  /// folds them into the engine-lifetime totals.
+  /// Fills the report's diagnostics from the pipeline's telemetry (plus
+  /// the search evaluators' from the answers) and folds them into the
+  /// engine-lifetime totals.
   void finalize(AnalysisReport& report, const Pipeline& pipeline) {
     report.diagnostics.stages = pipeline.stage_diagnostics();
     std::size_t lookups = 0;
     std::size_t hits = 0;
     std::size_t misses = 0;
+    std::size_t shared = 0;
     for (const StageDiagnostics& stage : report.diagnostics.stages) {
       lookups += stage.lookups;
       hits += stage.hits;
       misses += stage.misses;
+      shared += stage.shared;
     }
     report.diagnostics.cache_hits = hits;
     report.diagnostics.cache_misses = misses;
-    report.diagnostics.cache_hit = lookups > 0 && misses == 0;
+    report.diagnostics.cache_shared = shared;
+    report.diagnostics.cache_hit = lookups > 0 && misses == 0 && shared == 0;
     report.diagnostics.queries_failed = static_cast<std::size_t>(
         std::count_if(report.results.begin(), report.results.end(),
                       [](const QueryResult& r) { return !r.ok(); }));
+    for (const QueryResult& r : report.results) {
+      if (const auto* search = std::get_if<SearchAnswer>(&r.answer)) {
+        report.diagnostics.search_evaluations += search->stats.evaluations;
+        report.diagnostics.search_hits += search->stats.hits();
+        report.diagnostics.search_misses += search->stats.misses();
+        report.diagnostics.search_shared += search->stats.shared();
+      }
+    }
     {
       const std::lock_guard<std::mutex> guard(totals_mutex);
-      total_hits += hits;
-      total_misses += misses;
+      total_hits += hits + report.diagnostics.search_hits;
+      total_misses += misses + report.diagnostics.search_misses;
+      total_shared += shared + report.diagnostics.search_shared;
     }
   }
 };
@@ -348,24 +367,44 @@ QueryResult run_simulation(Pipeline& pipeline, const SimulationQuery& query) {
   return out;
 }
 
-QueryResult run_search(const AnalysisRequest& request, const PrioritySearchQuery& query) {
+/// Scores candidates against the engine's shared store: the search
+/// warms, and profits from, the same artifacts as every other query,
+/// and hill-climb neighborhoods evaluate on the worker pool.
+QueryResult run_search(ArtifactStore& store, int jobs, std::size_t concurrent_tasks,
+                       const AnalysisRequest& request, const PrioritySearchQuery& query) {
   QueryResult out;
   const auto answer = capture([&] {
-    WHARF_EXPECT(query.budget >= 1, "search budget must be >= 1, got " << query.budget);
     const search::EvaluationSpec spec{query.k, {}};
+    // The engine already spreads the serving call's query tasks over
+    // the worker pool; give the evaluator the pool width only when this
+    // search has the pool to itself, so neither a multi-query request
+    // nor a batch of single-query requests can fan out jobs^2 threads
+    // (parallel_for_index spawns per call).
+    const int evaluator_jobs = concurrent_tasks > 1 ? 1 : jobs;
+    search::PipelineEvaluator evaluator(request.system, spec, request.options, store,
+                                        evaluator_jobs);
     SearchAnswer a;
-    a.nominal = search::evaluate_assignment(request.system, spec, request.options);
-    if (query.strategy == PrioritySearchQuery::Strategy::kRandom) {
-      a.result = search::random_search(request.system, spec, query.budget, query.seed,
-                                       request.options);
-    } else {
-      WHARF_EXPECT(query.restarts >= 1, "climb restarts must be >= 1, got " << query.restarts);
-      search::HillClimbOptions climb;
-      climb.restarts = query.restarts;
-      climb.max_steps = query.budget;
-      climb.seed = query.seed;
-      a.result = search::hill_climb(request.system, spec, climb, request.options);
+    a.nominal = evaluator.evaluate(request.system.flat_priorities());
+    switch (query.strategy) {
+      case PrioritySearchQuery::Strategy::kRandom:
+        WHARF_EXPECT(query.budget >= 1, "search budget must be >= 1, got " << query.budget);
+        a.result = search::random_search(evaluator, query.budget, query.seed);
+        break;
+      case PrioritySearchQuery::Strategy::kExhaustive:
+        a.result = search::exhaustive_search(evaluator, query.max_permutations);
+        break;
+      case PrioritySearchQuery::Strategy::kHillClimb: {
+        WHARF_EXPECT(query.budget >= 1, "search budget must be >= 1, got " << query.budget);
+        WHARF_EXPECT(query.restarts >= 1, "climb restarts must be >= 1, got " << query.restarts);
+        search::HillClimbOptions climb;
+        climb.restarts = query.restarts;
+        climb.max_steps = query.budget;
+        climb.seed = query.seed;
+        a.result = search::hill_climb(evaluator, climb);
+        break;
+      }
     }
+    a.stats = evaluator.stats();
     return a;
   });
   if (answer) {
@@ -379,7 +418,7 @@ QueryResult run_search(const AnalysisRequest& request, const PrioritySearchQuery
 }  // namespace
 
 QueryResult Engine::Impl::execute(const AnalysisRequest& request, Pipeline& pipeline,
-                                  const Query& query) {
+                                  const Query& query, std::size_t concurrent_tasks) {
   return std::visit(
       [&](const auto& q) -> QueryResult {
         using Q = std::decay_t<decltype(q)>;
@@ -396,7 +435,7 @@ QueryResult Engine::Impl::execute(const AnalysisRequest& request, Pipeline& pipe
         } else if constexpr (std::is_same_v<Q, PathDmmQuery>) {
           return run_path_dmm(pipeline, q);
         } else {
-          return run_search(request, q);
+          return run_search(store, options.jobs, concurrent_tasks, request, q);
         }
       },
       query);
@@ -420,7 +459,8 @@ AnalysisReport Engine::run(const AnalysisRequest& request) {
   Pipeline pipeline(request.system, request.options, impl_->store, epoch,
                     impl_->options.jobs);
   util::parallel_for_index(request.queries.size(), impl_->options.jobs, [&](std::size_t q) {
-    report.results[q] = impl_->execute(request, pipeline, request.queries[q]);
+    report.results[q] =
+        impl_->execute(request, pipeline, request.queries[q], request.queries.size());
   });
   impl_->finalize(report, pipeline);
   return report;
@@ -458,7 +498,7 @@ std::vector<AnalysisReport> Engine::run_batch(const std::vector<AnalysisRequest>
     const TaskRef& ref = tasks[t];
     reports[ref.request].results[ref.query] =
         impl_->execute(requests[ref.request], pipelines[ref.request],
-                       requests[ref.request].queries[ref.query]);
+                       requests[ref.request].queries[ref.query], tasks.size());
   });
 
   for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -476,6 +516,7 @@ Engine::CacheStats Engine::cache_stats() const {
   const std::lock_guard<std::mutex> guard(impl_->totals_mutex);
   out.hits = impl_->total_hits;
   out.misses = impl_->total_misses;
+  out.shared = impl_->total_shared;
   return out;
 }
 
@@ -619,6 +660,17 @@ void write_answer(io::JsonWriter& w, const QueryResult& result) {
           w.begin_array();
           for (const Priority p : a.result.best_priorities) w.value(p);
           w.end_array();
+          w.key("store");
+          w.begin_object();
+          w.key("lookups");
+          w.value(static_cast<long long>(a.stats.lookups()));
+          w.key("hits");
+          w.value(static_cast<long long>(a.stats.hits()));
+          w.key("misses");
+          w.value(static_cast<long long>(a.stats.misses()));
+          w.key("shared");
+          w.value(static_cast<long long>(a.stats.shared()));
+          w.end_object();
         } else if constexpr (std::is_same_v<A, PathLatencyAnswer>) {
           w.key("query");
           w.value("path_latency");
@@ -685,6 +737,8 @@ std::string to_json(const AnalysisReport& report) {
   w.value(static_cast<long long>(report.diagnostics.cache_hits));
   w.key("cache_misses");
   w.value(static_cast<long long>(report.diagnostics.cache_misses));
+  w.key("cache_shared");
+  w.value(static_cast<long long>(report.diagnostics.cache_shared));
   w.key("stages");
   w.begin_object();
   for (std::size_t s = 0; s < kArtifactStageCount; ++s) {
@@ -697,11 +751,26 @@ std::string to_json(const AnalysisReport& report) {
     w.value(static_cast<long long>(stage.hits));
     w.key("misses");
     w.value(static_cast<long long>(stage.misses));
+    w.key("shared");
+    w.value(static_cast<long long>(stage.shared));
     w.key("bytes_inserted");
     w.value(static_cast<long long>(stage.bytes_inserted));
     w.end_object();
   }
   w.end_object();
+  if (report.diagnostics.search_evaluations > 0) {
+    w.key("search");
+    w.begin_object();
+    w.key("evaluations");
+    w.value(report.diagnostics.search_evaluations);
+    w.key("hits");
+    w.value(static_cast<long long>(report.diagnostics.search_hits));
+    w.key("misses");
+    w.value(static_cast<long long>(report.diagnostics.search_misses));
+    w.key("shared");
+    w.value(static_cast<long long>(report.diagnostics.search_shared));
+    w.end_object();
+  }
   w.key("queries_failed");
   w.value(static_cast<long long>(report.diagnostics.queries_failed));
   w.end_object();

@@ -92,13 +92,19 @@ struct SimulationQuery {
 
 /// Priority-assignment synthesis (paper Experiment 2 turned design
 /// tool): search permutations for the best weakly-hard objective.
+/// Candidates are scored through the engine's shared ArtifactStore
+/// (search::PipelineEvaluator), so a pairwise swap re-solves only the
+/// slices it changed and neighborhoods evaluate as one work-pool batch —
+/// bit-identical to sequential standalone evaluation for any jobs.
 struct PrioritySearchQuery {
-  enum class Strategy { kRandom, kHillClimb };
+  enum class Strategy { kRandom, kHillClimb, kExhaustive };
   Strategy strategy = Strategy::kHillClimb;
   Count k = 10;
   int budget = 200;  ///< samples (random) / improving steps per restart (climb)
   int restarts = 4;  ///< independent starting points (climb only)
   std::uint64_t seed = 1;
+  /// Guard against factorial blow-up (exhaustive only).
+  long long max_permutations = 50'000;
 };
 
 /// End-to-end latency of a path: an ordered sequence of distinct,
@@ -179,6 +185,10 @@ struct SimulationAnswer {
 struct SearchAnswer {
   search::Objective nominal;  ///< objective of the given assignment
   search::SearchResult result;
+  /// Store reuse while scoring candidates (includes the nominal
+  /// evaluation): per-stage lookups/hits/misses/shared of the search's
+  /// pipeline-backed evaluator.
+  search::EvaluatorStats stats;
 };
 
 struct PathLatencyAnswer {
@@ -212,14 +222,25 @@ struct ReportDiagnostics {
   /// artifact and every store lookup hit.
   bool cache_hit = false;
   /// Real store lookups this request performed, summed over stages (one
-  /// lookup per distinct artifact needed).  Deterministic for any jobs
-  /// value: a lookup counts as a hit only when the artifact was resident
-  /// before this request's epoch (see artifact_store.hpp).
+  /// lookup per distinct artifact needed).  A lookup counts as a hit
+  /// only when the artifact was resident before this request's epoch
+  /// (see artifact_store.hpp); hits are deterministic for any jobs
+  /// value, and so is misses + shared (see pipeline.hpp).
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  /// Lookups that joined another request's in-flight computation
+  /// (store-level single-flight) instead of recomputing.
+  std::size_t cache_shared = 0;
   std::size_t queries_failed = 0;
   /// Per-stage lookup/hit/miss/weight breakdown of this request.
   std::array<StageDiagnostics, kArtifactStageCount> stages{};
+  /// Search-layer telemetry, summed over this request's priority-search
+  /// queries (candidate evaluations score in per-candidate epochs, so
+  /// their reuse is tracked here instead of in `stages`).
+  long long search_evaluations = 0;
+  std::size_t search_hits = 0;
+  std::size_t search_misses = 0;
+  std::size_t search_shared = 0;
 };
 
 /// The response: one QueryResult per request query, index-aligned.
@@ -279,10 +300,12 @@ class Engine {
   [[nodiscard]] std::vector<AnalysisReport> run_batch(
       const std::vector<AnalysisRequest>& requests);
 
-  /// Engine-lifetime artifact-store counters, summed over stages.
+  /// Engine-lifetime artifact-store counters, summed over stages
+  /// (search-evaluator lookups included).
   struct CacheStats {
     std::size_t hits = 0;
     std::size_t misses = 0;
+    std::size_t shared = 0;  ///< single-flight joins (work saved, not resident)
     std::size_t evictions = 0;
     std::size_t entries = 0;        ///< current resident artifacts
     std::size_t resident_bytes = 0; ///< current resident weight

@@ -93,11 +93,11 @@ struct Pipeline::State {
   TwcaOptions options;
   std::shared_ptr<Shared> shared;
 
-  /// Request-local single-flight memo: one cell per (stage, key); the
-  /// first visitor resolves the artifact (store lookup, then compute)
-  /// while concurrent visitors wait on the cell instead of duplicating
-  /// the lookup — which is what keeps the per-stage counters
-  /// deterministic under the worker pool.
+  /// Request-local memo: one cell per (stage, key); the first visitor
+  /// resolves the artifact through the store's single-flight resolve()
+  /// while concurrent visitors of *this request* wait on the cell
+  /// instead of duplicating the lookup — which is what keeps the
+  /// per-stage counters deterministic under the worker pool.
   struct Cell {
     std::mutex mutex;
     bool done = false;
@@ -105,7 +105,10 @@ struct Pipeline::State {
     std::exception_ptr error;
   };
   std::mutex memo_mutex;
-  std::unordered_map<std::string, std::shared_ptr<Cell>> memo;
+  /// One map per stage: keys are large (a busy-window key serializes
+  /// every interferer slice), so avoid re-prefixing/copying them per
+  /// lookup just to disambiguate stages.
+  std::array<std::unordered_map<std::string, std::shared_ptr<Cell>>, kArtifactStageCount> memo;
 
   /// Budgeted sub-pipelines, memoized per (target, deadline): a k-grid
   /// over one budget reuses the sub-pipeline's request-local memo
@@ -113,9 +116,72 @@ struct Pipeline::State {
   std::mutex budgeted_mutex;
   std::map<std::pair<int, Time>, std::unique_ptr<Pipeline>> budgeted_memo;
 
+  /// Per-request cache of the per-target stage keys.  Keys are pure
+  /// functions of (system, options), both fixed for the pipeline's
+  /// lifetime, and serializing a slice walks the chain's segment
+  /// structure — on key-heavy workloads (priority search scoring
+  /// thousands of candidate pipelines) building each target's key once
+  /// per request instead of once per stage access is a ~2x win.  The
+  /// nested keys compose: overload reuses the busy-window part, dmm the
+  /// overload part.  unordered_map nodes are stable, so returned
+  /// references outlive later insertions.
+  std::mutex key_mutex;
+  std::unordered_map<int, std::string> ifc_keys;
+  std::unordered_map<int, std::string> bw_keys;
+  std::unordered_map<int, std::string> bw_noov_keys;
+  std::unordered_map<int, std::string> ov_keys;
+
+  const std::string& interference_key_for(int target);
+  const std::string& busy_window_key_for(int target, bool without_overload);
+  const std::string& overload_key_for(int target);
+
   template <typename T, typename Make>
   std::shared_ptr<const T> acquire(ArtifactStage stage, const std::string& key, Make&& make);
 };
+
+namespace {
+
+/// Serves `map[target]` from the cache, or builds it *outside* the lock
+/// (serialization walks segment structures — holding the mutex through
+/// it would serialize the worker pool's key phase) and inserts
+/// first-wins: racing builders produce equal strings, so the loser's
+/// copy is simply dropped.  Returned references are stable
+/// (unordered_map nodes survive rehashing).
+template <typename Build>
+const std::string& cached_key(std::mutex& mutex, std::unordered_map<int, std::string>& map,
+                              int target, Build&& build) {
+  {
+    const std::lock_guard<std::mutex> guard(mutex);
+    const auto it = map.find(target);
+    if (it != map.end()) return it->second;
+  }
+  std::string built = build();
+  const std::lock_guard<std::mutex> guard(mutex);
+  std::string& slot = map[target];
+  if (slot.empty()) slot = std::move(built);
+  return slot;
+}
+
+}  // namespace
+
+const std::string& Pipeline::State::interference_key_for(int target) {
+  return cached_key(key_mutex, ifc_keys, target,
+                    [&] { return wharf::interference_key(*system, target); });
+}
+
+const std::string& Pipeline::State::busy_window_key_for(int target, bool without_overload) {
+  return cached_key(key_mutex, without_overload ? bw_noov_keys : bw_keys, target, [&] {
+    return wharf::busy_window_key(*system, target, options.analysis, without_overload);
+  });
+}
+
+const std::string& Pipeline::State::overload_key_for(int target) {
+  // Resolve the busy-window part first (its own cached_key round), then
+  // compose the overload key from it outside the lock.
+  const std::string& busy_part = busy_window_key_for(target, /*without_overload=*/false);
+  return cached_key(key_mutex, ov_keys, target,
+                    [&] { return wharf::overload_key(*system, target, options, busy_part); });
+}
 
 template <typename T, typename Make>
 std::shared_ptr<const T> Pipeline::State::acquire(ArtifactStage stage, const std::string& key,
@@ -123,8 +189,7 @@ std::shared_ptr<const T> Pipeline::State::acquire(ArtifactStage stage, const std
   std::shared_ptr<Cell> cell;
   {
     const std::lock_guard<std::mutex> guard(memo_mutex);
-    std::shared_ptr<Cell>& slot =
-        memo[std::string(to_string(stage)) + '|' + key];
+    std::shared_ptr<Cell>& slot = memo[static_cast<std::size_t>(stage)][key];
     if (!slot) slot = std::make_shared<Cell>();
     cell = slot;
   }
@@ -135,40 +200,41 @@ std::shared_ptr<const T> Pipeline::State::acquire(ArtifactStage stage, const std
     return std::static_pointer_cast<const T>(cell->value);
   }
 
-  const auto found = shared->store->lookup(stage, key);
-  {
-    const std::lock_guard<std::mutex> guard(shared->diag_mutex);
-    StageDiagnostics& diag = shared->diag[static_cast<std::size_t>(stage)];
-    ++diag.lookups;
-    if (found.has_value() && found->epoch < shared->epoch) {
-      ++diag.hits;
-    } else {
+  ArtifactStore::Resolved resolved;
+  try {
+    resolved = shared->store->resolve(stage, key, [&] {
+      auto value = std::make_shared<const T>(make());
+      const std::size_t weight = weight_of(*value);
+      return std::pair<std::shared_ptr<const void>, std::size_t>(std::move(value), weight);
+    });
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> guard(shared->diag_mutex);
+      StageDiagnostics& diag = shared->diag[static_cast<std::size_t>(stage)];
+      ++diag.lookups;
       ++diag.misses;
     }
-  }
-  if (found.has_value()) {
-    cell->value = found->value;
-    cell->done = true;
-    return std::static_pointer_cast<const T>(cell->value);
-  }
-
-  std::shared_ptr<const T> value;
-  try {
-    value = std::make_shared<const T>(make());
-  } catch (...) {
     cell->error = std::current_exception();
     cell->done = true;
     throw;
   }
-  const std::size_t weight = weight_of(*value);
-  shared->store->insert(stage, key, value, weight);
   {
     const std::lock_guard<std::mutex> guard(shared->diag_mutex);
-    shared->diag[static_cast<std::size_t>(stage)].bytes_inserted += weight;
+    StageDiagnostics& diag = shared->diag[static_cast<std::size_t>(stage)];
+    ++diag.lookups;
+    if (resolved.source == ArtifactStore::ResolveSource::kResident &&
+        resolved.epoch < shared->epoch) {
+      ++diag.hits;
+    } else if (resolved.source == ArtifactStore::ResolveSource::kShared) {
+      ++diag.shared;
+    } else {
+      ++diag.misses;
+      diag.bytes_inserted += resolved.weight;
+    }
   }
-  cell->value = value;
+  cell->value = std::move(resolved.value);
   cell->done = true;
-  return value;
+  return std::static_pointer_cast<const T>(cell->value);
 }
 
 // ---------------------------------------------------------------------
@@ -202,21 +268,21 @@ const System& Pipeline::system() const { return *state_->system; }
 
 std::shared_ptr<const InterferenceContext> Pipeline::interference(int target) {
   return state_->acquire<InterferenceContext>(
-      ArtifactStage::kInterference, interference_key(system(), target),
+      ArtifactStage::kInterference, state_->interference_key_for(target),
       [&] { return make_interference_context(system(), target); });
 }
 
 std::shared_ptr<const LatencyResult> Pipeline::latency(int target) {
   return state_->acquire<LatencyResult>(
       ArtifactStage::kBusyWindow,
-      busy_window_key(system(), target, state_->options.analysis, /*without_overload=*/false),
+      state_->busy_window_key_for(target, /*without_overload=*/false),
       [&] { return latency_analysis(system(), target, state_->options.analysis); });
 }
 
 std::shared_ptr<const LatencyResult> Pipeline::latency_without_overload(int target) {
   return state_->acquire<LatencyResult>(
       ArtifactStage::kBusyWindow,
-      busy_window_key(system(), target, state_->options.analysis, /*without_overload=*/true),
+      state_->busy_window_key_for(target, /*without_overload=*/true),
       [&] {
         return latency_analysis(system(), target, state_->options.analysis,
                                 system().overload_indices());
@@ -225,7 +291,7 @@ std::shared_ptr<const LatencyResult> Pipeline::latency_without_overload(int targ
 
 std::shared_ptr<const TargetArtifacts> Pipeline::overload_artifacts(int target) {
   return state_->acquire<TargetArtifacts>(
-      ArtifactStage::kOverload, overload_key(system(), target, state_->options), [&] {
+      ArtifactStage::kOverload, state_->overload_key_for(target), [&] {
         return build_target_artifacts(system(), target, *interference(target), *latency(target),
                                       state_->options);
       });
@@ -242,7 +308,8 @@ DmmResult Pipeline::dmm(int target, Count k) {
                               << "' must not be an overload chain");
 
   const auto result = state_->acquire<DmmResult>(
-      ArtifactStage::kDmmCurve, dmm_key(system(), target, k, state_->options), [&] {
+      ArtifactStage::kDmmCurve,
+      dmm_key(k, state_->options, state_->overload_key_for(target)), [&] {
         const auto full = latency(target);
         const auto artifacts = overload_artifacts(target);
         const PackingSolver solver = [this](const ilp::PackingProblem& problem) {

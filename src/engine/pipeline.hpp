@@ -4,13 +4,15 @@
 /// core/path_analysis.hpp) and the shared ArtifactStore.
 ///
 /// A Pipeline is created per served request.  Every stage accessor
-/// resolves its artifact in three steps: a request-local, single-flight
-/// memo (so one request never looks the same key up twice, and
-/// concurrent queries of one request wait instead of duplicating work),
-/// then the shared store (keyed by the stage's model slice), then the
-/// core computation — whose upstream inputs go through the same
-/// resolution recursively.  The packing-ILP solve is intercepted the
-/// same way and split across the worker pool (ilp::solve_packing_split).
+/// resolves its artifact in three steps: a request-local memo (so one
+/// request never looks the same key up twice, and concurrent queries of
+/// one request wait instead of duplicating work), then the shared store
+/// via its single-flight resolve() (keyed by the stage's model slice;
+/// concurrent *requests* — batch siblings, search candidates — needing
+/// the same absent artifact share one computation), then the core
+/// computation — whose upstream inputs go through the same resolution
+/// recursively.  The packing-ILP solve is intercepted the same way and
+/// split across the worker pool (ilp::solve_packing_split).
 ///
 /// Path queries run through the same machinery: each per-chain budgeted
 /// dmm spawns a sub-pipeline over System::with_deadline that shares the
@@ -33,15 +35,21 @@
 
 namespace wharf {
 
-/// Store telemetry of one served request, per pipeline stage.  Counting
-/// is deterministic for any jobs value: a request counts one lookup per
-/// distinct artifact it resolves, and a lookup is a *hit* only when the
-/// artifact was resident before the request's epoch began (see
-/// artifact_store.hpp).
+/// Store telemetry of one served request, per pipeline stage.  A request
+/// counts one lookup per distinct artifact it resolves, and
+/// lookups == hits + misses + shared.  Hits (artifact resident before
+/// the request's epoch began, see artifact_store.hpp) are deterministic
+/// for any jobs value; so is misses + shared, but the split between the
+/// two is not: a `shared` lookup joined a computation another thread had
+/// in flight (store-level single-flight), which in a sequential run
+/// would have been a plain miss.  Within run() of a request without
+/// concurrent siblings, shared is zero and every counter is exactly
+/// reproducible.
 struct StageDiagnostics {
   std::size_t lookups = 0;         ///< distinct artifacts resolved
   std::size_t hits = 0;            ///< resident before this request's epoch
-  std::size_t misses = 0;          ///< had to be computed this epoch
+  std::size_t misses = 0;          ///< computed here (or inserted this epoch)
+  std::size_t shared = 0;          ///< joined another caller's in-flight compute
   std::size_t bytes_inserted = 0;  ///< weight of artifacts this request computed
 };
 

@@ -178,16 +178,23 @@ std::string render_report(const System& system, const AnalysisReport& report) {
 std::string render_diagnostics(const ReportDiagnostics& diagnostics) {
   std::size_t lookups = 0;
   for (const StageDiagnostics& stage : diagnostics.stages) lookups += stage.lookups;
-  if (lookups == 0) return {};
 
   std::ostringstream out;
-  out << "artifact cache:";
-  for (std::size_t s = 0; s < kArtifactStageCount; ++s) {
-    const StageDiagnostics& stage = diagnostics.stages[s];
-    out << ' ' << to_string(static_cast<ArtifactStage>(static_cast<int>(s))) << ' '
-        << stage.hits << '/' << stage.lookups;
+  if (lookups > 0) {
+    out << "artifact cache:";
+    for (std::size_t s = 0; s < kArtifactStageCount; ++s) {
+      const StageDiagnostics& stage = diagnostics.stages[s];
+      out << ' ' << to_string(static_cast<ArtifactStage>(static_cast<int>(s))) << ' '
+          << stage.hits << '/' << stage.lookups;
+    }
+    out << " (hits/lookups)";
   }
-  out << " (hits/lookups)";
+  if (diagnostics.search_evaluations > 0) {
+    if (lookups > 0) out << '\n';
+    out << "search store: " << diagnostics.search_hits << " hits / "
+        << diagnostics.search_misses << " misses / " << diagnostics.search_shared
+        << " shared over " << diagnostics.search_evaluations << " evaluations";
+  }
   return out.str();
 }
 

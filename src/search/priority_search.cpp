@@ -2,51 +2,210 @@
 
 #include <algorithm>
 #include <random>
+#include <utility>
 
 #include "gen/random_systems.hpp"
 #include "util/expect.hpp"
+#include "util/worker_pool.hpp"
 
 namespace wharf::search {
 
 namespace {
 
-std::vector<int> default_targets(const System& system) {
-  std::vector<int> targets;
-  for (int c : system.regular_indices()) {
-    if (system.chain(c).deadline().has_value()) targets.push_back(c);
+/// Resolves (and validates) the evaluation targets of `spec` against
+/// `system`: explicit indices, or every non-overload chain with a
+/// deadline.  The eligible set is invariant under priority permutation
+/// (with_priorities changes neither kinds nor deadlines), so one
+/// resolution serves every candidate.
+std::vector<int> resolve_targets(const System& system, const EvaluationSpec& spec) {
+  WHARF_EXPECT(spec.k >= 1, "evaluation horizon k must be >= 1, got " << spec.k);
+  std::vector<int> targets = spec.targets;
+  if (targets.empty()) {
+    for (int c : system.regular_indices()) {
+      if (system.chain(c).deadline().has_value()) targets.push_back(c);
+    }
   }
+  WHARF_EXPECT(!targets.empty(), "no evaluable chains (need non-overload chains with deadlines)");
   return targets;
 }
 
-Objective evaluate_with_targets(const System& system, const std::vector<int>& targets, Count k,
-                                const TwcaOptions& options) {
-  TwcaAnalyzer analyzer{system, options};
-  Objective obj;
-  for (int c : targets) {
-    const DmmResult r = analyzer.dmm(c, k);
-    if (r.dmm > 0) ++obj.chains_missing;
-    obj.total_dmm += r.dmm;
-    const LatencyResult& lat = analyzer.latency(c);
-    obj.total_wcl = sat_add(obj.total_wcl,
-                            lat.bounded ? lat.wcl : options.analysis.divergence_guard);
+/// Folds one scored block into the incumbent exactly like the sequential
+/// loop would: candidates in index order, strict improvement only (ties
+/// keep the earlier candidate).
+void fold_block(const std::vector<std::vector<Priority>>& block,
+                const std::vector<Objective>& scores, SearchResult& result, bool& have_best) {
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    if (!have_best || scores[i] < result.best_objective) {
+      have_best = true;
+      result.best_objective = scores[i];
+      result.best_priorities = block[i];
+    }
   }
-  return obj;
 }
 
 }  // namespace
 
-Objective evaluate_assignment(const System& system, const EvaluationSpec& spec,
-                              const TwcaOptions& options) {
-  WHARF_EXPECT(spec.k >= 1, "evaluation horizon k must be >= 1, got " << spec.k);
-  const std::vector<int> targets =
-      spec.targets.empty() ? default_targets(system) : spec.targets;
-  WHARF_EXPECT(!targets.empty(), "no evaluable chains (need non-overload chains with deadlines)");
-  return evaluate_with_targets(system, targets, spec.k, options);
+// ---------------------------------------------------------------------
+// EvaluatorStats / Evaluator
+// ---------------------------------------------------------------------
+
+std::size_t EvaluatorStats::lookups() const {
+  std::size_t n = 0;
+  for (const StageDiagnostics& s : stages) n += s.lookups;
+  return n;
 }
 
-SearchResult exhaustive_search(const System& system, const EvaluationSpec& spec,
-                               long long max_permutations, const TwcaOptions& options) {
-  std::vector<Priority> priorities = system.flat_priorities();
+std::size_t EvaluatorStats::hits() const {
+  std::size_t n = 0;
+  for (const StageDiagnostics& s : stages) n += s.hits;
+  return n;
+}
+
+std::size_t EvaluatorStats::misses() const {
+  std::size_t n = 0;
+  for (const StageDiagnostics& s : stages) n += s.misses;
+  return n;
+}
+
+std::size_t EvaluatorStats::shared() const {
+  std::size_t n = 0;
+  for (const StageDiagnostics& s : stages) n += s.shared;
+  return n;
+}
+
+Evaluator::~Evaluator() = default;
+
+std::vector<Objective> Evaluator::evaluate_many(
+    const std::vector<std::vector<Priority>>& candidates) {
+  std::vector<Objective> scores(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) scores[i] = evaluate(candidates[i]);
+  return scores;
+}
+
+// ---------------------------------------------------------------------
+// PipelineEvaluator
+// ---------------------------------------------------------------------
+
+PipelineEvaluator::PipelineEvaluator(System base, EvaluationSpec spec, TwcaOptions options,
+                                     ArtifactStore& store, int jobs)
+    : base_(std::move(base)),
+      spec_(std::move(spec)),
+      targets_(resolve_targets(base_, spec_)),
+      options_(options),
+      store_(&store),
+      jobs_(jobs) {}
+
+PipelineEvaluator::PipelineEvaluator(System base, EvaluationSpec spec, TwcaOptions options,
+                                     std::size_t cache_bytes)
+    : base_(std::move(base)),
+      spec_(std::move(spec)),
+      targets_(resolve_targets(base_, spec_)),
+      options_(options),
+      owned_store_(std::make_unique<ArtifactStore>(cache_bytes)),
+      store_(owned_store_.get()) {}
+
+PipelineEvaluator::~PipelineEvaluator() = default;
+
+const System& PipelineEvaluator::base() const { return base_; }
+
+Objective PipelineEvaluator::score(const System& candidate, int ilp_jobs) {
+  // Each candidate scores in its own store epoch: artifacts resolved by
+  // *earlier* candidates (or earlier engine requests) classify as hits,
+  // which is what makes neighborhood reuse observable in stats().
+  const std::uint64_t epoch = store_->begin_epoch();
+  Pipeline pipeline(candidate, options_, *store_, epoch, ilp_jobs);
+
+  Objective obj;
+  for (const int c : targets_) {
+    const DmmResult r = pipeline.dmm(c, spec_.k);
+    if (r.dmm > 0) ++obj.chains_missing;
+    obj.total_dmm += r.dmm;
+    const std::shared_ptr<const LatencyResult> lat = pipeline.latency(c);
+    obj.total_wcl = sat_add(obj.total_wcl,
+                            lat->bounded ? lat->wcl : options_.analysis.divergence_guard);
+  }
+
+  const std::array<StageDiagnostics, kArtifactStageCount> diag = pipeline.stage_diagnostics();
+  {
+    const std::lock_guard<std::mutex> guard(stats_mutex_);
+    ++stats_.evaluations;
+    for (std::size_t s = 0; s < kArtifactStageCount; ++s) {
+      stats_.stages[s].lookups += diag[s].lookups;
+      stats_.stages[s].hits += diag[s].hits;
+      stats_.stages[s].misses += diag[s].misses;
+      stats_.stages[s].shared += diag[s].shared;
+      stats_.stages[s].bytes_inserted += diag[s].bytes_inserted;
+    }
+  }
+  return obj;
+}
+
+Objective PipelineEvaluator::evaluate(const std::vector<Priority>& priorities) {
+  return score(base_.with_priorities(priorities), jobs_);
+}
+
+std::vector<Objective> PipelineEvaluator::evaluate_many(
+    const std::vector<std::vector<Priority>>& candidates) {
+  std::vector<Objective> scores(candidates.size());
+  // Parallelism across candidates, not inside one candidate's ILP: each
+  // index writes its own slot and a candidate's objective is a pure
+  // function of its priorities, so scores are identical for any jobs.
+  util::parallel_for_index(candidates.size(), jobs_, [&](std::size_t i) {
+    scores[i] = score(base_.with_priorities(candidates[i]), /*ilp_jobs=*/1);
+  });
+  return scores;
+}
+
+EvaluatorStats PipelineEvaluator::stats() const {
+  const std::lock_guard<std::mutex> guard(stats_mutex_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------
+// ReferenceEvaluator
+// ---------------------------------------------------------------------
+
+ReferenceEvaluator::ReferenceEvaluator(System base, EvaluationSpec spec, TwcaOptions options)
+    : base_(std::move(base)),
+      spec_(std::move(spec)),
+      targets_(resolve_targets(base_, spec_)),
+      options_(options) {}
+
+const System& ReferenceEvaluator::base() const { return base_; }
+
+Objective ReferenceEvaluator::evaluate(const std::vector<Priority>& priorities) {
+  const TwcaAnalyzer analyzer{base_.with_priorities(priorities), options_};
+  Objective obj;
+  for (const int c : targets_) {
+    const DmmResult r = analyzer.dmm(c, spec_.k);
+    if (r.dmm > 0) ++obj.chains_missing;
+    obj.total_dmm += r.dmm;
+    const LatencyResult& lat = analyzer.latency(c);
+    obj.total_wcl = sat_add(obj.total_wcl,
+                            lat.bounded ? lat.wcl : options_.analysis.divergence_guard);
+  }
+  ++evaluations_;
+  return obj;
+}
+
+EvaluatorStats ReferenceEvaluator::stats() const {
+  EvaluatorStats stats;
+  stats.evaluations = evaluations_;
+  return stats;
+}
+
+// ---------------------------------------------------------------------
+// Free functions
+// ---------------------------------------------------------------------
+
+Objective evaluate_assignment(const System& system, const EvaluationSpec& spec,
+                              const TwcaOptions& options) {
+  PipelineEvaluator evaluator(system, spec, options);
+  return evaluator.evaluate(system.flat_priorities());
+}
+
+SearchResult exhaustive_search(Evaluator& evaluator, long long max_permutations) {
+  std::vector<Priority> priorities = evaluator.base().flat_priorities();
   std::sort(priorities.begin(), priorities.end());
 
   long long permutations = 1;
@@ -59,79 +218,90 @@ SearchResult exhaustive_search(const System& system, const EvaluationSpec& spec,
   }
 
   SearchResult result;
-  bool first = true;
+  bool have_best = false;
+  constexpr std::size_t kBlock = 128;
+  std::vector<std::vector<Priority>> block;
+  block.reserve(kBlock);
+  const auto flush = [&] {
+    const std::vector<Objective> scores = evaluator.evaluate_many(block);
+    result.evaluations += static_cast<long long>(block.size());
+    fold_block(block, scores, result, have_best);
+    block.clear();
+  };
   do {
-    const System candidate = system.with_priorities(priorities);
-    const Objective obj = evaluate_assignment(candidate, spec, options);
-    ++result.evaluations;
-    if (first || obj < result.best_objective) {
-      first = false;
-      result.best_objective = obj;
-      result.best_priorities = priorities;
-    }
+    block.push_back(priorities);
+    if (block.size() == kBlock) flush();
   } while (std::next_permutation(priorities.begin(), priorities.end()));
+  if (!block.empty()) flush();
   return result;
 }
 
-SearchResult random_search(const System& system, const EvaluationSpec& spec, int samples,
-                           std::uint64_t seed, const TwcaOptions& options) {
+SearchResult random_search(Evaluator& evaluator, int samples, std::uint64_t seed) {
   WHARF_EXPECT(samples >= 1, "need at least one sample");
   std::mt19937_64 rng(seed);
+  const int n = evaluator.base().task_count();
+
+  // Blocked like exhaustive_search: peak memory stays O(kBlock * n) for
+  // any budget, and both the rng draw order and the fold order match
+  // the one-candidate-at-a-time loop exactly.
   SearchResult result;
-  bool first = true;
+  bool have_best = false;
+  constexpr int kBlock = 128;
+  std::vector<std::vector<Priority>> block;
+  block.reserve(kBlock);
   for (int i = 0; i < samples; ++i) {
-    const std::vector<Priority> priorities =
-        gen::shuffled_priorities(system.task_count(), rng);
-    const System candidate = system.with_priorities(priorities);
-    const Objective obj = evaluate_assignment(candidate, spec, options);
-    ++result.evaluations;
-    if (first || obj < result.best_objective) {
-      first = false;
-      result.best_objective = obj;
-      result.best_priorities = priorities;
+    block.push_back(gen::shuffled_priorities(n, rng));
+    if (static_cast<int>(block.size()) == kBlock || i + 1 == samples) {
+      const std::vector<Objective> scores = evaluator.evaluate_many(block);
+      result.evaluations += static_cast<long long>(block.size());
+      fold_block(block, scores, result, have_best);
+      block.clear();
     }
   }
   return result;
 }
 
-SearchResult hill_climb(const System& system, const EvaluationSpec& spec,
-                        const HillClimbOptions& options, const TwcaOptions& twca_options) {
+SearchResult hill_climb(Evaluator& evaluator, const HillClimbOptions& options) {
   WHARF_EXPECT(options.restarts >= 1, "need at least one restart");
   WHARF_EXPECT(options.max_steps >= 1, "need at least one step");
   std::mt19937_64 rng(options.seed);
-  const int n = system.task_count();
+  const int n = evaluator.base().task_count();
 
   SearchResult result;
   bool have_best = false;
 
   for (int restart = 0; restart < options.restarts; ++restart) {
     std::vector<Priority> current = gen::shuffled_priorities(n, rng);
-    Objective current_obj =
-        evaluate_assignment(system.with_priorities(current), spec, twca_options);
+    Objective current_obj = evaluator.evaluate(current);
     ++result.evaluations;
 
     for (int step = 0; step < options.max_steps; ++step) {
-      // Steepest ascent over all pairwise swaps.
-      Objective best_neighbor_obj = current_obj;
-      int best_i = -1;
-      int best_j = -1;
+      // Steepest ascent: the whole pairwise-swap neighborhood scored as
+      // one batch, then scanned in (i, j) order — identical to the
+      // sequential swap-evaluate-swap-back loop for any jobs value.
+      std::vector<std::vector<Priority>> neighborhood;
+      neighborhood.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
       for (int i = 0; i < n; ++i) {
         for (int j = i + 1; j < n; ++j) {
-          std::swap(current[static_cast<std::size_t>(i)], current[static_cast<std::size_t>(j)]);
-          const Objective obj =
-              evaluate_assignment(system.with_priorities(current), spec, twca_options);
-          ++result.evaluations;
-          if (obj < best_neighbor_obj) {
-            best_neighbor_obj = obj;
-            best_i = i;
-            best_j = j;
-          }
-          std::swap(current[static_cast<std::size_t>(i)], current[static_cast<std::size_t>(j)]);
+          std::vector<Priority> neighbor = current;
+          std::swap(neighbor[static_cast<std::size_t>(i)],
+                    neighbor[static_cast<std::size_t>(j)]);
+          neighborhood.push_back(std::move(neighbor));
         }
       }
-      if (best_i < 0) break;  // local optimum
-      std::swap(current[static_cast<std::size_t>(best_i)],
-                current[static_cast<std::size_t>(best_j)]);
+      const std::vector<Objective> scores = evaluator.evaluate_many(neighborhood);
+      result.evaluations += static_cast<long long>(neighborhood.size());
+
+      Objective best_neighbor_obj = current_obj;
+      std::ptrdiff_t best_index = -1;
+      for (std::size_t c = 0; c < scores.size(); ++c) {
+        if (scores[c] < best_neighbor_obj) {
+          best_neighbor_obj = scores[c];
+          best_index = static_cast<std::ptrdiff_t>(c);
+        }
+      }
+      if (best_index < 0) break;  // local optimum
+      current = std::move(neighborhood[static_cast<std::size_t>(best_index)]);
       current_obj = best_neighbor_obj;
     }
 
@@ -142,6 +312,24 @@ SearchResult hill_climb(const System& system, const EvaluationSpec& spec,
     }
   }
   return result;
+}
+
+SearchResult exhaustive_search(const System& system, const EvaluationSpec& spec,
+                               long long max_permutations, const TwcaOptions& options) {
+  PipelineEvaluator evaluator(system, spec, options);
+  return exhaustive_search(evaluator, max_permutations);
+}
+
+SearchResult random_search(const System& system, const EvaluationSpec& spec, int samples,
+                           std::uint64_t seed, const TwcaOptions& options) {
+  PipelineEvaluator evaluator(system, spec, options);
+  return random_search(evaluator, samples, seed);
+}
+
+SearchResult hill_climb(const System& system, const EvaluationSpec& spec,
+                        const HillClimbOptions& options, const TwcaOptions& twca_options) {
+  PipelineEvaluator evaluator(system, spec, twca_options);
+  return hill_climb(evaluator, options);
 }
 
 }  // namespace wharf::search

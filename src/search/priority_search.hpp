@@ -11,14 +11,32 @@
 ///  * random sampling (the paper's Experiment 2 loop, kept as baseline);
 ///  * steepest-ascent hill climbing over pairwise priority swaps with
 ///    random restarts (scales to realistic task counts).
+///
+/// Scoring goes through the `Evaluator` boundary.  The production
+/// backend, `PipelineEvaluator`, drives the Engine's staged pipeline
+/// against a shared ArtifactStore: a candidate re-solves only the
+/// artifacts whose model slices its priorities changed (a pairwise swap
+/// typically recomputes ~2 of 2·N busy windows), neighborhoods are
+/// scored as one work-pool-parallel batch, and identical concurrent
+/// candidates share computation via the store's single-flight
+/// resolve().  Results are bit-identical to sequential standalone
+/// evaluation for any jobs value — `ReferenceEvaluator` (one
+/// TwcaAnalyzer per candidate, no reuse) stays around as the parity
+/// reference and cold benchmark baseline.
 
 #ifndef WHARF_SEARCH_PRIORITY_SEARCH_HPP
 #define WHARF_SEARCH_PRIORITY_SEARCH_HPP
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/twca.hpp"
+#include "engine/artifact_store.hpp"
+#include "engine/pipeline.hpp"
 
 namespace wharf::search {
 
@@ -43,7 +61,113 @@ struct EvaluationSpec {
   std::vector<int> targets;
 };
 
-/// Scores one system (one priority assignment).
+/// Telemetry of one Evaluator: how many candidates it scored and how the
+/// artifact store served their stage lookups (all zero for backends that
+/// do not cache).  `evaluations` counts every scored candidate over the
+/// evaluator's lifetime, including nominal/baseline scores — search
+/// algorithms count their own evaluations in SearchResult.
+struct EvaluatorStats {
+  long long evaluations = 0;
+  std::array<StageDiagnostics, kArtifactStageCount> stages{};
+
+  [[nodiscard]] std::size_t lookups() const;
+  [[nodiscard]] std::size_t hits() const;    ///< served from the store
+  [[nodiscard]] std::size_t misses() const;  ///< computed afresh
+  [[nodiscard]] std::size_t shared() const;  ///< joined an in-flight compute
+};
+
+/// Scoring backend boundary: search algorithms see candidates in, one
+/// Objective per candidate out.  Implementations must be pure in the
+/// candidate — equal priorities yield equal objectives regardless of
+/// history or concurrency — which is what makes batched scoring
+/// bit-identical to sequential evaluation.
+class Evaluator {
+ public:
+  virtual ~Evaluator();
+
+  /// The base system whose task priorities are being searched.
+  [[nodiscard]] virtual const System& base() const = 0;
+
+  /// Scores one candidate assignment (flat task order; applied via
+  /// System::with_priorities).
+  [[nodiscard]] virtual Objective evaluate(const std::vector<Priority>& priorities) = 0;
+
+  /// Scores a whole neighborhood, index-aligned with `candidates`.
+  /// Backends may parallelize; the result is bit-identical to calling
+  /// evaluate() element by element.  Default: the sequential loop.
+  [[nodiscard]] virtual std::vector<Objective> evaluate_many(
+      const std::vector<std::vector<Priority>>& candidates);
+
+  [[nodiscard]] virtual EvaluatorStats stats() const = 0;
+};
+
+/// The production backend: scores candidates by driving the Engine's
+/// staged pipeline against a shared ArtifactStore.  Every candidate
+/// evaluation opens its own store epoch, so reuse across candidates is
+/// observable as hits in stats(); evaluate_many() scores candidates on a
+/// worker pool (`jobs`), with concurrent identical slices shared through
+/// the store's single-flight resolve().
+class PipelineEvaluator final : public Evaluator {
+ public:
+  /// Shares `store` (must outlive the evaluator) — the Engine passes its
+  /// own store so searches warm, and profit from, the same artifacts as
+  /// every other query.  `jobs` sizes evaluate_many parallelism (0 = all
+  /// hardware threads).
+  PipelineEvaluator(System base, EvaluationSpec spec, TwcaOptions options,
+                    ArtifactStore& store, int jobs = 1);
+
+  /// Owns a private store with byte budget `cache_bytes` (0 = unlimited).
+  explicit PipelineEvaluator(System base, EvaluationSpec spec = {}, TwcaOptions options = {},
+                             std::size_t cache_bytes = ArtifactStore::kDefaultByteBudget);
+
+  ~PipelineEvaluator() override;
+
+  [[nodiscard]] const System& base() const override;
+  [[nodiscard]] Objective evaluate(const std::vector<Priority>& priorities) override;
+  [[nodiscard]] std::vector<Objective> evaluate_many(
+      const std::vector<std::vector<Priority>>& candidates) override;
+  [[nodiscard]] EvaluatorStats stats() const override;
+
+  [[nodiscard]] const ArtifactStore& store() const { return *store_; }
+
+ private:
+  [[nodiscard]] Objective score(const System& candidate, int ilp_jobs);
+
+  System base_;
+  EvaluationSpec spec_;
+  std::vector<int> targets_;
+  TwcaOptions options_;
+  std::unique_ptr<ArtifactStore> owned_store_;  ///< engaged by the owning ctor
+  ArtifactStore* store_ = nullptr;
+  int jobs_ = 1;
+  mutable std::mutex stats_mutex_;
+  EvaluatorStats stats_;
+};
+
+/// The pre-pipeline reference backend: a standalone TwcaAnalyzer per
+/// candidate, no artifact reuse, strictly sequential.  Kept as the
+/// parity oracle of the determinism regression tests and the cold
+/// baseline of bench_priority_search; production callers want
+/// PipelineEvaluator.
+class ReferenceEvaluator final : public Evaluator {
+ public:
+  explicit ReferenceEvaluator(System base, EvaluationSpec spec = {}, TwcaOptions options = {});
+
+  [[nodiscard]] const System& base() const override;
+  [[nodiscard]] Objective evaluate(const std::vector<Priority>& priorities) override;
+  [[nodiscard]] EvaluatorStats stats() const override;
+
+ private:
+  System base_;
+  EvaluationSpec spec_;
+  std::vector<int> targets_;
+  TwcaOptions options_;
+  long long evaluations_ = 0;
+};
+
+/// Scores one system (one priority assignment) through a transient
+/// pipeline-backed evaluator.  For loops, construct a PipelineEvaluator
+/// once and reuse it — that is what makes neighborhoods cheap.
 [[nodiscard]] Objective evaluate_assignment(const System& system, const EvaluationSpec& spec,
                                             const TwcaOptions& options = {});
 
@@ -58,14 +182,12 @@ struct SearchResult {
 /// Exhaustively scores every permutation of the existing priority set.
 /// Throws wharf::InvalidArgument when the permutation count exceeds
 /// `max_permutations` (guard against factorial blow-up).
-[[nodiscard]] SearchResult exhaustive_search(const System& system, const EvaluationSpec& spec,
-                                             long long max_permutations = 50'000,
-                                             const TwcaOptions& options = {});
+[[nodiscard]] SearchResult exhaustive_search(Evaluator& evaluator,
+                                             long long max_permutations = 50'000);
 
 /// Samples `samples` uniformly random permutations (Experiment 2 style).
-[[nodiscard]] SearchResult random_search(const System& system, const EvaluationSpec& spec,
-                                         int samples, std::uint64_t seed,
-                                         const TwcaOptions& options = {});
+[[nodiscard]] SearchResult random_search(Evaluator& evaluator, int samples,
+                                         std::uint64_t seed);
 
 /// Options of the local search.
 struct HillClimbOptions {
@@ -76,7 +198,24 @@ struct HillClimbOptions {
 
 /// Steepest-ascent hill climbing: from a random permutation, repeatedly
 /// applies the pairwise priority swap that improves the objective most,
-/// until a local optimum; keeps the best across restarts.
+/// until a local optimum; keeps the best across restarts.  Each
+/// neighborhood (all pairwise swaps) is scored as one evaluate_many
+/// batch.
+[[nodiscard]] SearchResult hill_climb(Evaluator& evaluator,
+                                      const HillClimbOptions& options = {});
+
+// ---------------------------------------------------------------------
+// Conveniences binding a private pipeline-backed evaluator per call
+// ---------------------------------------------------------------------
+
+[[nodiscard]] SearchResult exhaustive_search(const System& system, const EvaluationSpec& spec,
+                                             long long max_permutations = 50'000,
+                                             const TwcaOptions& options = {});
+
+[[nodiscard]] SearchResult random_search(const System& system, const EvaluationSpec& spec,
+                                         int samples, std::uint64_t seed,
+                                         const TwcaOptions& options = {});
+
 [[nodiscard]] SearchResult hill_climb(const System& system, const EvaluationSpec& spec,
                                       const HillClimbOptions& options = {},
                                       const TwcaOptions& twca_options = {});

@@ -158,6 +158,53 @@ TEST(Cli, SearchRejectsBadStrategy) {
   EXPECT_NE(r.err.find("unknown strategy"), std::string::npos);
 }
 
+TEST(Cli, SearchHillAliasAndRestartsAndJobs) {
+  const CliRun r = invoke({"search", "-", "--strategy", "hill", "--budget", "3", "--restarts",
+                           "2", "--seed", "5", "--jobs", "2"},
+                          case_study_text());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("best:"), std::string::npos);
+  EXPECT_NE(r.out.find("store:"), std::string::npos);  // reuse telemetry line
+}
+
+TEST(Cli, SearchExhaustiveGuardSurfacesAsInputError) {
+  // 13 tasks -> 13! permutations: the guard must refuse with a status,
+  // mapped to the input-error exit code, not crash or run forever.
+  const CliRun r = invoke({"search", "-", "--strategy", "exhaustive"}, case_study_text());
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("max_permutations"), std::string::npos);
+}
+
+TEST(Cli, SearchMaxPermutationsIsConfigurable) {
+  // A two-chain, three-task system: 3! = 6 permutations.  A guard of 6
+  // admits the search, 5 refuses it.
+  const std::string text =
+      "system tiny\n"
+      "chain a kind=sync activation=periodic(100) deadline=90\n"
+      "  task a1 prio=1 wcet=10\n"
+      "  task a2 prio=2 wcet=10\n"
+      "chain b kind=sync activation=periodic(200) deadline=150\n"
+      "  task b1 prio=3 wcet=20\n";
+  const CliRun ok = invoke(
+      {"search", "-", "--strategy", "exhaustive", "--max-permutations", "6"}, text);
+  EXPECT_EQ(ok.exit_code, 0) << ok.err;
+  EXPECT_NE(ok.out.find("6 evaluations"), std::string::npos);
+  const CliRun blocked = invoke(
+      {"search", "-", "--strategy", "exhaustive", "--max-permutations", "5"}, text);
+  EXPECT_EQ(blocked.exit_code, 2);
+  EXPECT_NE(blocked.err.find("max_permutations"), std::string::npos);
+}
+
+TEST(Cli, SearchJsonCarriesStoreTelemetry) {
+  const CliRun r = invoke({"search", "-", "--strategy", "random", "--budget", "10", "--json"},
+                          case_study_text());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"query\":\"priority_search\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"store\":"), std::string::npos);
+  EXPECT_NE(r.out.find("\"search\":"), std::string::npos);
+  EXPECT_NE(r.out.find("\"evaluations\":"), std::string::npos);
+}
+
 TEST(Cli, Validate) {
   const CliRun good = invoke({"validate", "-"}, case_study_text());
   EXPECT_EQ(good.exit_code, 0);

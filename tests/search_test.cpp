@@ -61,6 +61,43 @@ TEST(Evaluate, Validation) {
   EXPECT_THROW((void)evaluate_assignment(sys, EvaluationSpec{0, {}}), InvalidArgument);
 }
 
+TEST(Evaluate, EmptyTargetsDefaultEqualsExplicitEligibleList) {
+  // The empty-targets default means "all non-overload chains with a
+  // deadline" — spelling that list out must be equivalent.
+  const System sys = date17_case_study(OverloadModel::kRareOverload);
+  std::vector<int> eligible;
+  for (int c : sys.regular_indices()) {
+    if (sys.chain(c).deadline().has_value()) eligible.push_back(c);
+  }
+  ASSERT_FALSE(eligible.empty());
+  EXPECT_EQ(evaluate_assignment(sys, EvaluationSpec{10, {}}),
+            evaluate_assignment(sys, EvaluationSpec{10, eligible}));
+}
+
+/// A system where the default target set is empty: one regular chain
+/// without a deadline plus one overload chain.
+System no_eligible_chain_system() {
+  Chain::Spec r;
+  r.name = "r";
+  r.arrival = periodic(100);
+  r.tasks = {Task{"r1", 1, 5}};
+  Chain::Spec o;
+  o.name = "o";
+  o.arrival = sporadic(1'000);
+  o.overload = true;
+  o.tasks = {Task{"o1", 2, 3}};
+  return System("no_eligible", {Chain(std::move(r)), Chain(std::move(o))});
+}
+
+TEST(Evaluate, ZeroEligibleChainsIsInvalidArgumentEverywhere) {
+  const System sys = no_eligible_chain_system();
+  const EvaluationSpec spec{10, {}};
+  EXPECT_THROW((void)evaluate_assignment(sys, spec), InvalidArgument);
+  EXPECT_THROW((void)random_search(sys, spec, 5, 1), InvalidArgument);
+  EXPECT_THROW((void)hill_climb(sys, spec), InvalidArgument);
+  EXPECT_THROW((void)exhaustive_search(sys, spec), InvalidArgument);
+}
+
 TEST(ExhaustiveSearch, FindsOptimumOnSmallSystem) {
   const System sys = small_system();
   const SearchResult result = exhaustive_search(sys, EvaluationSpec{5, {}});
@@ -76,6 +113,15 @@ TEST(ExhaustiveSearch, FindsOptimumOnSmallSystem) {
 TEST(ExhaustiveSearch, GuardsAgainstFactorialBlowup) {
   const System sys = date17_case_study();  // 13 tasks -> 13! permutations
   EXPECT_THROW(exhaustive_search(sys, EvaluationSpec{5, {}}, 10'000), InvalidArgument);
+}
+
+TEST(ExhaustiveSearch, MaxPermutationsGuardIsInclusive) {
+  // 5 tasks -> exactly 120 permutations: a budget of 120 must pass, 119
+  // must throw before any evaluation happens.
+  const System sys = small_system();
+  const SearchResult exact = exhaustive_search(sys, EvaluationSpec{5, {}}, 120);
+  EXPECT_EQ(exact.evaluations, 120);
+  EXPECT_THROW(exhaustive_search(sys, EvaluationSpec{5, {}}, 119), InvalidArgument);
 }
 
 TEST(RandomSearch, DeterministicUnderSeed) {
