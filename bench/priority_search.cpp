@@ -87,6 +87,15 @@ struct Outcome {
     return bw.lookups == 0 ? 0.0
                            : static_cast<double>(bw.hits) / static_cast<double>(bw.lookups);
   }
+
+  /// Fraction of per-chain key fragments served from the cross-candidate
+  /// slice memo instead of re-serialized (the key-cost lever: candidates
+  /// of one neighborhood share almost every untouched chain's slice).
+  [[nodiscard]] double slice_reuse() const {
+    const std::size_t total = stats.slices.hits + stats.slices.misses;
+    return total == 0 ? 0.0 : static_cast<double>(stats.slices.hits) /
+                                  static_cast<double>(total);
+  }
 };
 
 /// Cold baseline: the pre-refactor sequential objective — a standalone
@@ -146,6 +155,12 @@ void emit_bench_json(const char* variant, const Outcome& o, double speedup, bool
   w.value(static_cast<long long>(o.stats.hits()));
   w.key("store_misses");
   w.value(static_cast<long long>(o.stats.misses()));
+  w.key("slice_hits");
+  w.value(static_cast<long long>(o.stats.slices.hits));
+  w.key("slice_misses");
+  w.value(static_cast<long long>(o.stats.slices.misses));
+  w.key("slice_reuse");
+  w.value(o.slice_reuse());
   w.key("speedup_vs_cold");
   w.value(speedup);
   w.end_object();
@@ -164,12 +179,13 @@ void print_warm_vs_cold() {
 
   std::cout << "=== Hill climbing, cold (standalone analyzer per candidate) vs. warm\n"
                "    (pipeline-backed evaluator over a shared artifact store) ===\n";
-  io::TextTable table({"variant", "seconds", "evaluations", "busy-window reuse", "best"});
+  io::TextTable table(
+      {"variant", "seconds", "evaluations", "busy-window reuse", "slice reuse", "best"});
   table.add_row({"cold (reference)", util::cat(cold.seconds),
-                 util::cat(cold.result.evaluations), "0 (re-solves all)",
+                 util::cat(cold.result.evaluations), "0 (re-solves all)", "0 (re-keys all)",
                  objective_string(cold.result.best_objective)});
   table.add_row({"warm (pipeline)", util::cat(warm.seconds), util::cat(warm.result.evaluations),
-                 util::cat(warm.busy_window_reuse()),
+                 util::cat(warm.busy_window_reuse()), util::cat(warm.slice_reuse()),
                  objective_string(warm.result.best_objective)});
   std::cout << table.render();
   std::cout << "speedup warm vs cold: " << speedup

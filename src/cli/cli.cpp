@@ -1,5 +1,7 @@
 #include "cli/cli.hpp"
 
+#include "cli/serve.hpp"
+
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -38,11 +40,21 @@ usage:
   wharf search   <file> [--k K] [--strategy hill|random|exhaustive] [--budget N]
                  [--restarts R] [--max-permutations N] [--seed S] [--json]
                  [--jobs N] [--cache-bytes N]
+  wharf serve    [--jobs N] [--cache-bytes N] [--listen PORT]
   wharf validate <file>
   wharf help
 
 <file> is a system description (see io/system_format.hpp); '-' reads stdin.
 exit codes: 0 ok; 1 usage error; 2 input error; 3 analysis gave no guarantee.
+
+serve: a long-lived NDJSON request/response loop over stdin/stdout (or a
+127.0.0.1 TCP socket with --listen; port 0 picks one) speaking
+{open_session, apply_delta, query, diagnostics, close, shutdown} against
+incremental analysis sessions (see README "Sessions & serve protocol").
+Per-request errors (malformed JSON, unknown session, bad delta/query)
+are JSON error responses on the stream and never exit the process; serve
+exit codes: 0 clean shutdown or EOF; 1 usage error; 4 transport failure
+(bind/accept error, broken output stream).
 )";
 
 /// Parsed --key value / --flag options plus positional arguments.
@@ -62,7 +74,7 @@ bool option_takes_value(const std::string& name) {
          name == "--extra-gap" || name == "--gantt" || name == "--strategy" ||
          name == "--budget" || name == "--restarts" || name == "--max-permutations" ||
          name == "--jobs" || name == "--cache-bytes" || name == "--deadline" ||
-         name == "--budgets";
+         name == "--budgets" || name == "--listen";
 }
 
 bool parse_options(const std::vector<std::string>& args, std::size_t first, Options& out,
@@ -479,6 +491,28 @@ int cmd_search(const Options& options, std::istream& in, std::ostream& out, std:
   return kOk;
 }
 
+int cmd_serve_dispatch(const Options& options, std::istream& in, std::ostream& out,
+                       std::ostream& err) {
+  if (!options.positional.empty()) {
+    err << "serve takes no positional arguments\n";
+    return kUsageError;
+  }
+  int jobs = 1;
+  if (!parse_jobs(options, jobs, err)) return kUsageError;
+  std::size_t cache_bytes = 0;
+  if (!parse_cache_bytes(options, cache_bytes, err)) return kUsageError;
+  int listen_port = -1;
+  if (options.has("--listen")) {
+    long long port = 0;
+    if (!util::parse_int64(options.get("--listen", ""), port) || port < 0 || port > 65535) {
+      err << "invalid --listen port: '" << options.get("--listen", "") << "'\n";
+      return kUsageError;
+    }
+    listen_port = static_cast<int>(port);
+  }
+  return cmd_serve(jobs, cache_bytes, listen_port, in, out, err);
+}
+
 int cmd_validate(const Options& options, std::istream& in, std::ostream& out, std::ostream& err) {
   if (options.positional.size() != 1) {
     err << "validate expects exactly one file argument\n";
@@ -508,6 +542,7 @@ int run(const std::vector<std::string>& args, std::istream& in, std::ostream& ou
   if (command == "path") return cmd_path(options, in, out, err);
   if (command == "simulate") return cmd_simulate(options, in, out, err);
   if (command == "search") return cmd_search(options, in, out, err);
+  if (command == "serve") return cmd_serve_dispatch(options, in, out, err);
   if (command == "validate") return cmd_validate(options, in, out, err);
   err << "unknown command '" << command << "'\n" << kUsage;
   return kUsageError;

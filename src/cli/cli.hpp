@@ -7,10 +7,14 @@
 ///   dmm      <file> <chain> [--k K] [--breakpoints KMAX] [--json]
 ///   simulate <file> [--horizon H] [--seed S] [--extra-gap G] [--gantt W]
 ///   search   <file> [--k K] [--strategy random|climb] [--budget N] [--seed S]
+///   serve    [--jobs N] [--cache-bytes N] [--listen PORT]  NDJSON session server
 ///   validate <file>                                parse + validate only
 ///   help
 ///
 /// `<file>` may be `-` to read the system description from stdin.
+/// `serve` (cli/serve.hpp) has its own exit-code contract: per-request
+/// errors are JSON responses on the stream; only usage (1) and transport
+/// (4) failures exit non-zero.
 
 #ifndef WHARF_CLI_CLI_HPP
 #define WHARF_CLI_CLI_HPP

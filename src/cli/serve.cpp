@@ -1,0 +1,360 @@
+#include "cli/serve.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <utility>
+
+#include "engine/session.hpp"
+#include "io/system_format.hpp"
+#include "io/wire.hpp"
+#include "util/strings.hpp"
+
+namespace wharf::cli {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Request handling
+// ---------------------------------------------------------------------
+
+/// The per-conversation state: named sessions over the engine's shared
+/// store.
+struct Conversation {
+  Engine* engine = nullptr;
+  std::map<std::string, Session> sessions;
+};
+
+/// Resolves the session a request addresses, or nullptr (the caller
+/// answers not-found).
+Session* find_session(Conversation& conversation, const std::string& name) {
+  const auto it = conversation.sessions.find(name);
+  return it == conversation.sessions.end() ? nullptr : &it->second;
+}
+
+void write_session_stats(io::JsonWriter& w, const SessionStats& stats) {
+  w.key("revision");
+  w.value(static_cast<long long>(stats.revision));
+  w.key("deltas_applied");
+  w.value(stats.deltas_applied);
+  w.key("queries_served");
+  w.value(stats.queries_served);
+  w.key("store");
+  w.begin_object();
+  w.key("hits");
+  w.value(static_cast<long long>(stats.hits()));
+  w.key("misses");
+  w.value(static_cast<long long>(stats.misses()));
+  w.key("shared");
+  w.value(static_cast<long long>(stats.shared()));
+  w.key("stages");
+  w.begin_object();
+  for (std::size_t s = 0; s < kArtifactStageCount; ++s) {
+    w.key(to_string(static_cast<ArtifactStage>(static_cast<int>(s))));
+    w.begin_object();
+    w.key("lookups");
+    w.value(static_cast<long long>(stats.stages[s].lookups));
+    w.key("hits");
+    w.value(static_cast<long long>(stats.stages[s].hits));
+    w.key("misses");
+    w.value(static_cast<long long>(stats.stages[s].misses));
+    w.key("shared");
+    w.value(static_cast<long long>(stats.stages[s].shared));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  w.key("slices");
+  w.begin_object();
+  w.key("hits");
+  w.value(static_cast<long long>(stats.slices.hits));
+  w.key("misses");
+  w.value(static_cast<long long>(stats.slices.misses));
+  w.end_object();
+}
+
+std::string handle_open(Conversation& conversation, const io::WireRequest& request) {
+  if (find_session(conversation, request.session) != nullptr) {
+    return io::wire_response(
+        request,
+        Status::invalid_argument(util::cat("session '", request.session, "' is already open")));
+  }
+  const Expected<System> system = capture([&] { return io::parse_system(request.system_text); });
+  if (!system) return io::wire_response(request, system.status());
+
+  Session session = conversation.engine->open_session(system.value());
+  const int chains = session.system().size();
+  const int tasks = session.system().task_count();
+  conversation.sessions.emplace(request.session, std::move(session));
+  return io::wire_response(request, Status::ok(), [&](io::JsonWriter& w) {
+    w.key("system");
+    w.value(system.value().name());
+    w.key("chains");
+    w.value(chains);
+    w.key("tasks");
+    w.value(tasks);
+    w.key("revision");
+    w.value(0);
+  });
+}
+
+std::string handle_apply(Conversation& conversation, const io::WireRequest& request) {
+  Session* session = find_session(conversation, request.session);
+  if (session == nullptr) {
+    return io::wire_response(
+        request, Status::not_found(util::cat("unknown session '", request.session, "'")));
+  }
+  const Status applied = session->apply(request.deltas);
+  if (!applied.is_ok()) return io::wire_response(request, applied);
+  return io::wire_response(request, Status::ok(), [&](io::JsonWriter& w) {
+    w.key("revision");
+    w.value(static_cast<long long>(session->revision()));
+    w.key("deltas_applied");
+    w.value(static_cast<long long>(request.deltas.size()));
+  });
+}
+
+std::string handle_query(Conversation& conversation, const io::WireRequest& request) {
+  Session* session = find_session(conversation, request.session);
+  if (session == nullptr) {
+    return io::wire_response(
+        request, Status::not_found(util::cat("unknown session '", request.session, "'")));
+  }
+  const AnalysisReport report = session->serve(request.queries);
+  return io::wire_response(request, Status::ok(), [&](io::JsonWriter& w) {
+    w.key("revision");
+    w.value(static_cast<long long>(session->revision()));
+    // The exact report schema of `wharf analyze --json` (per-query
+    // status entries included — a failing query is a structured result,
+    // not a stream error).
+    w.key("report");
+    w.raw(to_json(report));
+  });
+}
+
+std::string handle_diagnostics(Conversation& conversation, const io::WireRequest& request) {
+  Session* session = find_session(conversation, request.session);
+  if (session == nullptr) {
+    return io::wire_response(
+        request, Status::not_found(util::cat("unknown session '", request.session, "'")));
+  }
+  const SessionStats stats = session->stats();
+  const ArtifactStore::Stats store = conversation.engine->store_stats();
+  return io::wire_response(request, Status::ok(), [&](io::JsonWriter& w) {
+    write_session_stats(w, stats);
+    w.key("engine_store");
+    w.begin_object();
+    w.key("resident_entries");
+    w.value(static_cast<long long>(store.resident_entries));
+    w.key("resident_bytes");
+    w.value(static_cast<long long>(store.resident_bytes));
+    w.key("evictions");
+    w.value(static_cast<long long>(store.evictions));
+    w.end_object();
+    w.key("sessions_open");
+    w.value(static_cast<long long>(conversation.sessions.size()));
+  });
+}
+
+std::string handle_close(Conversation& conversation, const io::WireRequest& request) {
+  const auto it = conversation.sessions.find(request.session);
+  if (it == conversation.sessions.end()) {
+    return io::wire_response(
+        request, Status::not_found(util::cat("unknown session '", request.session, "'")));
+  }
+  const SessionStats stats = it->second.stats();
+  conversation.sessions.erase(it);
+  return io::wire_response(request, Status::ok(), [&](io::JsonWriter& w) {
+    w.key("revision");
+    w.value(static_cast<long long>(stats.revision));
+    w.key("queries_served");
+    w.value(stats.queries_served);
+  });
+}
+
+/// Dispatches one parsed request; sets `shutdown` for the shutdown kind.
+std::string handle_request(Conversation& conversation, const io::WireRequest& request,
+                           bool& shutdown) {
+  switch (request.kind) {
+    case io::WireKind::kOpenSession: return handle_open(conversation, request);
+    case io::WireKind::kApplyDelta: return handle_apply(conversation, request);
+    case io::WireKind::kQuery: return handle_query(conversation, request);
+    case io::WireKind::kDiagnostics: return handle_diagnostics(conversation, request);
+    case io::WireKind::kClose: return handle_close(conversation, request);
+    case io::WireKind::kShutdown:
+      shutdown = true;
+      return io::wire_response(request, Status::ok());
+  }
+  return io::wire_protocol_error(Status::internal("unhandled request kind"));
+}
+
+// ---------------------------------------------------------------------
+// TCP plumbing
+// ---------------------------------------------------------------------
+
+/// A minimal bidirectional streambuf over a connected socket fd (owned:
+/// closed on destruction).
+class FdStreambuf final : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {
+    setg(in_, in_, in_);
+    setp(out_, out_ + sizeof out_);
+  }
+
+  ~FdStreambuf() override {
+    sync();
+    ::close(fd_);
+  }
+
+  FdStreambuf(const FdStreambuf&) = delete;
+  FdStreambuf& operator=(const FdStreambuf&) = delete;
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    const ssize_t n = ::read(fd_, in_, sizeof in_);
+    if (n <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (flush_out() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return flush_out(); }
+
+ private:
+  int flush_out() {
+    const char* p = pbase();
+    while (p < pptr()) {
+      const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+      if (n <= 0) return -1;
+      p += n;
+    }
+    setp(out_, out_ + sizeof out_);
+    return 0;
+  }
+
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Public surface
+// ---------------------------------------------------------------------
+
+bool serve_stream(Engine& engine, std::istream& in, std::ostream& out) {
+  Conversation conversation;
+  conversation.engine = &engine;
+
+  std::string line;
+  bool shutdown = false;
+  while (!shutdown && std::getline(in, line)) {
+    if (line.empty() || line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const Expected<io::WireRequest> request = io::parse_request(line);
+    std::string response;
+    if (!request) {
+      // A malformed line is a per-request error: answer it and keep the
+      // stream alive (the framing is by line, so we are still in sync).
+      response = io::wire_protocol_error(request.status());
+    } else {
+      response = handle_request(conversation, request.value(), shutdown);
+    }
+    out << response << '\n';
+    out.flush();
+  }
+  return shutdown;
+}
+
+Expected<int> bind_serve_socket(int port, int& bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::internal(util::cat("socket(): ", std::strerror(errno)));
+
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const Status status =
+        Status::internal(util::cat("bind(127.0.0.1:", port, "): ", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 1) != 0) {
+    const Status status = Status::internal(util::cat("listen(): ", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    bound_port = static_cast<int>(ntohs(bound.sin_port));
+  } else {
+    bound_port = port;
+  }
+  return fd;
+}
+
+int serve_listener(Engine& engine, int listener_fd, std::ostream& err) {
+  bool shutdown = false;
+  while (!shutdown) {
+    const int client = ::accept(listener_fd, nullptr, nullptr);
+    if (client < 0) {
+      err << "serve: accept(): " << std::strerror(errno) << "\n";
+      ::close(listener_fd);
+      return kTransportError;
+    }
+    FdStreambuf buffer(client);
+    std::istream in(&buffer);
+    std::ostream out(&buffer);
+    shutdown = serve_stream(engine, in, out);
+  }
+  ::close(listener_fd);
+  return 0;
+}
+
+int cmd_serve(int jobs, std::size_t cache_bytes, int listen_port, std::istream& in,
+              std::ostream& out, std::ostream& err) {
+  Engine engine{EngineOptions{jobs, cache_bytes}};
+  if (listen_port < 0) {
+    serve_stream(engine, in, out);
+    if (out.fail()) {
+      err << "serve: output stream failed\n";
+      return kTransportError;
+    }
+    return 0;
+  }
+
+  int bound_port = listen_port;
+  const Expected<int> listener = bind_serve_socket(listen_port, bound_port);
+  if (!listener) {
+    err << "serve: " << listener.status().message() << "\n";
+    return kTransportError;
+  }
+  err << "serve: listening on 127.0.0.1:" << bound_port << "\n";
+  err.flush();
+  return serve_listener(engine, listener.value(), err);
+}
+
+}  // namespace wharf::cli

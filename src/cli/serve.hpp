@@ -1,0 +1,55 @@
+/// \file serve.hpp
+/// `wharf serve`: the long-lived NDJSON request/response server over the
+/// session API (io/wire.hpp speaks the protocol, engine/session.hpp does
+/// the work).
+///
+/// Transport modes:
+///  * stdio (default) — one conversation on stdin/stdout until EOF or a
+///    shutdown request;
+///  * TCP (`--listen PORT`) — 127.0.0.1 socket, one connection served at
+///    a time (sessions are per connection; the engine's artifact store
+///    persists across connections, so repeat clients start warm).
+///
+/// Exit-code contract (the serve-mode consistency rule): a *per-request*
+/// error — malformed JSON line, unknown session, failing delta, bad
+/// query — is answered with a JSON error response on the stream and the
+/// server keeps going; the process exits non-zero only for usage errors
+/// (1) and transport failures (4: cannot bind/accept, broken output
+/// stream).  Clean EOF and client-requested shutdown exit 0.
+
+#ifndef WHARF_CLI_SERVE_HPP
+#define WHARF_CLI_SERVE_HPP
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "engine/engine.hpp"
+#include "util/status.hpp"
+
+namespace wharf::cli {
+
+/// Exit code for transport failures in serve mode (bind/accept errors,
+/// unwritable output stream).
+inline constexpr int kTransportError = 4;
+
+/// Runs one NDJSON conversation on `in`/`out` (sessions live for the
+/// conversation; `engine` provides store and jobs).  Returns true when
+/// the client requested shutdown, false on plain EOF.
+bool serve_stream(Engine& engine, std::istream& in, std::ostream& out);
+
+/// Binds a listening TCP socket on 127.0.0.1:`port` (0 picks an
+/// ephemeral port, reported via `bound_port`).  Returns the listener fd.
+Expected<int> bind_serve_socket(int port, int& bound_port);
+
+/// Accepts and serves connections one at a time until a client requests
+/// shutdown; closes the listener.  Returns 0 or kTransportError.
+int serve_listener(Engine& engine, int listener_fd, std::ostream& err);
+
+/// The `wharf serve` subcommand: `listen_port` < 0 means stdio mode.
+int cmd_serve(int jobs, std::size_t cache_bytes, int listen_port, std::istream& in,
+              std::ostream& out, std::ostream& err);
+
+}  // namespace wharf::cli
+
+#endif  // WHARF_CLI_SERVE_HPP

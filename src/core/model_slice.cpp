@@ -135,6 +135,96 @@ void append_combination_options_slice(std::string& out, const TwcaOptions& optio
 
 }  // namespace
 
+// ---------------------------------------------------------------------
+// SliceCache
+// ---------------------------------------------------------------------
+
+void SliceCache::invalidate() {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  entries_.clear();
+}
+
+SliceCache::Stats SliceCache::stats() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return stats_;
+}
+
+const std::string& SliceCache::acquire(Kind kind, const System& system, int a, int b) {
+  // The memo key: slice kind, chain positions, the source chain's
+  // priority sub-vector and — for pairwise slices — the target's minimum
+  // priority (the only fact about the target's priorities any slice
+  // reads).  Everything else a slice serializes is structural and fixed
+  // for the cache's lifetime (see the class contract).
+  std::string key;
+  key.reserve(16 + 8 * static_cast<std::size_t>(system.chain(a).size()));
+  key += static_cast<char>(kind);
+  key += '|';
+  append_num(key, a);
+  key += ';';
+  for (const Task& task : system.chain(a).tasks()) {
+    append_num(key, task.priority);
+    key += ',';
+  }
+  if (kind != Kind::kContent) {
+    key += ';';
+    append_num(key, b);
+    key += ':';
+    append_num(key, system.chain(b).min_priority());
+  }
+
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+
+  // Serialize outside the lock (slice building walks segment
+  // structures); racing builders produce equal strings, first wins.
+  std::string built;
+  switch (kind) {
+    case Kind::kContent:
+      built.reserve(64);
+      append_chain_content(built, system.chain(a));
+      break;
+    case Kind::kInterference:
+      built.reserve(48);
+      append_interference_slice(built, system.chain(a), system.chain(b));
+      break;
+    case Kind::kBusyInterference:
+      built.reserve(96);
+      append_busy_interference_slice(built, system.chain(a), system.chain(b));
+      break;
+    case Kind::kOverload:
+      built.reserve(64);
+      append_overload_slice(built, system.chain(a), system.chain(b));
+      break;
+  }
+  const std::lock_guard<std::mutex> guard(mutex_);
+  ++stats_.misses;
+  std::string& slot = entries_[std::move(key)];
+  if (slot.empty()) slot = std::move(built);
+  return slot;
+}
+
+const std::string& SliceCache::chain_content(const System& system, int chain) {
+  return acquire(Kind::kContent, system, chain, chain);
+}
+
+const std::string& SliceCache::interference_slice(const System& system, int a, int b) {
+  return acquire(Kind::kInterference, system, a, b);
+}
+
+const std::string& SliceCache::busy_interference_slice(const System& system, int a, int b) {
+  return acquire(Kind::kBusyInterference, system, a, b);
+}
+
+const std::string& SliceCache::overload_slice(const System& system, int a, int b) {
+  return acquire(Kind::kOverload, system, a, b);
+}
+
 std::string chain_content(const Chain& chain) {
   std::string out;
   out.reserve(64);
@@ -177,7 +267,7 @@ std::string combination_options_slice(const TwcaOptions& options) {
   return out;
 }
 
-std::string interference_key(const System& system, int target) {
+std::string interference_key(const System& system, int target, SliceCache* slices) {
   // The cached InterferenceContext embeds absolute chain indices
   // (ctx.target, others[].chain) that consumers dereference against the
   // *current* system, so the key pins every position: two systems
@@ -187,27 +277,43 @@ std::string interference_key(const System& system, int target) {
   out += "ifc|t=";
   append_num(out, target);
   out += ';';
-  append_chain_content(out, system.chain(target));
+  if (slices != nullptr) {
+    out += slices->chain_content(system, target);
+  } else {
+    append_chain_content(out, system.chain(target));
+  }
   for (int a = 0; a < system.size(); ++a) {
     if (a == target) continue;
     out += '@';
     append_num(out, a);
-    append_interference_slice(out, system.chain(a), system.chain(target));
+    if (slices != nullptr) {
+      out += slices->interference_slice(system, a, target);
+    } else {
+      append_interference_slice(out, system.chain(a), system.chain(target));
+    }
   }
   return out;
 }
 
 std::string busy_window_key(const System& system, int target, const AnalysisOptions& options,
-                            bool without_overload) {
+                            bool without_overload, SliceCache* slices) {
   std::string out;
   out.reserve(96 * static_cast<std::size_t>(system.size()));
   out += without_overload ? "bw-noov|" : "bw|";
   append_analysis_options_slice(out, options);
-  append_chain_content(out, system.chain(target));
+  if (slices != nullptr) {
+    out += slices->chain_content(system, target);
+  } else {
+    append_chain_content(out, system.chain(target));
+  }
   for (int a = 0; a < system.size(); ++a) {
     if (a == target) continue;
     if (without_overload && system.chain(a).is_overload()) continue;
-    append_busy_interference_slice(out, system.chain(a), system.chain(target));
+    if (slices != nullptr) {
+      out += slices->busy_interference_slice(system, a, target);
+    } else {
+      append_busy_interference_slice(out, system.chain(a), system.chain(target));
+    }
   }
   return out;
 }
@@ -219,7 +325,7 @@ std::string overload_key(const System& system, int target, const TwcaOptions& op
 }
 
 std::string overload_key(const System& system, int target, const TwcaOptions& options,
-                         const std::string& busy_window_part) {
+                         const std::string& busy_window_part, SliceCache* slices) {
   // The k-independent artifacts read the full latency result (whose key
   // is the busy-window slice), the typical/exact slack (same reads, with
   // overload chains excluded — a subset), and the active segments of
@@ -239,7 +345,11 @@ std::string overload_key(const System& system, int target, const TwcaOptions& op
     if (a == target) continue;
     out += '@';
     append_num(out, a);
-    append_overload_slice(out, system.chain(a), system.chain(target));
+    if (slices != nullptr) {
+      out += slices->overload_slice(system, a, target);
+    } else {
+      append_overload_slice(out, system.chain(a), system.chain(target));
+    }
   }
   return out;
 }

@@ -32,12 +32,77 @@
 #ifndef WHARF_CORE_MODEL_SLICE_HPP
 #define WHARF_CORE_MODEL_SLICE_HPP
 
+#include <cstddef>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "core/system.hpp"
 #include "core/twca.hpp"
 
 namespace wharf {
+
+/// Cross-candidate memo of serialized per-chain slice strings — the
+/// floor of the warm design-space path on µs-cheap systems is key
+/// serialization, and most of a key is per-chain slices that a priority
+/// delta does not touch.
+///
+/// Entries are keyed by the *per-chain priority sub-vector* (plus, for
+/// pairwise slices, the target's minimum priority — the only thing a
+/// slice reads about the target's priorities): two candidate systems
+/// whose chain `a` carries the same priorities produce byte-identical
+/// slices of `a`, so a delta (or a pairwise-swap neighborhood) that
+/// leaves a chain's sub-vector untouched reuses its serialized slice
+/// instead of re-walking the segment structure.
+///
+/// Soundness contract: every System used against one cache (between
+/// invalidate() calls) must agree on all *structural* content — chain
+/// count and order, names, kinds, arrival models, WCETs, deadlines,
+/// overload flags — and differ at most in task priorities.  Priority
+/// deltas need no invalidation (the sub-vector is in the key); a
+/// structural delta must call invalidate() first — or, when other
+/// holders may still key the old structure against the shared cache,
+/// detach by replacing it with a fresh one (what wharf::Session does,
+/// so live speculative sessions keep a consistent old-structure memo).
+/// search::PipelineEvaluator satisfies the contract by construction
+/// (candidates are priority permutations of one base).
+///
+/// Thread-safe; returned references are stable until invalidate().
+class SliceCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;    ///< slices served from the memo
+    std::size_t misses = 0;  ///< slices serialized afresh
+  };
+
+  /// Drops every entry (call before keying a structurally changed
+  /// system).  Must not race with concurrent slice accessors.
+  void invalidate();
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Memoized equivalents of the free slice functions below (byte-
+  /// identical output, so cached and uncached key builds collide on the
+  /// same store artifacts).
+  [[nodiscard]] const std::string& chain_content(const System& system, int chain);
+  [[nodiscard]] const std::string& interference_slice(const System& system, int a, int b);
+  [[nodiscard]] const std::string& busy_interference_slice(const System& system, int a, int b);
+  [[nodiscard]] const std::string& overload_slice(const System& system, int a, int b);
+
+ private:
+  enum class Kind : char {
+    kContent = 'c',
+    kInterference = 'i',
+    kBusyInterference = 'b',
+    kOverload = 'o',
+  };
+
+  const std::string& acquire(Kind kind, const System& system, int a, int b);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::string> entries_;
+  Stats stats_;
+};
 
 /// Full canonical encoding of one chain (name, kind, arrival curve,
 /// deadline, overload flag, per-task priorities and WCETs).  This is the
@@ -74,16 +139,20 @@ namespace wharf {
 /// Cache key of the interference context of `target`.  Pins the target
 /// and interferer *positions* in addition to their content: the cached
 /// context embeds absolute chain indices that consumers dereference
-/// against the current system.
-[[nodiscard]] std::string interference_key(const System& system, int target);
+/// against the current system.  A non-null `slices` memoizes the
+/// per-chain parts (byte-identical output).
+[[nodiscard]] std::string interference_key(const System& system, int target,
+                                           SliceCache* slices = nullptr);
 
 /// Cache key of the busy-window/latency stage of `target`.  When
 /// `without_overload` is set, overload chains are excluded from the walk
 /// (the paper's "second analysis"), so their slices do not taint the key
-/// and overload-model changes cannot invalidate it.
+/// and overload-model changes cannot invalidate it.  A non-null `slices`
+/// memoizes the per-chain parts (byte-identical output).
 [[nodiscard]] std::string busy_window_key(const System& system, int target,
                                           const AnalysisOptions& options,
-                                          bool without_overload);
+                                          bool without_overload,
+                                          SliceCache* slices = nullptr);
 
 /// Cache key of the k-independent overload artifacts of `target` (slack,
 /// overload structure, unschedulable combinations, Thm 3 preconditions).
@@ -96,10 +165,12 @@ namespace wharf {
 /// busy_window_key(system, target, options.analysis, false).  The keys
 /// nest (dmm ⊃ overload ⊃ busy window), so callers that key several
 /// stages for one target — the Engine pipeline's per-request key cache —
-/// build the expensive shared part once instead of per stage.
+/// build the expensive shared part once instead of per stage.  A
+/// non-null `slices` memoizes the per-chain parts.
 [[nodiscard]] std::string overload_key(const System& system, int target,
                                        const TwcaOptions& options,
-                                       const std::string& busy_window_part);
+                                       const std::string& busy_window_part,
+                                       SliceCache* slices = nullptr);
 
 /// Cache key of one dmm(k) query result for `target`.
 [[nodiscard]] std::string dmm_key(const System& system, int target, Count k,

@@ -6,34 +6,14 @@
 #include <sstream>
 #include <utility>
 
+#include "engine/session.hpp"
 #include "io/json.hpp"
-#include "io/system_format.hpp"
-#include "sim/arrival_sequence.hpp"
-#include "sim/busy_windows.hpp"
-#include "sim/simulator.hpp"
-#include "util/hash.hpp"
 #include "util/strings.hpp"
 #include "util/worker_pool.hpp"
 
 namespace wharf {
 
 namespace {
-
-/// Whole-request fingerprint (diagnostics only — stage artifacts key on
-/// the finer model slices of core/model_slice.hpp): the serialized
-/// system plus every analysis knob.
-std::string request_fingerprint(const System& system, const TwcaOptions& o) {
-  std::ostringstream os;
-  os << io::serialize_system(system) << '\n'
-     << "criterion=" << static_cast<int>(o.criterion) << " max_combinations="
-     << o.max_combinations << " minimal_only=" << o.minimal_only << " cap_at_k=" << o.cap_at_k
-     << " use_dfs_packer=" << o.use_dfs_packer
-     << " max_busy_windows=" << o.analysis.max_busy_windows
-     << " max_fixed_point_iterations=" << o.analysis.max_fixed_point_iterations
-     << " divergence_guard=" << o.analysis.divergence_guard
-     << " naive_arbitrary=" << o.analysis.naive_arbitrary;
-  return os.str();
-}
 
 /// True when the DMM-carrying payload of a successful answer reports
 /// kNoGuarantee anywhere.
@@ -116,330 +96,14 @@ struct Engine::Impl {
 
   explicit Impl(EngineOptions opts) : options(opts), store(opts.cache_bytes) {}
 
-  /// `concurrent_tasks` is how many query tasks the current
-  /// run()/run_batch() call spreads over the worker pool — nested
-  /// parallelism (search neighborhoods) stays sequential unless this
-  /// query has the pool to itself.
-  QueryResult execute(const AnalysisRequest& request, Pipeline& pipeline, const Query& query,
-                      std::size_t concurrent_tasks);
-
-  /// Fills the report's diagnostics from the pipeline's telemetry (plus
-  /// the search evaluators' from the answers) and folds them into the
-  /// engine-lifetime totals.
-  void finalize(AnalysisReport& report, const Pipeline& pipeline) {
-    report.diagnostics.stages = pipeline.stage_diagnostics();
-    std::size_t lookups = 0;
-    std::size_t hits = 0;
-    std::size_t misses = 0;
-    std::size_t shared = 0;
-    for (const StageDiagnostics& stage : report.diagnostics.stages) {
-      lookups += stage.lookups;
-      hits += stage.hits;
-      misses += stage.misses;
-      shared += stage.shared;
-    }
-    report.diagnostics.cache_hits = hits;
-    report.diagnostics.cache_misses = misses;
-    report.diagnostics.cache_shared = shared;
-    report.diagnostics.cache_hit = lookups > 0 && misses == 0 && shared == 0;
-    report.diagnostics.queries_failed = static_cast<std::size_t>(
-        std::count_if(report.results.begin(), report.results.end(),
-                      [](const QueryResult& r) { return !r.ok(); }));
-    for (const QueryResult& r : report.results) {
-      if (const auto* search = std::get_if<SearchAnswer>(&r.answer)) {
-        report.diagnostics.search_evaluations += search->stats.evaluations;
-        report.diagnostics.search_hits += search->stats.hits();
-        report.diagnostics.search_misses += search->stats.misses();
-        report.diagnostics.search_shared += search->stats.shared();
-      }
-    }
-    {
-      const std::lock_guard<std::mutex> guard(totals_mutex);
-      total_hits += hits + report.diagnostics.search_hits;
-      total_misses += misses + report.diagnostics.search_misses;
-      total_shared += shared + report.diagnostics.search_shared;
-    }
+  /// Folds one served report into the engine-lifetime totals.
+  void accumulate(const AnalysisReport& report) {
+    const std::lock_guard<std::mutex> guard(totals_mutex);
+    total_hits += report.diagnostics.cache_hits + report.diagnostics.search_hits;
+    total_misses += report.diagnostics.cache_misses + report.diagnostics.search_misses;
+    total_shared += report.diagnostics.cache_shared + report.diagnostics.search_shared;
   }
 };
-
-namespace {
-
-/// Resolves a chain name to its index or a not-found Status.
-Expected<int> resolve_chain(const System& system, const std::string& name) {
-  const auto index = system.chain_index(name);
-  if (!index.has_value()) {
-    return Status::not_found(util::cat("unknown chain '", name, "' in system '", system.name(),
-                                       "'"));
-  }
-  return *index;
-}
-
-QueryResult run_latency(Pipeline& pipeline, const LatencyQuery& query) {
-  QueryResult out;
-  const Expected<int> chain = resolve_chain(pipeline.system(), query.chain);
-  if (!chain) {
-    out.status = chain.status();
-    return out;
-  }
-  const auto answer = capture([&] {
-    LatencyAnswer a{query.chain, query.without_overload, {}};
-    a.result = query.without_overload ? *pipeline.latency_without_overload(chain.value())
-                                      : *pipeline.latency(chain.value());
-    return a;
-  });
-  if (answer) {
-    out.answer = answer.value();
-  } else {
-    out.status = answer.status();
-  }
-  return out;
-}
-
-QueryResult run_dmm(Pipeline& pipeline, const DmmQuery& query) {
-  QueryResult out;
-  const Expected<int> chain = resolve_chain(pipeline.system(), query.chain);
-  if (!chain) {
-    out.status = chain.status();
-    return out;
-  }
-  const std::vector<Count> ks = query.ks.empty() ? std::vector<Count>{10} : query.ks;
-  const auto answer =
-      capture([&] { return DmmAnswer{query.chain, pipeline.dmm_curve(chain.value(), ks)}; });
-  if (answer) {
-    out.answer = answer.value();
-  } else {
-    out.status = answer.status();
-  }
-  return out;
-}
-
-QueryResult run_weakly_hard(Pipeline& pipeline, const WeaklyHardQuery& query) {
-  QueryResult out;
-  const Expected<int> chain = resolve_chain(pipeline.system(), query.chain);
-  if (!chain) {
-    out.status = chain.status();
-    return out;
-  }
-  const auto answer = capture([&] {
-    WHARF_EXPECT(query.m >= 0, "weakly-hard m must be >= 0, got " << query.m);
-    const DmmResult r = pipeline.dmm(chain.value(), query.k);
-    return WeaklyHardAnswer{query.chain, query.m,    query.k,
-                            r.dmm,       r.status,   r.dmm <= query.m};
-  });
-  if (answer) {
-    out.answer = answer.value();
-  } else {
-    out.status = answer.status();
-  }
-  return out;
-}
-
-/// Resolves a path's chain names into a PathSpec, or a not-found Status.
-Expected<PathSpec> resolve_path(const System& system, const std::vector<std::string>& names) {
-  PathSpec spec;
-  for (const std::string& name : names) {
-    const Expected<int> chain = resolve_chain(system, name);
-    if (!chain) return chain.status();
-    spec.chains.push_back(chain.value());
-  }
-  return spec;
-}
-
-QueryResult run_path_latency(Pipeline& pipeline, const PathLatencyQuery& query) {
-  QueryResult out;
-  const Expected<PathSpec> spec = resolve_path(pipeline.system(), query.chains);
-  if (!spec) {
-    out.status = spec.status();
-    return out;
-  }
-  const auto answer =
-      capture([&] { return PathLatencyAnswer{query.chains, pipeline.path_latency(spec.value())}; });
-  if (answer) {
-    out.answer = answer.value();
-  } else {
-    out.status = answer.status();
-  }
-  return out;
-}
-
-QueryResult run_path_dmm(Pipeline& pipeline, const PathDmmQuery& query) {
-  QueryResult out;
-  const Expected<PathSpec> resolved = resolve_path(pipeline.system(), query.chains);
-  if (!resolved) {
-    out.status = resolved.status();
-    return out;
-  }
-  const auto answer = capture([&] {
-    WHARF_EXPECT(query.deadline >= 1,
-                 "path DMM requires a deadline >= 1, got " << query.deadline);
-    PathSpec spec = resolved.value();
-    spec.deadline = query.deadline;
-    spec.budgets = query.budgets;
-    const std::vector<Count> ks = query.ks.empty() ? std::vector<Count>{10} : query.ks;
-    PathDmmAnswer a{query.chains, {}};
-    a.curve.reserve(ks.size());
-    for (const Count k : ks) a.curve.push_back(pipeline.path_dmm(spec, k));
-    return a;
-  });
-  if (answer) {
-    out.answer = answer.value();
-  } else {
-    out.status = answer.status();
-  }
-  return out;
-}
-
-QueryResult run_simulation(Pipeline& pipeline, const SimulationQuery& query) {
-  QueryResult out;
-  const auto answer = capture([&] {
-    WHARF_EXPECT(query.horizon >= 1, "simulation horizon must be >= 1, got " << query.horizon);
-    WHARF_EXPECT(query.check_k >= 1, "simulation check_k must be >= 1, got " << query.check_k);
-    const System& system = pipeline.system();
-
-    std::vector<std::vector<Time>> arrivals;
-    arrivals.reserve(static_cast<std::size_t>(system.size()));
-    for (int c = 0; c < system.size(); ++c) {
-      const ArrivalModel& model = system.chain(c).arrival();
-      if (query.extra_gap < 0) {
-        arrivals.push_back(sim::greedy_arrivals(model, 0, query.horizon));
-      } else {
-        arrivals.push_back(sim::random_arrivals(model, 0, query.horizon, query.extra_gap,
-                                                query.seed + static_cast<std::uint64_t>(c)));
-      }
-    }
-    sim::SimOptions sim_options;
-    sim_options.record_trace = query.record_trace;
-    sim::SimResult run = sim::simulate(system, arrivals, sim_options);
-
-    SimulationAnswer a;
-    a.makespan = run.makespan;
-    a.trace = std::move(run.trace);
-    for (int c = 0; c < system.size(); ++c) {
-      const sim::ChainResult& cr = run.chains[static_cast<std::size_t>(c)];
-      SimulationAnswer::ChainStats stats;
-      stats.chain = system.chain(c).name();
-      stats.completed = cr.completed;
-      stats.max_latency = cr.max_latency;
-      stats.miss_count = cr.miss_count;
-      stats.max_window_misses = cr.instances.empty() ? 0 : cr.max_misses_in_window(query.check_k);
-      a.chains.push_back(std::move(stats));
-    }
-
-    if (query.cross_validate) {
-      for (const int c : system.regular_indices()) {
-        const auto& stats = a.chains[static_cast<std::size_t>(c)];
-        const LatencyResult& bound = *pipeline.latency(c);
-        if (bound.bounded && stats.max_latency > bound.wcl) {
-          a.violations.push_back(util::cat("chain '", stats.chain, "': simulated latency ",
-                                           stats.max_latency, " exceeds WCL bound ", bound.wcl));
-        }
-        if (!system.chain(c).deadline().has_value()) continue;
-        // The dmm bound is claimed only under the paper's standing
-        // assumption: at most one activation per overload chain within
-        // any busy window.  Check it exactly on the observed run (as
-        // the property suite does) and skip the dmm comparison for
-        // runs outside that regime.
-        const auto windows = sim::observed_busy_windows(run.chains[static_cast<std::size_t>(c)]);
-        bool assumption_holds = true;
-        for (const int o : system.overload_indices()) {
-          assumption_holds =
-              assumption_holds &&
-              sim::at_most_one_arrival_per_window(windows,
-                                                  arrivals[static_cast<std::size_t>(o)]);
-        }
-        if (!assumption_holds) continue;
-        const DmmResult dmm = pipeline.dmm(c, query.check_k);
-        if (dmm.status != DmmStatus::kNoGuarantee && stats.max_window_misses > dmm.dmm) {
-          a.violations.push_back(util::cat("chain '", stats.chain, "': ",
-                                           stats.max_window_misses, " misses in a window of ",
-                                           query.check_k, " exceed dmm bound ", dmm.dmm));
-        }
-      }
-      a.validated = a.violations.empty();
-    }
-    return a;
-  });
-  if (answer) {
-    out.answer = answer.value();
-  } else {
-    out.status = answer.status();
-  }
-  return out;
-}
-
-/// Scores candidates against the engine's shared store: the search
-/// warms, and profits from, the same artifacts as every other query,
-/// and hill-climb neighborhoods evaluate on the worker pool.
-QueryResult run_search(ArtifactStore& store, int jobs, std::size_t concurrent_tasks,
-                       const AnalysisRequest& request, const PrioritySearchQuery& query) {
-  QueryResult out;
-  const auto answer = capture([&] {
-    const search::EvaluationSpec spec{query.k, {}};
-    // The engine already spreads the serving call's query tasks over
-    // the worker pool; give the evaluator the pool width only when this
-    // search has the pool to itself, so neither a multi-query request
-    // nor a batch of single-query requests can fan out jobs^2 threads
-    // (parallel_for_index spawns per call).
-    const int evaluator_jobs = concurrent_tasks > 1 ? 1 : jobs;
-    search::PipelineEvaluator evaluator(request.system, spec, request.options, store,
-                                        evaluator_jobs);
-    SearchAnswer a;
-    a.nominal = evaluator.evaluate(request.system.flat_priorities());
-    switch (query.strategy) {
-      case PrioritySearchQuery::Strategy::kRandom:
-        WHARF_EXPECT(query.budget >= 1, "search budget must be >= 1, got " << query.budget);
-        a.result = search::random_search(evaluator, query.budget, query.seed);
-        break;
-      case PrioritySearchQuery::Strategy::kExhaustive:
-        a.result = search::exhaustive_search(evaluator, query.max_permutations);
-        break;
-      case PrioritySearchQuery::Strategy::kHillClimb: {
-        WHARF_EXPECT(query.budget >= 1, "search budget must be >= 1, got " << query.budget);
-        WHARF_EXPECT(query.restarts >= 1, "climb restarts must be >= 1, got " << query.restarts);
-        search::HillClimbOptions climb;
-        climb.restarts = query.restarts;
-        climb.max_steps = query.budget;
-        climb.seed = query.seed;
-        a.result = search::hill_climb(evaluator, climb);
-        break;
-      }
-    }
-    a.stats = evaluator.stats();
-    return a;
-  });
-  if (answer) {
-    out.answer = answer.value();
-  } else {
-    out.status = answer.status();
-  }
-  return out;
-}
-
-}  // namespace
-
-QueryResult Engine::Impl::execute(const AnalysisRequest& request, Pipeline& pipeline,
-                                  const Query& query, std::size_t concurrent_tasks) {
-  return std::visit(
-      [&](const auto& q) -> QueryResult {
-        using Q = std::decay_t<decltype(q)>;
-        if constexpr (std::is_same_v<Q, LatencyQuery>) {
-          return run_latency(pipeline, q);
-        } else if constexpr (std::is_same_v<Q, DmmQuery>) {
-          return run_dmm(pipeline, q);
-        } else if constexpr (std::is_same_v<Q, WeaklyHardQuery>) {
-          return run_weakly_hard(pipeline, q);
-        } else if constexpr (std::is_same_v<Q, SimulationQuery>) {
-          return run_simulation(pipeline, q);
-        } else if constexpr (std::is_same_v<Q, PathLatencyQuery>) {
-          return run_path_latency(pipeline, q);
-        } else if constexpr (std::is_same_v<Q, PathDmmQuery>) {
-          return run_path_dmm(pipeline, q);
-        } else {
-          return run_search(store, options.jobs, concurrent_tasks, request, q);
-        }
-      },
-      query);
-}
 
 Engine::Engine(EngineOptions options) : impl_(std::make_unique<Impl>(options)) {}
 Engine::~Engine() = default;
@@ -448,21 +112,15 @@ Engine& Engine::operator=(Engine&&) noexcept = default;
 
 const EngineOptions& Engine::options() const { return impl_->options; }
 
-AnalysisReport Engine::run(const AnalysisRequest& request) {
-  AnalysisReport report;
-  report.system = request.system.name();
-  report.results.resize(request.queries.size());
-  report.diagnostics.system_hash =
-      util::fnv1a64(request_fingerprint(request.system, request.options));
+Session Engine::open_session(System system, TwcaOptions options) {
+  return Session(std::move(system), options, impl_->store, impl_->options.jobs);
+}
 
-  const std::uint64_t epoch = impl_->store.begin_epoch();
-  Pipeline pipeline(request.system, request.options, impl_->store, epoch,
-                    impl_->options.jobs);
-  util::parallel_for_index(request.queries.size(), impl_->options.jobs, [&](std::size_t q) {
-    report.results[q] =
-        impl_->execute(request, pipeline, request.queries[q], request.queries.size());
-  });
-  impl_->finalize(report, pipeline);
+AnalysisReport Engine::run(const AnalysisRequest& request) {
+  // One-shot adapter: an ephemeral session serves the whole request.
+  Session session(request.system, request.options, impl_->store, impl_->options.jobs);
+  AnalysisReport report = session.serve(request.queries);
+  impl_->accumulate(report);
   return report;
 }
 
@@ -480,15 +138,13 @@ std::vector<AnalysisReport> Engine::run_batch(const std::vector<AnalysisRequest>
     std::size_t query = 0;
   };
   std::vector<TaskRef> tasks;
-  std::vector<Pipeline> pipelines;
-  pipelines.reserve(requests.size());
+  std::vector<Session> sessions;
+  std::vector<std::vector<QueryResult>> results(requests.size());
+  sessions.reserve(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    reports[i].system = requests[i].system.name();
-    reports[i].results.resize(requests[i].queries.size());
-    reports[i].diagnostics.system_hash =
-        util::fnv1a64(request_fingerprint(requests[i].system, requests[i].options));
-    pipelines.emplace_back(requests[i].system, requests[i].options, impl_->store, epoch,
-                           impl_->options.jobs);
+    sessions.emplace_back(requests[i].system, requests[i].options, impl_->store,
+                          impl_->options.jobs, epoch);
+    results[i].resize(requests[i].queries.size());
     for (std::size_t q = 0; q < requests[i].queries.size(); ++q) tasks.push_back({i, q});
   }
 
@@ -496,13 +152,13 @@ std::vector<AnalysisReport> Engine::run_batch(const std::vector<AnalysisRequest>
   // results are identical for any jobs value.
   util::parallel_for_index(tasks.size(), impl_->options.jobs, [&](std::size_t t) {
     const TaskRef& ref = tasks[t];
-    reports[ref.request].results[ref.query] =
-        impl_->execute(requests[ref.request], pipelines[ref.request],
-                       requests[ref.request].queries[ref.query], tasks.size());
+    results[ref.request][ref.query] =
+        sessions[ref.request].execute(requests[ref.request].queries[ref.query], tasks.size());
   });
 
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    impl_->finalize(reports[i], pipelines[i]);
+    reports[i] = sessions[i].collect(std::move(results[i]));
+    impl_->accumulate(reports[i]);
   }
   return reports;
 }

@@ -48,6 +48,8 @@
 
 namespace wharf {
 
+class Session;  // engine/session.hpp
+
 // ---------------------------------------------------------------------
 // Queries
 // ---------------------------------------------------------------------
@@ -288,8 +290,20 @@ class Engine {
 
   [[nodiscard]] const EngineOptions& options() const;
 
-  /// Answers one request.
+  /// Opens a long-lived session on this engine's shared ArtifactStore:
+  /// the stateful API for design-space sweeps — apply typed Deltas,
+  /// query incrementally (see engine/session.hpp).  The session must
+  /// not outlive the engine.
+  [[nodiscard]] Session open_session(System system, TwcaOptions options = {});
+
+  /// Answers one request.  A thin one-shot adapter over an ephemeral
+  /// Session: open, serve every query, close — so the request/response
+  /// surface and the session surface provably share one execution path
+  /// (bit-identical results for any jobs/cache_bytes).
   [[nodiscard]] AnalysisReport run(const AnalysisRequest& request);
+
+  /// Alias of run() under the session-era name.
+  [[nodiscard]] AnalysisReport analyze(const AnalysisRequest& request) { return run(request); }
 
   /// Answers many requests, evaluating all queries of all requests on
   /// the worker pool.  reports[i] answers requests[i]; every report's

@@ -92,6 +92,11 @@ struct Pipeline::State {
   const System* system = nullptr;
   TwcaOptions options;
   std::shared_ptr<Shared> shared;
+  /// Cross-pipeline memo of per-chain slice strings (owned by the
+  /// session/evaluator).  Deliberately *not* in Shared: budgeted
+  /// sub-pipelines substitute the target's deadline — a structural
+  /// change under the SliceCache contract — so they key uncached.
+  SliceCache* slices = nullptr;
 
   /// Request-local memo: one cell per (stage, key); the first visitor
   /// resolves the artifact through the store's single-flight resolve()
@@ -166,12 +171,12 @@ const std::string& cached_key(std::mutex& mutex, std::unordered_map<int, std::st
 
 const std::string& Pipeline::State::interference_key_for(int target) {
   return cached_key(key_mutex, ifc_keys, target,
-                    [&] { return wharf::interference_key(*system, target); });
+                    [&] { return wharf::interference_key(*system, target, slices); });
 }
 
 const std::string& Pipeline::State::busy_window_key_for(int target, bool without_overload) {
   return cached_key(key_mutex, without_overload ? bw_noov_keys : bw_keys, target, [&] {
-    return wharf::busy_window_key(*system, target, options.analysis, without_overload);
+    return wharf::busy_window_key(*system, target, options.analysis, without_overload, slices);
   });
 }
 
@@ -179,8 +184,9 @@ const std::string& Pipeline::State::overload_key_for(int target) {
   // Resolve the busy-window part first (its own cached_key round), then
   // compose the overload key from it outside the lock.
   const std::string& busy_part = busy_window_key_for(target, /*without_overload=*/false);
-  return cached_key(key_mutex, ov_keys, target,
-                    [&] { return wharf::overload_key(*system, target, options, busy_part); });
+  return cached_key(key_mutex, ov_keys, target, [&] {
+    return wharf::overload_key(*system, target, options, busy_part, slices);
+  });
 }
 
 template <typename T, typename Make>
@@ -242,10 +248,11 @@ std::shared_ptr<const T> Pipeline::State::acquire(ArtifactStage stage, const std
 // ---------------------------------------------------------------------
 
 Pipeline::Pipeline(const System& system, const TwcaOptions& options, ArtifactStore& store,
-                   std::uint64_t epoch, int jobs)
+                   std::uint64_t epoch, int jobs, SliceCache* slices)
     : state_(std::make_unique<State>()) {
   state_->system = &system;
   state_->options = options;
+  state_->slices = slices;
   state_->shared = std::make_shared<Shared>();
   state_->shared->store = &store;
   state_->shared->epoch = epoch;

@@ -35,6 +35,8 @@
 
 namespace wharf {
 
+class SliceCache;  // core/model_slice.hpp
+
 /// Store telemetry of one served request, per pipeline stage.  A request
 /// counts one lookup per distinct artifact it resolves, and
 /// lookups == hits + misses + shared.  Hits (artifact resident before
@@ -59,8 +61,13 @@ class Pipeline {
  public:
   /// `system` and `store` must outlive the pipeline; `epoch` is the
   /// request's store epoch; `jobs` sizes the intra-ILP work stealing.
+  /// A non-null `slices` (also outliving the pipeline) memoizes
+  /// per-chain slice strings across pipelines — sessions and the search
+  /// evaluator pass one so candidates/revisions that leave a chain's
+  /// priority sub-vector untouched reuse its serialized slice; the
+  /// caller owns the SliceCache soundness contract (model_slice.hpp).
   Pipeline(const System& system, const TwcaOptions& options, ArtifactStore& store,
-           std::uint64_t epoch, int jobs);
+           std::uint64_t epoch, int jobs, SliceCache* slices = nullptr);
   ~Pipeline();
 
   Pipeline(Pipeline&&) noexcept;

@@ -1,0 +1,213 @@
+/// \file session.hpp
+/// Long-lived, incrementally mutable analysis sessions — the stateful
+/// core of the wharf Engine API.
+///
+/// A Session is opened from a System (Engine::open_session, or directly
+/// against an ArtifactStore) and then *kept*: clients sweeping a design
+/// space (the paper's Fig. 5 / priority-search workload, SAW-style
+/// interactive tooling) apply typed Deltas instead of re-shipping whole
+/// systems, and query the mutated model through the same query kinds
+/// Engine::run answers.  Incrementality is API semantics, not a cache
+/// accident: a delta re-keys only the model slices it touches, so after
+/// a pairwise priority swap on an m-chain system a query re-solves ~2 of
+/// m busy windows — the store proves it via the per-stage telemetry in
+/// SessionStats.
+///
+/// Contracts:
+///  * apply() is atomic per batch — every delta validates against the
+///    model the batch started from, and the first error leaves the
+///    session untouched (Status out, never an exception);
+///  * query answers are bit-identical to a one-shot
+///    Engine::analyze/run of the mutated system, for any jobs value and
+///    any cache budget (Engine::run itself is a thin adapter over an
+///    ephemeral Session);
+///  * thread-compatible like Engine: one caller at a time drives
+///    apply()/serve(); the parallelism happens inside (serve() spreads
+///    queries over the worker pool).  speculate() sessions are
+///    independent and may be driven concurrently — that is how the
+///    search evaluator scores whole neighborhoods in parallel.
+///
+/// The epoch/key plumbing: each applied batch advances the shared
+/// store's epoch, so artifacts computed before the delta classify as
+/// *hits* afterwards and the per-stage counters read as "what this
+/// revision reused vs. re-solved".  A shared SliceCache memoizes
+/// per-chain key fragments across revisions and speculative candidates;
+/// structural deltas (anything except SetPriority) invalidate it.
+
+#ifndef WHARF_ENGINE_SESSION_HPP
+#define WHARF_ENGINE_SESSION_HPP
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/chain.hpp"
+#include "core/model_slice.hpp"
+#include "engine/engine.hpp"
+
+namespace wharf {
+
+// ---------------------------------------------------------------------
+// Deltas
+// ---------------------------------------------------------------------
+
+/// Re-prioritizes one task ("chain.task" dotted name; names containing
+/// dots are handled by trying every split — a reference resolving to
+/// more than one task is refused, never guessed).  Batch several to
+/// express a swap — priority uniqueness is validated once per batch, so
+/// transient duplicates inside a batch are fine.
+struct SetPriorityDelta {
+  std::string task;  ///< dotted "chain.task" name
+  Priority priority = 0;
+};
+
+/// Replaces one task's WCET.
+struct SetWcetDelta {
+  std::string task;  ///< dotted "chain.task" name
+  Time wcet = 0;
+};
+
+/// Replaces (or removes, via nullopt) one chain's end-to-end deadline.
+struct SetDeadlineDelta {
+  std::string chain;
+  std::optional<Time> deadline;
+};
+
+/// Replaces one chain's activation model (wharf::parse_arrival syntax,
+/// e.g. "periodic(200)" or "sporadic(700)").
+struct SetArrivalDelta {
+  std::string chain;
+  std::string arrival;
+};
+
+/// Appends a chain to the system (io::parse_chain builds one from the
+/// text format).  Validated like any system construction: unique chain
+/// name, globally unique priorities.
+struct AddChainDelta {
+  Chain chain;
+};
+
+/// Removes a chain by name.  Later queries naming it fail with
+/// kNotFound; the system must keep at least one chain.
+struct RemoveChainDelta {
+  std::string chain;
+};
+
+using Delta = std::variant<SetPriorityDelta, SetWcetDelta, SetDeadlineDelta, SetArrivalDelta,
+                           AddChainDelta, RemoveChainDelta>;
+
+/// True for every delta kind that changes structural model content
+/// (anything except SetPriority) — these invalidate the session's
+/// SliceCache; priority deltas re-key through it.
+[[nodiscard]] bool is_structural(const Delta& delta);
+
+// ---------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------
+
+/// Lifetime telemetry of one session: how many delta batches and queries
+/// it served and how the shared store answered its stage lookups.  The
+/// store counters are the incrementality proof — on a mutation sweep the
+/// busy-window misses stay near "slices touched", far below
+/// "revisions x targets".
+struct SessionStats {
+  std::uint64_t revision = 0;       ///< applied delta batches
+  long long deltas_applied = 0;     ///< individual deltas across batches
+  long long queries_served = 0;     ///< queries answered (query/serve/execute)
+  std::array<StageDiagnostics, kArtifactStageCount> stages{};
+  SliceCache::Stats slices;         ///< per-chain key-fragment memo reuse
+
+  [[nodiscard]] std::size_t lookups() const;
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+  [[nodiscard]] std::size_t shared() const;
+};
+
+// ---------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------
+
+class Session {
+ public:
+  /// Opens a session on `store` (which must outlive it).  Begins a fresh
+  /// store epoch.  `jobs` sizes serve() parallelism and intra-ILP work
+  /// stealing (1 = sequential, 0 = all hardware threads).
+  Session(System system, TwcaOptions options, ArtifactStore& store, int jobs = 1);
+
+  /// Batch-driver variant (Engine::run_batch): adopts an already-begun
+  /// store epoch so sibling sessions of one batch classify hits against
+  /// a common baseline.
+  Session(System system, TwcaOptions options, ArtifactStore& store, int jobs,
+          std::uint64_t epoch);
+
+  ~Session();
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+
+  /// The current model.  The reference is invalidated by the next
+  /// successful apply() (the session swaps in the rebuilt system).
+  [[nodiscard]] const System& system() const;
+  [[nodiscard]] const TwcaOptions& options() const;
+  [[nodiscard]] std::uint64_t revision() const;
+
+  /// Applies a delta batch atomically: all deltas are validated and
+  /// applied against the current model in order, the rebuilt system is
+  /// re-validated (priority uniqueness etc.), and only then does the
+  /// session advance — a new revision, a new store epoch, slice-cache
+  /// invalidation iff the batch was structural.  Any error returns a
+  /// non-OK Status and leaves the session exactly as it was.
+  Status apply(const std::vector<Delta>& deltas);
+
+  /// A hypothetical session: the current model plus `deltas`, sharing
+  /// this session's store (own epoch) and — for priority-only batches —
+  /// its SliceCache, so speculative candidates reuse each other's key
+  /// fragments.  Throws on invalid deltas (the search evaluator builds
+  /// them by construction); `jobs` < 0 inherits this session's.
+  [[nodiscard]] Session speculate(const std::vector<Delta>& deltas, int jobs = -1) const;
+
+  /// Answers one query on the current model (same kinds and the same
+  /// Status-not-exception contract as Engine::run).
+  [[nodiscard]] QueryResult query(const Query& query);
+
+  /// Answers a query batch on the worker pool and bundles it as an
+  /// AnalysisReport whose diagnostics cover exactly this call.
+  [[nodiscard]] AnalysisReport serve(const std::vector<Query>& queries);
+
+  /// Building blocks for batch drivers (Engine::run_batch flattens the
+  /// queries of many sessions onto one pool): execute() answers one
+  /// query (`concurrent_tasks` = how many query tasks the caller runs
+  /// concurrently overall), collect() bundles previously produced
+  /// results with the store telemetry accumulated since the last
+  /// collect()/construction.
+  [[nodiscard]] QueryResult execute(const Query& query, std::size_t concurrent_tasks);
+  [[nodiscard]] AnalysisReport collect(std::vector<QueryResult> results);
+
+  /// Typed single-stage accessors for programmatic loops (the search
+  /// evaluator scores candidates through these).  Core exception
+  /// contract: malformed arguments throw like TwcaAnalyzer.
+  [[nodiscard]] LatencyResult latency(int chain, bool without_overload = false);
+  [[nodiscard]] DmmResult dmm(int chain, Count k);
+
+  /// Whole-request fingerprint of the current model + options (the
+  /// ReportDiagnostics::system_hash of reports served at this revision).
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  [[nodiscard]] SessionStats stats() const;
+
+ private:
+  /// Delegation target of every constructor (and speculate()): a null
+  /// `slices` means a fresh cache.
+  Session(System system, TwcaOptions options, ArtifactStore& store, int jobs,
+          std::uint64_t epoch, std::shared_ptr<SliceCache> slices);
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace wharf
+
+#endif  // WHARF_ENGINE_SESSION_HPP

@@ -44,6 +44,77 @@ void finish_chain(std::vector<Chain>& chains, std::optional<PendingChain>& pendi
   pending.reset();
 }
 
+/// Parses one `chain <name> key=value...` line into a pending spec.
+PendingChain parse_chain_header(const std::vector<std::string>& tokens, int line_no) {
+  if (tokens.size() < 2) fail(line_no, "expected: chain <name> key=value...");
+  PendingChain pc;
+  pc.line = line_no;
+  pc.spec.name = tokens[1];
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    if (tokens[i] == "overload") {
+      pc.spec.overload = true;
+      continue;
+    }
+    std::string key;
+    std::string value;
+    if (!split_kv(tokens[i], key, value)) {
+      fail(line_no, util::cat("unexpected token '", tokens[i], "' (expected key=value)"));
+    }
+    if (key == "kind") {
+      if (value == "sync") {
+        pc.spec.kind = ChainKind::kSynchronous;
+      } else if (value == "async") {
+        pc.spec.kind = ChainKind::kAsynchronous;
+      } else {
+        fail(line_no, util::cat("kind must be sync|async, got '", value, "'"));
+      }
+    } else if (key == "activation") {
+      try {
+        pc.spec.arrival = parse_arrival(value);
+      } catch (const InvalidArgument& e) {
+        fail(line_no, e.what());
+      }
+    } else if (key == "deadline") {
+      pc.spec.deadline = parse_time_field(value, key, line_no);
+    } else {
+      fail(line_no, util::cat("unknown chain attribute '", key, "'"));
+    }
+  }
+  if (pc.spec.arrival == nullptr) {
+    fail(line_no, util::cat("chain '", pc.spec.name, "' needs activation=..."));
+  }
+  return pc;
+}
+
+/// Parses one `task <name> prio=N wcet=N` line.
+Task parse_task_line(const std::vector<std::string>& tokens, int line_no) {
+  if (tokens.size() < 2) fail(line_no, "expected: task <name> prio=N wcet=N");
+  Task task;
+  task.name = tokens[1];
+  bool have_prio = false;
+  bool have_wcet = false;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    std::string key;
+    std::string value;
+    if (!split_kv(tokens[i], key, value)) {
+      fail(line_no, util::cat("unexpected token '", tokens[i], "' (expected key=value)"));
+    }
+    if (key == "prio") {
+      task.priority = static_cast<Priority>(parse_time_field(value, key, line_no));
+      have_prio = true;
+    } else if (key == "wcet") {
+      task.wcet = parse_time_field(value, key, line_no);
+      have_wcet = true;
+    } else {
+      fail(line_no, util::cat("unknown task attribute '", key, "'"));
+    }
+  }
+  if (!have_prio || !have_wcet) {
+    fail(line_no, util::cat("task '", task.name, "' needs both prio= and wcet="));
+  }
+  return task;
+}
+
 }  // namespace
 
 System parse_system(const std::string& text) {
@@ -69,72 +140,11 @@ System parse_system(const std::string& text) {
       system_name = tokens[1];
     } else if (head == "chain") {
       if (system_name.empty()) fail(line_no, "'chain' before 'system'");
-      if (tokens.size() < 2) fail(line_no, "expected: chain <name> key=value...");
       finish_chain(chains, pending);
-      PendingChain pc;
-      pc.line = line_no;
-      pc.spec.name = tokens[1];
-      for (std::size_t i = 2; i < tokens.size(); ++i) {
-        if (tokens[i] == "overload") {
-          pc.spec.overload = true;
-          continue;
-        }
-        std::string key;
-        std::string value;
-        if (!split_kv(tokens[i], key, value)) {
-          fail(line_no, util::cat("unexpected token '", tokens[i], "' (expected key=value)"));
-        }
-        if (key == "kind") {
-          if (value == "sync") {
-            pc.spec.kind = ChainKind::kSynchronous;
-          } else if (value == "async") {
-            pc.spec.kind = ChainKind::kAsynchronous;
-          } else {
-            fail(line_no, util::cat("kind must be sync|async, got '", value, "'"));
-          }
-        } else if (key == "activation") {
-          try {
-            pc.spec.arrival = parse_arrival(value);
-          } catch (const InvalidArgument& e) {
-            fail(line_no, e.what());
-          }
-        } else if (key == "deadline") {
-          pc.spec.deadline = parse_time_field(value, key, line_no);
-        } else {
-          fail(line_no, util::cat("unknown chain attribute '", key, "'"));
-        }
-      }
-      if (pc.spec.arrival == nullptr) {
-        fail(line_no, util::cat("chain '", pc.spec.name, "' needs activation=..."));
-      }
-      pending = std::move(pc);
+      pending = parse_chain_header(tokens, line_no);
     } else if (head == "task") {
       if (!pending.has_value()) fail(line_no, "'task' outside of a chain");
-      if (tokens.size() < 2) fail(line_no, "expected: task <name> prio=N wcet=N");
-      Task task;
-      task.name = tokens[1];
-      bool have_prio = false;
-      bool have_wcet = false;
-      for (std::size_t i = 2; i < tokens.size(); ++i) {
-        std::string key;
-        std::string value;
-        if (!split_kv(tokens[i], key, value)) {
-          fail(line_no, util::cat("unexpected token '", tokens[i], "' (expected key=value)"));
-        }
-        if (key == "prio") {
-          task.priority = static_cast<Priority>(parse_time_field(value, key, line_no));
-          have_prio = true;
-        } else if (key == "wcet") {
-          task.wcet = parse_time_field(value, key, line_no);
-          have_wcet = true;
-        } else {
-          fail(line_no, util::cat("unknown task attribute '", key, "'"));
-        }
-      }
-      if (!have_prio || !have_wcet) {
-        fail(line_no, util::cat("task '", task.name, "' needs both prio= and wcet="));
-      }
-      pending->spec.tasks.push_back(std::move(task));
+      pending->spec.tasks.push_back(parse_task_line(tokens, line_no));
     } else {
       fail(line_no, util::cat("unknown directive '", head, "'"));
     }
@@ -145,21 +155,55 @@ System parse_system(const std::string& text) {
   return System(system_name, std::move(chains));
 }
 
+Chain parse_chain(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  std::optional<PendingChain> pending;
+  std::vector<Chain> chains;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto tokens = util::split_whitespace(line);
+    if (tokens.empty()) continue;
+
+    const std::string& head = tokens[0];
+    if (head == "chain") {
+      if (pending.has_value()) fail(line_no, "expected exactly one chain block");
+      pending = parse_chain_header(tokens, line_no);
+    } else if (head == "task") {
+      if (!pending.has_value()) fail(line_no, "'task' outside of a chain");
+      pending->spec.tasks.push_back(parse_task_line(tokens, line_no));
+    } else {
+      fail(line_no, util::cat("unknown directive '", head, "'"));
+    }
+  }
+  if (!pending.has_value()) fail(line_no, "missing 'chain <name>' line");
+  finish_chain(chains, pending);
+  return std::move(chains.front());
+}
+
+std::string serialize_chain(const Chain& chain) {
+  std::ostringstream out;
+  out << "chain " << chain.name()
+      << " kind=" << (chain.is_synchronous() ? "sync" : "async")
+      << " activation=" << chain.arrival().describe();
+  if (chain.deadline().has_value()) out << " deadline=" << *chain.deadline();
+  if (chain.is_overload()) out << " overload";
+  out << '\n';
+  for (const Task& task : chain.tasks()) {
+    out << "  task " << task.name << " prio=" << task.priority << " wcet=" << task.wcet << '\n';
+  }
+  return out.str();
+}
+
 std::string serialize_system(const System& system) {
   std::ostringstream out;
   out << "# wharf system description\n";
   out << "system " << system.name() << '\n';
-  for (const Chain& chain : system.chains()) {
-    out << "chain " << chain.name()
-        << " kind=" << (chain.is_synchronous() ? "sync" : "async")
-        << " activation=" << chain.arrival().describe();
-    if (chain.deadline().has_value()) out << " deadline=" << *chain.deadline();
-    if (chain.is_overload()) out << " overload";
-    out << '\n';
-    for (const Task& task : chain.tasks()) {
-      out << "  task " << task.name << " prio=" << task.priority << " wcet=" << task.wcet << '\n';
-    }
-  }
+  for (const Chain& chain : system.chains()) out << serialize_chain(chain);
   return out.str();
 }
 

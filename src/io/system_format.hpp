@@ -31,6 +31,15 @@ namespace wharf::io {
 /// Serializes to the same format parse_system() accepts.
 [[nodiscard]] std::string serialize_system(const System& system);
 
+/// Parses one standalone `chain ...` block (a `chain` line plus its
+/// `task` lines, same syntax as inside a system description).  System-
+/// level invariants (name/priority uniqueness) are checked when the
+/// chain joins a System — wire AddChain deltas parse through this.
+[[nodiscard]] Chain parse_chain(const std::string& text);
+
+/// Serializes one chain as the block parse_chain() accepts.
+[[nodiscard]] std::string serialize_chain(const Chain& chain);
+
 }  // namespace wharf::io
 
 #endif  // WHARF_IO_SYSTEM_FORMAT_HPP

@@ -1,0 +1,139 @@
+/// \file wire.hpp
+/// The NDJSON wire protocol of `wharf serve`: a long-lived
+/// request/response stream over stdin/stdout (or a TCP socket), one JSON
+/// object per line, framed in the existing JSON report schema.
+///
+/// Requests (`id` is an optional client correlation token, echoed back;
+/// `session` names a session within the stream):
+///
+///   {"id":1,"type":"open_session","session":"s","system":"system x\n..."}
+///   {"id":2,"type":"apply_delta","session":"s","deltas":[{"kind":"set_priority",...}]}
+///   {"id":3,"type":"query","session":"s","queries":[{"kind":"latency","chain":"a"}]}
+///   {"id":4,"type":"diagnostics","session":"s"}
+///   {"id":5,"type":"close","session":"s"}
+///   {"id":6,"type":"shutdown"}
+///
+/// Every response is one JSON object on one line carrying the echoed
+/// id/type/session plus "status" ("ok" or a StatusCode name) and, on
+/// error, "reason".  Query responses embed a full AnalysisReport (the
+/// exact wharf::to_json schema of `wharf analyze --json`) under
+/// "report".  Per-request errors — unknown session, malformed JSON, a
+/// failing delta — are *responses on the stream*, never a process exit;
+/// only transport failures terminate the server (see cli/serve.hpp).
+///
+/// This header also exposes the minimal JSON reader the protocol needs
+/// (JsonValue/parse_json) — the writing side reuses io::JsonWriter.
+
+#ifndef WHARF_IO_WIRE_HPP
+#define WHARF_IO_WIRE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/session.hpp"
+#include "io/json.hpp"
+#include "util/status.hpp"
+
+namespace wharf::io {
+
+// ---------------------------------------------------------------------
+// JSON reading
+// ---------------------------------------------------------------------
+
+/// A parsed JSON document node.  Numbers keep both integral and double
+/// views (the protocol's quantities are integral).  Accessors throw
+/// wharf::InvalidArgument on kind mismatches — capture() at the protocol
+/// boundary turns that into an error response.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] long long as_int() const;      ///< requires an integral number
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;  ///< array elements
+
+  /// Object member by key, or nullptr when absent (objects only).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  /// Object member by key; throws when absent.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+ private:
+  friend JsonValue parse_json(const std::string&);
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  long long int_ = 0;
+  double double_ = 0;
+  bool integral_ = false;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document (the whole string must be consumed, modulo
+/// whitespace).  Throws wharf::ParseError on malformed input.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+enum class WireKind {
+  kOpenSession,
+  kApplyDelta,
+  kQuery,
+  kDiagnostics,
+  kClose,
+  kShutdown,
+};
+
+/// Stable wire name of a request kind ("open_session", ...).
+[[nodiscard]] const char* to_string(WireKind kind);
+
+struct WireRequest {
+  WireKind kind = WireKind::kShutdown;
+  long long id = 0;
+  bool has_id = false;
+  std::string session;            ///< empty only for shutdown
+  std::string system_text;        ///< open_session: text-format system
+  std::vector<Delta> deltas;      ///< apply_delta
+  std::vector<Query> queries;     ///< query
+};
+
+/// Parses one request line.  Errors (malformed JSON, unknown type or
+/// kind, missing fields) come back as a Status — the caller answers with
+/// an error response and keeps the stream alive.
+[[nodiscard]] Expected<WireRequest> parse_request(const std::string& line);
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+/// One response line (no trailing newline): the request's echoed
+/// id/type/session, the status (+ reason when non-OK), then whatever
+/// `extra` writes into the still-open top-level object (e.g. a spliced
+/// report).
+[[nodiscard]] std::string wire_response(
+    const WireRequest& request, const Status& status,
+    const std::function<void(JsonWriter&)>& extra = {});
+
+/// An error response for a line that never parsed into a request (the
+/// id, if any, is unknown): {"type":"error","status":...,"reason":...}.
+[[nodiscard]] std::string wire_protocol_error(const Status& status);
+
+}  // namespace wharf::io
+
+#endif  // WHARF_IO_WIRE_HPP

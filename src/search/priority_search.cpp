@@ -4,13 +4,28 @@
 #include <random>
 #include <utility>
 
+#include "engine/session.hpp"
 #include "gen/random_systems.hpp"
 #include "util/expect.hpp"
+#include "util/strings.hpp"
 #include "util/worker_pool.hpp"
 
 namespace wharf::search {
 
 namespace {
+
+/// Dotted "chain.task" names in flat task order (the address space of
+/// SetPriorityDelta batches).
+std::vector<std::string> dotted_task_names(const System& system) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(system.task_count()));
+  for (const Chain& chain : system.chains()) {
+    for (const Task& task : chain.tasks()) {
+      names.push_back(util::cat(chain.name(), ".", task.name));
+    }
+  }
+  return names;
+}
 
 /// Resolves (and validates) the evaluation targets of `spec` against
 /// `system`: explicit indices, or every non-overload chain with a
@@ -93,7 +108,10 @@ PipelineEvaluator::PipelineEvaluator(System base, EvaluationSpec spec, TwcaOptio
       targets_(resolve_targets(base_, spec_)),
       options_(options),
       store_(&store),
-      jobs_(jobs) {}
+      jobs_(jobs),
+      session_(std::make_unique<Session>(base_, options_, *store_, 1)),
+      base_priorities_(base_.flat_priorities()),
+      task_names_(dotted_task_names(base_)) {}
 
 PipelineEvaluator::PipelineEvaluator(System base, EvaluationSpec spec, TwcaOptions options,
                                      std::size_t cache_bytes)
@@ -102,46 +120,61 @@ PipelineEvaluator::PipelineEvaluator(System base, EvaluationSpec spec, TwcaOptio
       targets_(resolve_targets(base_, spec_)),
       options_(options),
       owned_store_(std::make_unique<ArtifactStore>(cache_bytes)),
-      store_(owned_store_.get()) {}
+      store_(owned_store_.get()),
+      session_(std::make_unique<Session>(base_, options_, *store_, 1)),
+      base_priorities_(base_.flat_priorities()),
+      task_names_(dotted_task_names(base_)) {}
 
 PipelineEvaluator::~PipelineEvaluator() = default;
 
 const System& PipelineEvaluator::base() const { return base_; }
 
-Objective PipelineEvaluator::score(const System& candidate, int ilp_jobs) {
-  // Each candidate scores in its own store epoch: artifacts resolved by
-  // *earlier* candidates (or earlier engine requests) classify as hits,
-  // which is what makes neighborhood reuse observable in stats().
-  const std::uint64_t epoch = store_->begin_epoch();
-  Pipeline pipeline(candidate, options_, *store_, epoch, ilp_jobs);
+Objective PipelineEvaluator::score(const std::vector<Priority>& priorities, int ilp_jobs) {
+  // Candidate = delta batch: one SetPriorityDelta per task the candidate
+  // moves off the base assignment.  speculate() opens the candidate's
+  // own store epoch — artifacts resolved by *earlier* candidates (or
+  // earlier engine requests) classify as hits, which is what makes
+  // neighborhood reuse observable in stats() — and shares the base
+  // session's SliceCache, so only the moved chains' key fragments are
+  // re-serialized.
+  WHARF_EXPECT(priorities.size() == base_priorities_.size(),
+               "expected " << base_priorities_.size() << " priorities, got "
+                           << priorities.size());
+  std::vector<Delta> deltas;
+  for (std::size_t i = 0; i < priorities.size(); ++i) {
+    if (priorities[i] != base_priorities_[i]) {
+      deltas.push_back(SetPriorityDelta{task_names_[i], priorities[i]});
+    }
+  }
+  Session candidate = session_->speculate(deltas, ilp_jobs);
 
   Objective obj;
   for (const int c : targets_) {
-    const DmmResult r = pipeline.dmm(c, spec_.k);
+    const DmmResult r = candidate.dmm(c, spec_.k);
     if (r.dmm > 0) ++obj.chains_missing;
     obj.total_dmm += r.dmm;
-    const std::shared_ptr<const LatencyResult> lat = pipeline.latency(c);
+    const LatencyResult lat = candidate.latency(c);
     obj.total_wcl = sat_add(obj.total_wcl,
-                            lat->bounded ? lat->wcl : options_.analysis.divergence_guard);
+                            lat.bounded ? lat.wcl : options_.analysis.divergence_guard);
   }
 
-  const std::array<StageDiagnostics, kArtifactStageCount> diag = pipeline.stage_diagnostics();
+  const SessionStats diag = candidate.stats();
   {
     const std::lock_guard<std::mutex> guard(stats_mutex_);
     ++stats_.evaluations;
     for (std::size_t s = 0; s < kArtifactStageCount; ++s) {
-      stats_.stages[s].lookups += diag[s].lookups;
-      stats_.stages[s].hits += diag[s].hits;
-      stats_.stages[s].misses += diag[s].misses;
-      stats_.stages[s].shared += diag[s].shared;
-      stats_.stages[s].bytes_inserted += diag[s].bytes_inserted;
+      stats_.stages[s].lookups += diag.stages[s].lookups;
+      stats_.stages[s].hits += diag.stages[s].hits;
+      stats_.stages[s].misses += diag.stages[s].misses;
+      stats_.stages[s].shared += diag.stages[s].shared;
+      stats_.stages[s].bytes_inserted += diag.stages[s].bytes_inserted;
     }
   }
   return obj;
 }
 
 Objective PipelineEvaluator::evaluate(const std::vector<Priority>& priorities) {
-  return score(base_.with_priorities(priorities), jobs_);
+  return score(priorities, jobs_);
 }
 
 std::vector<Objective> PipelineEvaluator::evaluate_many(
@@ -151,14 +184,21 @@ std::vector<Objective> PipelineEvaluator::evaluate_many(
   // index writes its own slot and a candidate's objective is a pure
   // function of its priorities, so scores are identical for any jobs.
   util::parallel_for_index(candidates.size(), jobs_, [&](std::size_t i) {
-    scores[i] = score(base_.with_priorities(candidates[i]), /*ilp_jobs=*/1);
+    scores[i] = score(candidates[i], /*ilp_jobs=*/1);
   });
   return scores;
 }
 
 EvaluatorStats PipelineEvaluator::stats() const {
-  const std::lock_guard<std::mutex> guard(stats_mutex_);
-  return stats_;
+  EvaluatorStats out;
+  {
+    const std::lock_guard<std::mutex> guard(stats_mutex_);
+    out = stats_;
+  }
+  // The slice memo is shared by every candidate session; its lifetime
+  // counters live on the base session.
+  out.slices = session_->stats().slices;
+  return out;
 }
 
 // ---------------------------------------------------------------------

@@ -32,11 +32,17 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include "core/model_slice.hpp"
 #include "core/twca.hpp"
 #include "engine/artifact_store.hpp"
 #include "engine/pipeline.hpp"
+
+namespace wharf {
+class Session;  // engine/session.hpp
+}  // namespace wharf
 
 namespace wharf::search {
 
@@ -69,6 +75,10 @@ struct EvaluationSpec {
 struct EvaluatorStats {
   long long evaluations = 0;
   std::array<StageDiagnostics, kArtifactStageCount> stages{};
+  /// Per-chain key-fragment memo reuse (the cross-candidate slice memo
+  /// shared by every speculative candidate session; zero for backends
+  /// that do not cache).
+  SliceCache::Stats slices;
 
   [[nodiscard]] std::size_t lookups() const;
   [[nodiscard]] std::size_t hits() const;    ///< served from the store
@@ -101,10 +111,14 @@ class Evaluator {
   [[nodiscard]] virtual EvaluatorStats stats() const = 0;
 };
 
-/// The production backend: scores candidates by driving the Engine's
-/// staged pipeline against a shared ArtifactStore.  Every candidate
-/// evaluation opens its own store epoch, so reuse across candidates is
-/// observable as hits in stats(); evaluate_many() scores candidates on a
+/// The production backend: scores candidates through wharf::Session —
+/// each candidate is a *delta batch* (one SetPriorityDelta per task the
+/// candidate moves) speculated off a base session against the shared
+/// ArtifactStore.  Every candidate session opens its own store epoch, so
+/// reuse across candidates is observable as hits in stats(), and all
+/// candidates share the base session's SliceCache (the cross-candidate
+/// slice memo: a candidate re-serializes only the per-chain key
+/// fragments its deltas touch).  evaluate_many() scores candidates on a
 /// worker pool (`jobs`), with concurrent identical slices shared through
 /// the store's single-flight resolve().
 class PipelineEvaluator final : public Evaluator {
@@ -131,7 +145,7 @@ class PipelineEvaluator final : public Evaluator {
   [[nodiscard]] const ArtifactStore& store() const { return *store_; }
 
  private:
-  [[nodiscard]] Objective score(const System& candidate, int ilp_jobs);
+  [[nodiscard]] Objective score(const std::vector<Priority>& priorities, int ilp_jobs);
 
   System base_;
   EvaluationSpec spec_;
@@ -140,6 +154,11 @@ class PipelineEvaluator final : public Evaluator {
   std::unique_ptr<ArtifactStore> owned_store_;  ///< engaged by the owning ctor
   ArtifactStore* store_ = nullptr;
   int jobs_ = 1;
+  /// The base session candidates speculate from (owns the shared
+  /// SliceCache; never mutated itself).
+  std::unique_ptr<Session> session_;
+  std::vector<Priority> base_priorities_;  ///< flat, aligned with task_names_
+  std::vector<std::string> task_names_;    ///< dotted "chain.task" per flat index
   mutable std::mutex stats_mutex_;
   EvaluatorStats stats_;
 };

@@ -384,5 +384,157 @@ TEST(Cli, PathUsage) {
   EXPECT_NE(r.err.find("path expects"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// serve subcommand (NDJSON session server; see cli/serve.hpp)
+// ---------------------------------------------------------------------------
+
+/// Escapes a system description into a JSON string literal body.
+std::string json_escaped(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  for (std::string line; std::getline(stream, line);) lines.push_back(line);
+  return lines;
+}
+
+TEST(Cli, ServeFullConversation) {
+  const std::string conversation =
+      "{\"id\":1,\"type\":\"open_session\",\"session\":\"s\",\"system\":\"" +
+      json_escaped(case_study_text()) +
+      "\"}\n"
+      R"({"id":2,"type":"query","session":"s","queries":[{"kind":"latency","chain":"sigma_c"},{"kind":"dmm","chain":"sigma_c","ks":[76]}]})"
+      "\n"
+      R"({"id":3,"type":"apply_delta","session":"s","deltas":[{"kind":"set_deadline","chain":"sigma_c","deadline":500}]})"
+      "\n"
+      R"({"id":4,"type":"query","session":"s","queries":[{"kind":"weakly_hard","chain":"sigma_c","m":2,"k":76}]})"
+      "\n"
+      R"({"id":5,"type":"diagnostics","session":"s"})"
+      "\n"
+      R"({"id":6,"type":"close","session":"s"})"
+      "\n";
+  const CliRun r = invoke({"serve"}, conversation);
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+
+  const std::vector<std::string> lines = lines_of(r.out);
+  ASSERT_EQ(lines.size(), 6u) << r.out;
+  EXPECT_NE(lines[0].find(R"("status":"ok","system":"date17_case_study")"), std::string::npos);
+  EXPECT_NE(lines[1].find(R"("query":"latency")"), std::string::npos);
+  EXPECT_NE(lines[1].find(R"("wcl":331)"), std::string::npos);
+  EXPECT_NE(lines[1].find(R"("dmm":4)"), std::string::npos);  // dmm_sigma_c(76) = 4
+  EXPECT_NE(lines[2].find(R"("revision":1)"), std::string::npos);
+  EXPECT_NE(lines[3].find(R"("query":"weakly_hard")"), std::string::npos);
+  EXPECT_NE(lines[4].find(R"("queries_served":3)"), std::string::npos);
+  EXPECT_NE(lines[4].find(R"("sessions_open":1)"), std::string::npos);
+  EXPECT_NE(lines[5].find(R"("type":"close","session":"s","status":"ok")"), std::string::npos);
+}
+
+TEST(Cli, ServePerRequestErrorsNeverExitNonZero) {
+  // The serve-mode exit-code contract: malformed lines, unknown
+  // sessions, bad deltas and failing queries are all JSON responses on
+  // the stream; the process still exits 0 at EOF.
+  const std::string conversation =
+      "this is not json\n"
+      R"({"id":1,"type":"query","session":"ghost","queries":[]})"
+      "\n"
+      "{\"id\":2,\"type\":\"open_session\",\"session\":\"s\",\"system\":\"" +
+      json_escaped(case_study_text()) +
+      "\"}\n"
+      R"({"id":3,"type":"open_session","session":"s","system":"system x"})"
+      "\n"
+      R"({"id":4,"type":"apply_delta","session":"s","deltas":[{"kind":"remove_chain","chain":"nope"}]})"
+      "\n"
+      R"({"id":5,"type":"query","session":"s","queries":[{"kind":"latency","chain":"nope"}]})"
+      "\n"
+      R"({"id":6,"type":"open_session","session":"bad","system":"system x\nbogus"})"
+      "\n";
+  const CliRun r = invoke({"serve"}, conversation);
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+
+  const std::vector<std::string> lines = lines_of(r.out);
+  ASSERT_EQ(lines.size(), 7u) << r.out;
+  EXPECT_NE(lines[0].find(R"("type":"error","status":"parse-error")"), std::string::npos);
+  EXPECT_NE(lines[1].find(R"("status":"not-found")"), std::string::npos);
+  EXPECT_NE(lines[2].find(R"("status":"ok")"), std::string::npos);
+  EXPECT_NE(lines[3].find("already open"), std::string::npos);
+  EXPECT_NE(lines[4].find(R"("status":"not-found")"), std::string::npos);
+  // A failing query is a structured per-query status inside an OK
+  // response, exactly like analyze --json.
+  EXPECT_NE(lines[5].find(R"("status":"ok")"), std::string::npos);
+  EXPECT_NE(lines[5].find(R"("status":"not-found")"), std::string::npos);
+  EXPECT_NE(lines[6].find(R"("status":"parse-error")"), std::string::npos);
+}
+
+TEST(Cli, ServeSessionsAreIncrementalAcrossDeltas) {
+  // Same query before and after a priority-swap delta: the second query
+  // response must show busy-window hits (only the touched slices were
+  // re-keyed) — the incrementality is visible on the wire.
+  const std::string conversation =
+      "{\"id\":1,\"type\":\"open_session\",\"session\":\"s\",\"system\":\"" +
+      json_escaped(case_study_text()) +
+      "\"}\n"
+      R"({"id":2,"type":"query","session":"s","queries":[{"kind":"latency","chain":"sigma_c"},{"kind":"latency","chain":"sigma_d"}]})"
+      "\n"
+      R"({"id":3,"type":"apply_delta","session":"s","deltas":[{"kind":"set_priority","task":"sigma_c.tau1_c","priority":7},{"kind":"set_priority","task":"sigma_c.tau2_c","priority":8}]})"
+      "\n"
+      R"({"id":4,"type":"query","session":"s","queries":[{"kind":"latency","chain":"sigma_c"},{"kind":"latency","chain":"sigma_d"}]})"
+      "\n";
+  const CliRun r = invoke({"serve"}, conversation);
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const std::vector<std::string> lines = lines_of(r.out);
+  ASSERT_EQ(lines.size(), 4u) << r.out;
+  EXPECT_NE(lines[3].find(R"("revision":1)"), std::string::npos);
+  // The re-query after the swap reuses untouched chains' artifacts.
+  EXPECT_NE(lines[3].find(R"("cache_hits":)"), std::string::npos);
+  EXPECT_EQ(lines[3].find(R"("cache_hits":0,)"), std::string::npos) << lines[3];
+}
+
+TEST(Cli, ServeShutdownMessageEndsTheLoop) {
+  const std::string conversation =
+      R"({"id":1,"type":"shutdown"})"
+      "\n"
+      R"({"id":2,"type":"diagnostics","session":"s"})"
+      "\n";
+  const CliRun r = invoke({"serve"}, conversation);
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const std::vector<std::string> lines = lines_of(r.out);
+  // Nothing after the shutdown acknowledgement is processed.
+  ASSERT_EQ(lines.size(), 1u) << r.out;
+  EXPECT_NE(lines[0].find(R"("type":"shutdown","status":"ok")"), std::string::npos);
+}
+
+TEST(Cli, ServeUsageErrors) {
+  const CliRun positional = invoke({"serve", "file.wharf"});
+  EXPECT_EQ(positional.exit_code, 1);
+  EXPECT_NE(positional.err.find("no positional"), std::string::npos);
+
+  const CliRun bad_port = invoke({"serve", "--listen", "notaport"});
+  EXPECT_EQ(bad_port.exit_code, 1);
+  EXPECT_NE(bad_port.err.find("invalid --listen"), std::string::npos);
+
+  const CliRun bad_jobs = invoke({"serve", "--jobs", "-3"});
+  EXPECT_EQ(bad_jobs.exit_code, 1);
+}
+
+TEST(Cli, HelpDocumentsServeExitCodes) {
+  const CliRun help = invoke({"help"});
+  EXPECT_EQ(help.exit_code, 0);
+  EXPECT_NE(help.out.find("wharf serve"), std::string::npos);
+  EXPECT_NE(help.out.find("4 transport failure"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace wharf::cli

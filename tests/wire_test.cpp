@@ -1,0 +1,251 @@
+// Tests for the serve-mode wire protocol (io/wire.hpp): the minimal
+// JSON reader, request parsing for every message/delta/query kind,
+// response framing, and the TCP transport (cli/serve.hpp) over a real
+// loopback socket.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/serve.hpp"
+#include "engine/engine.hpp"
+#include "io/wire.hpp"
+
+namespace wharf::io {
+namespace {
+
+// ---------------------------------------------------------------------
+// JSON reader
+// ---------------------------------------------------------------------
+
+TEST(WireJson, ParsesScalarsContainersAndEscapes) {
+  const JsonValue v = parse_json(
+      R"({"int":-42,"float":2.5,"bool":true,"none":null,)"
+      R"("text":"a\"b\\c\ndA","list":[1,2,3],"nested":{"k":[{"x":1}]}})");
+  EXPECT_EQ(v.at("int").as_int(), -42);
+  EXPECT_DOUBLE_EQ(v.at("float").as_double(), 2.5);
+  EXPECT_TRUE(v.at("bool").as_bool());
+  EXPECT_TRUE(v.at("none").is_null());
+  EXPECT_EQ(v.at("text").as_string(), "a\"b\\c\ndA");
+  ASSERT_EQ(v.at("list").items().size(), 3u);
+  EXPECT_EQ(v.at("list").items()[2].as_int(), 3);
+  EXPECT_EQ(v.at("nested").at("k").items()[0].at("x").as_int(), 1);
+  EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(WireJson, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)parse_json(""), ParseError);
+  EXPECT_THROW((void)parse_json("{"), ParseError);
+  EXPECT_THROW((void)parse_json("{\"a\":1,}"), ParseError);
+  EXPECT_THROW((void)parse_json("[1 2]"), ParseError);
+  EXPECT_THROW((void)parse_json("\"unterminated"), ParseError);
+  EXPECT_THROW((void)parse_json("{\"a\":1} trailing"), ParseError);
+  EXPECT_THROW((void)parse_json("nul"), ParseError);
+  // Malformed numbers are rejected whole, never prefix-truncated.
+  EXPECT_THROW((void)parse_json("{\"a\":1.2.3}"), ParseError);
+  EXPECT_THROW((void)parse_json("{\"a\":1e2e3}"), ParseError);
+  EXPECT_THROW((void)parse_json("{\"a\":--4}"), ParseError);
+}
+
+TEST(WireJson, AccessorsEnforceKinds) {
+  const JsonValue v = parse_json(R"({"s":"x","n":1.5})");
+  EXPECT_THROW((void)v.at("s").as_int(), InvalidArgument);
+  EXPECT_THROW((void)v.at("n").as_int(), InvalidArgument);  // not integral
+  EXPECT_THROW((void)v.at("s").items(), InvalidArgument);
+  EXPECT_THROW((void)v.at("missing"), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// Request parsing
+// ---------------------------------------------------------------------
+
+TEST(WireRequests, ParsesEveryMessageKind) {
+  const Expected<WireRequest> open = parse_request(
+      R"({"id":7,"type":"open_session","session":"s","system":"system x\nchain a ..."})");
+  ASSERT_TRUE(open) << open.status().to_string();
+  EXPECT_EQ(open.value().kind, WireKind::kOpenSession);
+  EXPECT_EQ(open.value().id, 7);
+  EXPECT_TRUE(open.value().has_id);
+  EXPECT_EQ(open.value().session, "s");
+  EXPECT_EQ(open.value().system_text, "system x\nchain a ...");
+
+  const Expected<WireRequest> deltas = parse_request(
+      R"({"type":"apply_delta","session":"s","deltas":[)"
+      R"({"kind":"set_priority","task":"a.t","priority":3},)"
+      R"({"kind":"set_wcet","task":"a.t","wcet":9},)"
+      R"({"kind":"set_deadline","chain":"a","deadline":100},)"
+      R"({"kind":"set_deadline","chain":"a","deadline":null},)"
+      R"x({"kind":"set_arrival","chain":"a","arrival":"periodic(200)"},)x"
+      R"({"kind":"add_chain","chain":"chain z kind=sync activation=periodic(100)\n  task z1 prio=9 wcet=5"},)"
+      R"({"kind":"remove_chain","chain":"a"}]})");
+  ASSERT_TRUE(deltas) << deltas.status().to_string();
+  ASSERT_EQ(deltas.value().deltas.size(), 7u);
+  EXPECT_FALSE(deltas.value().has_id);
+  EXPECT_EQ(std::get<SetPriorityDelta>(deltas.value().deltas[0]).priority, 3);
+  EXPECT_EQ(std::get<SetWcetDelta>(deltas.value().deltas[1]).wcet, 9);
+  EXPECT_EQ(std::get<SetDeadlineDelta>(deltas.value().deltas[2]).deadline,
+            std::optional<Time>(100));
+  EXPECT_FALSE(std::get<SetDeadlineDelta>(deltas.value().deltas[3]).deadline.has_value());
+  EXPECT_EQ(std::get<SetArrivalDelta>(deltas.value().deltas[4]).arrival, "periodic(200)");
+  EXPECT_EQ(std::get<AddChainDelta>(deltas.value().deltas[5]).chain.name(), "z");
+  EXPECT_EQ(std::get<RemoveChainDelta>(deltas.value().deltas[6]).chain, "a");
+
+  const Expected<WireRequest> queries = parse_request(
+      R"({"type":"query","session":"s","queries":[)"
+      R"({"kind":"latency","chain":"a","without_overload":true},)"
+      R"({"kind":"dmm","chain":"a","ks":[1,10]},)"
+      R"({"kind":"weakly_hard","chain":"a","m":1,"k":20},)"
+      R"({"kind":"simulation","horizon":5000,"seed":3,"cross_validate":false},)"
+      R"({"kind":"priority_search","strategy":"random","budget":10,"seed":4},)"
+      R"({"kind":"path_latency","chains":["a","b"]},)"
+      R"({"kind":"path_dmm","chains":["a","b"],"deadline":300,"budgets":[100,200],"ks":[5]}]})");
+  ASSERT_TRUE(queries) << queries.status().to_string();
+  ASSERT_EQ(queries.value().queries.size(), 7u);
+  EXPECT_TRUE(std::get<LatencyQuery>(queries.value().queries[0]).without_overload);
+  EXPECT_EQ(std::get<DmmQuery>(queries.value().queries[1]).ks, (std::vector<Count>{1, 10}));
+  EXPECT_EQ(std::get<WeaklyHardQuery>(queries.value().queries[2]).k, 20);
+  EXPECT_EQ(std::get<SimulationQuery>(queries.value().queries[3]).horizon, 5000);
+  EXPECT_FALSE(std::get<SimulationQuery>(queries.value().queries[3]).cross_validate);
+  EXPECT_EQ(std::get<PrioritySearchQuery>(queries.value().queries[4]).strategy,
+            PrioritySearchQuery::Strategy::kRandom);
+  EXPECT_EQ(std::get<PathLatencyQuery>(queries.value().queries[5]).chains.size(), 2u);
+  EXPECT_EQ(std::get<PathDmmQuery>(queries.value().queries[6]).deadline, 300);
+  EXPECT_EQ(std::get<PathDmmQuery>(queries.value().queries[6]).budgets,
+            (std::vector<Time>{100, 200}));
+
+  for (const char* line : {R"({"type":"diagnostics","session":"s"})",
+                           R"({"type":"close","session":"s"})", R"({"type":"shutdown"})"}) {
+    const Expected<WireRequest> r = parse_request(line);
+    EXPECT_TRUE(r) << line << ": " << r.status().to_string();
+  }
+}
+
+TEST(WireRequests, MalformedRequestsAreStatusesNotThrows) {
+  const struct {
+    const char* line;
+    StatusCode code;
+  } cases[] = {
+      {"not json", StatusCode::kParseError},
+      {R"({"type":"frobnicate","session":"s"})", StatusCode::kInvalidArgument},
+      {R"({"type":"open_session"})", StatusCode::kInvalidArgument},       // no session
+      {R"({"type":"open_session","session":""})", StatusCode::kInvalidArgument},
+      {R"({"type":"open_session","session":"s"})", StatusCode::kInvalidArgument},  // no system
+      {R"({"type":"apply_delta","session":"s","deltas":[{"kind":"warp"}]})",
+       StatusCode::kInvalidArgument},
+      {R"({"type":"query","session":"s","queries":[{"kind":"psychic"}]})",
+       StatusCode::kInvalidArgument},
+      {R"({"type":"query","session":"s","queries":[{"kind":"priority_search","strategy":"quantum"}]})",
+       StatusCode::kInvalidArgument},
+  };
+  for (const auto& c : cases) {
+    const Expected<WireRequest> r = parse_request(c.line);
+    ASSERT_FALSE(r.has_value()) << c.line;
+    EXPECT_EQ(r.status().code(), c.code) << c.line << " -> " << r.status().to_string();
+  }
+}
+
+TEST(WireResponses, FrameEnvelopeAndExtras) {
+  WireRequest request;
+  request.kind = WireKind::kApplyDelta;
+  request.id = 11;
+  request.has_id = true;
+  request.session = "s1";
+
+  const std::string ok = wire_response(request, Status::ok(), [](JsonWriter& w) {
+    w.key("revision");
+    w.value(3);
+  });
+  EXPECT_EQ(ok, R"({"id":11,"type":"apply_delta","session":"s1","status":"ok","revision":3})");
+
+  const std::string error =
+      wire_response(request, Status::not_found("unknown session 's1'"));
+  EXPECT_EQ(
+      error,
+      R"({"id":11,"type":"apply_delta","session":"s1","status":"not-found","reason":"unknown session 's1'"})");
+
+  EXPECT_EQ(wire_protocol_error(Status::parse_error("bad line")),
+            R"({"type":"error","status":"parse-error","reason":"bad line"})");
+}
+
+// ---------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------
+
+/// Sends `payload` to 127.0.0.1:`port`, half-closes, and drains the
+/// response until EOF.
+std::string roundtrip_tcp(int port, const std::string& payload) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0)
+      << std::strerror(errno);
+
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n = ::send(fd, payload.data() + sent, payload.size() - sent, 0);
+    if (n <= 0) {
+      ADD_FAILURE() << "send(): " << std::strerror(errno);
+      break;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+
+  std::string out;
+  char buffer[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n <= 0) break;
+    out.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(WireTcp, ListenerServesAConversationAndShutsDown) {
+  Engine engine;
+  int port = 0;
+  const Expected<int> listener = cli::bind_serve_socket(0, port);
+  ASSERT_TRUE(listener) << listener.status().to_string();
+  ASSERT_GT(port, 0);
+
+  int exit_code = -1;
+  std::ostringstream err;
+  std::thread server([&] { exit_code = cli::serve_listener(engine, listener.value(), err); });
+
+  const std::string conversation =
+      R"({"id":1,"type":"open_session","session":"s","system":"system t\nchain a kind=sync activation=periodic(100) deadline=90\n  task a1 prio=1 wcet=10\n"})"
+      "\n"
+      R"({"id":2,"type":"query","session":"s","queries":[{"kind":"dmm","chain":"a","ks":[5]}]})"
+      "\n"
+      R"({"id":3,"type":"shutdown"})"
+      "\n";
+  const std::string transcript = roundtrip_tcp(port, conversation);
+  server.join();
+
+  EXPECT_EQ(exit_code, 0) << err.str();
+  std::vector<std::string> lines;
+  std::istringstream stream(transcript);
+  for (std::string line; std::getline(stream, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u) << transcript;
+  EXPECT_NE(lines[0].find(R"("id":1)"), std::string::npos);
+  EXPECT_NE(lines[0].find(R"("status":"ok")"), std::string::npos);
+  EXPECT_NE(lines[1].find(R"("report":{"system":"t")"), std::string::npos);
+  EXPECT_NE(lines[1].find(R"("dmm":0)"), std::string::npos);
+  EXPECT_NE(lines[2].find(R"("type":"shutdown","status":"ok")"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wharf::io
