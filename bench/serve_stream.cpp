@@ -57,22 +57,6 @@ System sweep_base() {
   return gen::random_system(spec, rng, "serve_sweep");
 }
 
-std::string json_escaped(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 16);
-  for (const char c : text) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (c == '\n') {
-      out += "\\n";
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
 /// One random pairwise priority swap per step, as (flat index, flat
 /// index) pairs over the base task order.
 std::vector<std::pair<std::size_t, std::size_t>> sweep_swaps(const System& base, int steps,
@@ -126,7 +110,7 @@ StreamOutcome run_warm(const System& base,
   int id = 0;
   conversation << R"({"id":)" << ++id
                << R"(,"type":"open_session","session":"s","system":")"
-               << json_escaped(io::serialize_system(base)) << "\"}\n";
+               << io::json_escape(io::serialize_system(base)) << "\"}\n";
   std::vector<Priority> flat = base.flat_priorities();
   for (const auto& [i, j] : swaps) {
     conversation << R"({"id":)" << ++id
@@ -171,7 +155,7 @@ StreamOutcome run_cold(const System& base,
     const System mutated = base.with_priorities(flat);
     std::ostringstream conversation;
     conversation << R"({"id":1,"type":"open_session","session":"s","system":")"
-                 << json_escaped(io::serialize_system(mutated)) << "\"}\n"
+                 << io::json_escape(io::serialize_system(mutated)) << "\"}\n"
                  << query_line(2) << '\n'
                  << R"({"id":3,"type":"close","session":"s"})" << '\n';
 

@@ -4,6 +4,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -41,20 +42,26 @@ usage:
                  [--restarts R] [--max-permutations N] [--seed S] [--json]
                  [--jobs N] [--cache-bytes N]
   wharf serve    [--jobs N] [--cache-bytes N] [--listen PORT]
+                 [--max-connections N]
   wharf validate <file>
   wharf help
 
 <file> is a system description (see io/system_format.hpp); '-' reads stdin.
+any subcommand accepts --help (print this text, exit 0).
 exit codes: 0 ok; 1 usage error; 2 input error; 3 analysis gave no guarantee.
 
-serve: a long-lived NDJSON request/response loop over stdin/stdout (or a
-127.0.0.1 TCP socket with --listen; port 0 picks one) speaking
-{open_session, apply_delta, query, diagnostics, close, shutdown} against
-incremental analysis sessions (see README "Sessions & serve protocol").
+serve: a long-lived NDJSON request/response loop over stdin/stdout, or a
+127.0.0.1 TCP socket with --listen (port 0 picks one) serving multiple
+concurrent connections — one thread per connection, at most
+--max-connections at a time (default: hardware threads), all sharing one
+engine and artifact store — speaking {open_session, apply_delta, query,
+diagnostics, close, shutdown} against incremental analysis sessions
+(spec: docs/serve-protocol.md).
+serve exit codes: 0 clean shutdown or EOF; 1 usage error; 4 transport failure
+(cannot bind/listen/accept, or broken stdio output).
 Per-request errors (malformed JSON, unknown session, bad delta/query)
-are JSON error responses on the stream and never exit the process; serve
-exit codes: 0 clean shutdown or EOF; 1 usage error; 4 transport failure
-(bind/accept error, broken output stream).
+are JSON error responses on the stream, and one client's transport
+failure ends only that connection: neither ever exits the server.
 )";
 
 /// Parsed --key value / --flag options plus positional arguments.
@@ -74,7 +81,7 @@ bool option_takes_value(const std::string& name) {
          name == "--extra-gap" || name == "--gantt" || name == "--strategy" ||
          name == "--budget" || name == "--restarts" || name == "--max-permutations" ||
          name == "--jobs" || name == "--cache-bytes" || name == "--deadline" ||
-         name == "--budgets" || name == "--listen";
+         name == "--budgets" || name == "--listen" || name == "--max-connections";
 }
 
 bool parse_options(const std::vector<std::string>& args, std::size_t first, Options& out,
@@ -510,7 +517,17 @@ int cmd_serve_dispatch(const Options& options, std::istream& in, std::ostream& o
     }
     listen_port = static_cast<int>(port);
   }
-  return cmd_serve(jobs, cache_bytes, listen_port, in, out, err);
+  int max_connections = 0;  // 0 = hardware_concurrency
+  if (options.has("--max-connections")) {
+    long long value = 0;
+    if (!util::parse_int64(options.get("--max-connections", ""), value) || value < 1 ||
+        value > std::numeric_limits<int>::max()) {
+      err << "invalid --max-connections: '" << options.get("--max-connections", "") << "'\n";
+      return kUsageError;
+    }
+    max_connections = static_cast<int>(value);
+  }
+  return cmd_serve(jobs, cache_bytes, listen_port, max_connections, in, out, err);
 }
 
 int cmd_validate(const Options& options, std::istream& in, std::ostream& out, std::ostream& err) {
@@ -532,6 +549,15 @@ int run(const std::vector<std::string>& args, std::istream& in, std::ostream& ou
   if (args.empty() || args[0] == "help" || args[0] == "--help" || args[0] == "-h") {
     out << kUsage;
     return args.empty() ? kUsageError : kOk;
+  }
+  // `wharf <subcommand> --help` prints the usage (with the exit-code
+  // contract) and exits 0 — it must never run the subcommand (a serve
+  // invocation would otherwise sit reading stdin).
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--help" || args[i] == "-h") {
+      out << kUsage;
+      return kOk;
+    }
   }
   Options options;
   if (!parse_options(args, 1, options, err)) return kUsageError;

@@ -5,12 +5,16 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <condition_variable>
 #include <cstring>
 #include <istream>
+#include <list>
 #include <map>
+#include <mutex>
 #include <ostream>
-#include <streambuf>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "engine/session.hpp"
@@ -27,9 +31,11 @@ namespace {
 // ---------------------------------------------------------------------
 
 /// The per-conversation state: named sessions over the engine's shared
-/// store.
+/// store.  One conversation belongs to one connection thread — sessions
+/// are never shared across connections; the ArtifactStore underneath is.
 struct Conversation {
   Engine* engine = nullptr;
+  const ServeTelemetry* server = nullptr;
   std::map<std::string, Session> sessions;
 };
 
@@ -90,7 +96,7 @@ std::string handle_open(Conversation& conversation, const io::WireRequest& reque
   const Expected<System> system = capture([&] { return io::parse_system(request.system_text); });
   if (!system) return io::wire_response(request, system.status());
 
-  Session session = conversation.engine->open_session(system.value());
+  Session session = conversation.engine->open_session(system.value(), request.options);
   const int chains = session.system().size();
   const int tasks = session.system().task_count();
   conversation.sessions.emplace(request.session, std::move(session));
@@ -148,6 +154,10 @@ std::string handle_diagnostics(Conversation& conversation, const io::WireRequest
   }
   const SessionStats stats = session->stats();
   const ArtifactStore::Stats store = conversation.engine->store_stats();
+  std::size_t shared_flights = 0;
+  for (const ArtifactStore::StageStats& stage : store.stage) {
+    shared_flights += stage.flights_shared;
+  }
   return io::wire_response(request, Status::ok(), [&](io::JsonWriter& w) {
     write_session_stats(w, stats);
     w.key("engine_store");
@@ -158,9 +168,23 @@ std::string handle_diagnostics(Conversation& conversation, const io::WireRequest
     w.value(static_cast<long long>(store.resident_bytes));
     w.key("evictions");
     w.value(static_cast<long long>(store.evictions));
+    // Engine-lifetime single-flight joins from any source — batch
+    // workers, sibling sessions, other connections (each session's own
+    // share is the "shared" counter of its stats above).
+    w.key("shared_flights");
+    w.value(static_cast<long long>(shared_flights));
     w.end_object();
     w.key("sessions_open");
     w.value(static_cast<long long>(conversation.sessions.size()));
+    if (conversation.server != nullptr) {
+      w.key("server");
+      w.begin_object();
+      w.key("connections_active");
+      w.value(conversation.server->connections_active.load(std::memory_order_relaxed));
+      w.key("connections_served");
+      w.value(conversation.server->connections_served.load(std::memory_order_relaxed));
+      w.end_object();
+    }
   });
 }
 
@@ -197,62 +221,42 @@ std::string handle_request(Conversation& conversation, const io::WireRequest& re
 }
 
 // ---------------------------------------------------------------------
-// TCP plumbing
+// Connection pool
 // ---------------------------------------------------------------------
 
-/// A minimal bidirectional streambuf over a connected socket fd (owned:
-/// closed on destruction).
-class FdStreambuf final : public std::streambuf {
- public:
-  explicit FdStreambuf(int fd) : fd_(fd) {
-    setg(in_, in_, in_);
-    setp(out_, out_ + sizeof out_);
-  }
-
-  ~FdStreambuf() override {
-    sync();
-    ::close(fd_);
-  }
-
-  FdStreambuf(const FdStreambuf&) = delete;
-  FdStreambuf& operator=(const FdStreambuf&) = delete;
-
- protected:
-  int_type underflow() override {
-    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
-    const ssize_t n = ::read(fd_, in_, sizeof in_);
-    if (n <= 0) return traits_type::eof();
-    setg(in_, in_, in_ + n);
-    return traits_type::to_int_type(*gptr());
-  }
-
-  int_type overflow(int_type ch) override {
-    if (flush_out() != 0) return traits_type::eof();
-    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
-      *pptr() = traits_type::to_char_type(ch);
-      pbump(1);
-    }
-    return traits_type::not_eof(ch);
-  }
-
-  int sync() override { return flush_out(); }
-
- private:
-  int flush_out() {
-    const char* p = pbase();
-    while (p < pptr()) {
-      const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
-      if (n <= 0) return -1;
-      p += n;
-    }
-    setp(out_, out_ + sizeof out_);
-    return 0;
-  }
-
-  int fd_;
-  char in_[4096];
-  char out_[4096];
+/// Shared state of one listener: the shutdown latch and the bounded
+/// connection-slot accounting the accept loop blocks on.
+struct ListenerState {
+  std::atomic<bool> shutdown{false};
+  std::mutex mutex;
+  std::condition_variable slot_cv;
+  int active = 0;  ///< guarded by mutex (the cv predicate)
 };
+
+/// One accepted connection: its serving thread plus a done flag the
+/// accept loop uses to reap finished threads without blocking.
+struct Connection {
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+
+/// Joins and erases every finished connection (keeps the pool list
+/// bounded by the number of *live* connections on long-running servers).
+void reap_finished(std::list<Connection>& connections) {
+  for (auto it = connections.begin(); it != connections.end();) {
+    if (it->done.load(std::memory_order_acquire)) {
+      it->thread.join();
+      it = connections.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int default_max_connections() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int>(hw);
+}
 
 }  // namespace
 
@@ -260,9 +264,12 @@ class FdStreambuf final : public std::streambuf {
 // Public surface
 // ---------------------------------------------------------------------
 
-bool serve_stream(Engine& engine, std::istream& in, std::ostream& out) {
+bool serve_stream(Engine& engine, std::istream& in, std::ostream& out,
+                  const ServeTelemetry* server) {
   Conversation conversation;
   conversation.engine = &engine;
+  conversation.server = server;
+  io::FramedWriter writer(out);
 
   std::string line;
   bool shutdown = false;
@@ -277,8 +284,13 @@ bool serve_stream(Engine& engine, std::istream& in, std::ostream& out) {
     } else {
       response = handle_request(conversation, request.value(), shutdown);
     }
-    out << response << '\n';
-    out.flush();
+    if (!writer.write_line(response)) {
+      // The client is gone (or the pipe broke): a transport failure of
+      // *this* conversation only — never a process exit.  A shutdown
+      // request was accepted the moment it parsed, though: it still
+      // stops the server even when its acknowledgment was unwritable.
+      return shutdown;
+    }
   }
   return shutdown;
 }
@@ -300,7 +312,9 @@ Expected<int> bind_serve_socket(int port, int& bound_port) {
     ::close(fd);
     return status;
   }
-  if (::listen(fd, 1) != 0) {
+  // The backlog queues clients beyond --max-connections instead of
+  // refusing them; SOMAXCONN lets the kernel cap it.
+  if (::listen(fd, SOMAXCONN) != 0) {
     const Status status = Status::internal(util::cat("listen(): ", std::strerror(errno)));
     ::close(fd);
     return status;
@@ -316,29 +330,92 @@ Expected<int> bind_serve_socket(int port, int& bound_port) {
   return fd;
 }
 
-int serve_listener(Engine& engine, int listener_fd, std::ostream& err) {
-  bool shutdown = false;
-  while (!shutdown) {
+int serve_listener(Engine& engine, int listener_fd, int max_connections, std::ostream& err) {
+  if (max_connections <= 0) max_connections = default_max_connections();
+
+  ListenerState state;
+  ServeTelemetry telemetry;
+  std::list<Connection> connections;
+  int result = 0;
+
+  while (true) {
+    {
+      // Bound the pool: accept only when a connection slot is free (a
+      // queued client waits in the listen backlog, never dropped).
+      std::unique_lock<std::mutex> lock(state.mutex);
+      state.slot_cv.wait(lock, [&] {
+        return state.active < max_connections || state.shutdown.load(std::memory_order_acquire);
+      });
+    }
+    if (state.shutdown.load(std::memory_order_acquire)) break;
+    reap_finished(connections);
+
     const int client = ::accept(listener_fd, nullptr, nullptr);
     if (client < 0) {
+      if (state.shutdown.load(std::memory_order_acquire)) break;  // woken by shutdown
+      if (errno == EINTR || errno == ECONNABORTED) continue;
       err << "serve: accept(): " << std::strerror(errno) << "\n";
-      ::close(listener_fd);
-      return kTransportError;
+      result = kTransportError;
+      break;
     }
-    FdStreambuf buffer(client);
-    std::istream in(&buffer);
-    std::ostream out(&buffer);
-    shutdown = serve_stream(engine, in, out);
+    if (state.shutdown.load(std::memory_order_acquire)) {
+      // Shutdown raced the accept: stop accepting, drop the newcomer.
+      ::close(client);
+      break;
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(state.mutex);
+      ++state.active;
+    }
+    telemetry.connections_served.fetch_add(1, std::memory_order_relaxed);
+    telemetry.connections_active.fetch_add(1, std::memory_order_relaxed);
+
+    connections.emplace_back();
+    Connection& connection = connections.back();
+    connection.thread = std::thread([&engine, &state, &telemetry, &connection, client,
+                                     listener_fd] {
+      {
+        io::FdStreambuf buffer(client);
+        std::istream in(&buffer);
+        std::ostream out(&buffer);
+        if (serve_stream(engine, in, out, &telemetry)) {
+          // This client asked for shutdown: latch it and kick the
+          // accept loop awake (the listener stops accepting; sibling
+          // connections drain at their own pace).
+          state.shutdown.store(true, std::memory_order_release);
+          ::shutdown(listener_fd, SHUT_RDWR);
+        }
+      }
+      telemetry.connections_active.fetch_sub(1, std::memory_order_relaxed);
+      {
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        --state.active;
+      }
+      connection.done.store(true, std::memory_order_release);
+      state.slot_cv.notify_all();
+    });
+  }
+
+  // Drain: every live connection keeps being served until its client
+  // disconnects or asks for shutdown; only then does the process exit.
+  for (Connection& connection : connections) {
+    if (connection.thread.joinable()) connection.thread.join();
   }
   ::close(listener_fd);
-  return 0;
+  return result;
 }
 
-int cmd_serve(int jobs, std::size_t cache_bytes, int listen_port, std::istream& in,
-              std::ostream& out, std::ostream& err) {
+int cmd_serve(int jobs, std::size_t cache_bytes, int listen_port, int max_connections,
+              std::istream& in, std::ostream& out, std::ostream& err) {
   Engine engine{EngineOptions{jobs, cache_bytes}};
   if (listen_port < 0) {
-    serve_stream(engine, in, out);
+    // stdio mode is one implicit connection; diagnostics still report
+    // the server object so the response shape matches TCP mode.
+    ServeTelemetry telemetry;
+    telemetry.connections_served.store(1, std::memory_order_relaxed);
+    telemetry.connections_active.store(1, std::memory_order_relaxed);
+    serve_stream(engine, in, out, &telemetry);
     if (out.fail()) {
       err << "serve: output stream failed\n";
       return kTransportError;
@@ -354,7 +431,7 @@ int cmd_serve(int jobs, std::size_t cache_bytes, int listen_port, std::istream& 
   }
   err << "serve: listening on 127.0.0.1:" << bound_port << "\n";
   err.flush();
-  return serve_listener(engine, listener.value(), err);
+  return serve_listener(engine, listener.value(), max_connections, err);
 }
 
 }  // namespace wharf::cli

@@ -1,25 +1,34 @@
 /// \file serve.hpp
 /// `wharf serve`: the long-lived NDJSON request/response server over the
 /// session API (io/wire.hpp speaks the protocol, engine/session.hpp does
-/// the work).
+/// the work).  The full protocol specification lives in
+/// docs/serve-protocol.md.
 ///
 /// Transport modes:
 ///  * stdio (default) — one conversation on stdin/stdout until EOF or a
 ///    shutdown request;
-///  * TCP (`--listen PORT`) — 127.0.0.1 socket, one connection served at
-///    a time (sessions are per connection; the engine's artifact store
-///    persists across connections, so repeat clients start warm).
+///  * TCP (`--listen PORT`) — 127.0.0.1 socket serving **multiple
+///    concurrent connections** (connection-per-thread, bounded by
+///    `--max-connections`).  Each connection owns its sessions; all
+///    connections share one Engine/ArtifactStore, so identical lookups
+///    from different clients coalesce through the store's single-flight
+///    table and repeat clients start warm.
 ///
 /// Exit-code contract (the serve-mode consistency rule): a *per-request*
 /// error — malformed JSON line, unknown session, failing delta, bad
 /// query — is answered with a JSON error response on the stream and the
 /// server keeps going; the process exits non-zero only for usage errors
-/// (1) and transport failures (4: cannot bind/accept, broken output
-/// stream).  Clean EOF and client-requested shutdown exit 0.
+/// (1) and transport failures (4: cannot bind/listen/accept, or the
+/// stdio output stream broke).  One client's transport failure — a
+/// disconnect mid-request, an unwritable socket — terminates only that
+/// connection, never the server.  Clean EOF and client-requested
+/// shutdown (which stops accepting and drains the live connections)
+/// exit 0.
 
 #ifndef WHARF_CLI_SERVE_HPP
 #define WHARF_CLI_SERVE_HPP
 
+#include <atomic>
 #include <cstddef>
 #include <iosfwd>
 #include <string>
@@ -29,26 +38,46 @@
 
 namespace wharf::cli {
 
-/// Exit code for transport failures in serve mode (bind/accept errors,
-/// unwritable output stream).
+/// Exit code for transport failures in serve mode (bind/listen/accept
+/// errors, unwritable stdio output stream).
 inline constexpr int kTransportError = 4;
 
+/// Cross-connection counters of one serve process, surfaced in every
+/// `diagnostics` response.  Thread-safe (plain atomics); shared by all
+/// connection threads of one listener.
+struct ServeTelemetry {
+  std::atomic<long long> connections_served{0};  ///< conversations started
+  std::atomic<int> connections_active{0};        ///< currently live
+};
+
 /// Runs one NDJSON conversation on `in`/`out` (sessions live for the
-/// conversation; `engine` provides store and jobs).  Returns true when
-/// the client requested shutdown, false on plain EOF.
-bool serve_stream(Engine& engine, std::istream& in, std::ostream& out);
+/// conversation; `engine` provides the shared store and jobs; `server`,
+/// when given, is reported in diagnostics responses).  Responses are
+/// written through an io::FramedWriter, and a failing writer ends the
+/// conversation — transport errors stay confined to this stream.
+/// Returns true when the client requested shutdown, false on EOF or
+/// transport failure.  Thread-safe with respect to sibling
+/// conversations: concurrent serve_stream calls may share one `engine`.
+bool serve_stream(Engine& engine, std::istream& in, std::ostream& out,
+                  const ServeTelemetry* server = nullptr);
 
 /// Binds a listening TCP socket on 127.0.0.1:`port` (0 picks an
 /// ephemeral port, reported via `bound_port`).  Returns the listener fd.
 Expected<int> bind_serve_socket(int port, int& bound_port);
 
-/// Accepts and serves connections one at a time until a client requests
-/// shutdown; closes the listener.  Returns 0 or kTransportError.
-int serve_listener(Engine& engine, int listener_fd, std::ostream& err);
+/// Accepts and serves connections concurrently, one thread per
+/// connection, at most `max_connections` at a time (<= 0 means
+/// hardware_concurrency); excess connections queue in the accept
+/// backlog.  A client-requested shutdown stops the accept loop and
+/// drains: live connections keep being served until their clients
+/// disconnect, then the listener closes and 0 is returned.  Returns
+/// kTransportError only when accept() itself fails.
+int serve_listener(Engine& engine, int listener_fd, int max_connections, std::ostream& err);
 
-/// The `wharf serve` subcommand: `listen_port` < 0 means stdio mode.
-int cmd_serve(int jobs, std::size_t cache_bytes, int listen_port, std::istream& in,
-              std::ostream& out, std::ostream& err);
+/// The `wharf serve` subcommand: `listen_port` < 0 means stdio mode;
+/// `max_connections` <= 0 means hardware_concurrency (TCP mode only).
+int cmd_serve(int jobs, std::size_t cache_bytes, int listen_port, int max_connections,
+              std::istream& in, std::ostream& out, std::ostream& err);
 
 }  // namespace wharf::cli
 

@@ -67,6 +67,11 @@ inline constexpr std::size_t kArtifactStageCount = 5;
 /// Short stable stage name ("interference", "busy_window", ...).
 [[nodiscard]] const char* to_string(ArtifactStage stage);
 
+/// The shared staged artifact cache (see the file comment for the key,
+/// weight, epoch and single-flight semantics).  Fully thread-safe: all
+/// methods may be called concurrently — this is the one object every
+/// session, request, search candidate and serve connection of an Engine
+/// shares without external locking.
 class ArtifactStore {
  public:
   /// Default weight budget: 64 MiB of resident artifacts.
@@ -79,8 +84,9 @@ class ArtifactStore {
   /// Starts a new epoch (request/batch boundary) and returns its id.
   std::uint64_t begin_epoch();
 
+  /// A lookup() result: the artifact plus its insertion epoch.
   struct Found {
-    std::shared_ptr<const void> value;
+    std::shared_ptr<const void> value;  ///< type-erased artifact (per stage)
     /// Epoch in which the artifact was inserted (for hit classification).
     std::uint64_t epoch = 0;
   };
@@ -111,8 +117,9 @@ class ArtifactStore {
     kShared,    ///< joined another caller's in-flight computation
   };
 
+  /// A resolve() result: the artifact plus how this caller obtained it.
   struct Resolved {
-    std::shared_ptr<const void> value;
+    std::shared_ptr<const void> value;  ///< type-erased artifact (per stage)
     /// Epoch the artifact was inserted in (meaningful for kResident —
     /// computed/shared artifacts are by definition of this epoch).
     std::uint64_t epoch = 0;
@@ -142,14 +149,17 @@ class ArtifactStore {
     std::size_t resident_entries = 0;
     std::size_t resident_bytes = 0;
   };
+  /// Store-wide totals plus the per-stage StageStats breakdown.
   struct Stats {
-    std::array<StageStats, kArtifactStageCount> stage;
-    std::size_t resident_entries = 0;
-    std::size_t resident_bytes = 0;
-    std::size_t evictions = 0;
+    std::array<StageStats, kArtifactStageCount> stage;  ///< indexed by ArtifactStage
+    std::size_t resident_entries = 0;  ///< artifacts currently resident
+    std::size_t resident_bytes = 0;    ///< their summed weight
+    std::size_t evictions = 0;         ///< lifetime LRU evictions
   };
+  /// A consistent snapshot of the counters (one lock acquisition).
   [[nodiscard]] Stats stats() const;
 
+  /// The configured weight budget in bytes (0 = unlimited).
   [[nodiscard]] std::size_t byte_budget() const { return byte_budget_; }
 
   /// Drops every artifact (counters other than residency are kept).

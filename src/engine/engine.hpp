@@ -126,6 +126,7 @@ struct PathDmmQuery {
   std::vector<Count> ks;            ///< empty means {10}
 };
 
+/// Any one query the Engine (and Session) can answer.
 using Query = std::variant<LatencyQuery, DmmQuery, WeaklyHardQuery, SimulationQuery,
                            PrioritySearchQuery, PathLatencyQuery, PathDmmQuery>;
 
@@ -147,17 +148,20 @@ struct AnalysisRequest {
 // Answers
 // ---------------------------------------------------------------------
 
+/// Answer to a LatencyQuery: the chain's worst-case latency result.
 struct LatencyAnswer {
   std::string chain;
   bool without_overload = false;
   LatencyResult result;
 };
 
+/// Answer to a DmmQuery: the dmm(k) curve over the requested k-grid.
 struct DmmAnswer {
   std::string chain;
   std::vector<DmmResult> curve;  ///< one entry per requested k, in order
 };
 
+/// Answer to a WeaklyHardQuery: dmm(k) compared against the m bound.
 struct WeaklyHardAnswer {
   std::string chain;
   Count m = 0;
@@ -167,7 +171,10 @@ struct WeaklyHardAnswer {
   bool satisfied = false;
 };
 
+/// Answer to a SimulationQuery: observed per-chain statistics plus the
+/// outcome of the analytic cross-validation.
 struct SimulationAnswer {
+  /// Observed statistics of one chain over the simulated horizon.
   struct ChainStats {
     std::string chain;
     Count completed = 0;
@@ -184,6 +191,8 @@ struct SimulationAnswer {
   std::vector<sim::ExecSlice> trace;
 };
 
+/// Answer to a PrioritySearchQuery: the best assignment found and the
+/// store reuse accumulated while scoring candidates.
 struct SearchAnswer {
   search::Objective nominal;  ///< objective of the given assignment
   search::SearchResult result;
@@ -193,11 +202,13 @@ struct SearchAnswer {
   search::EvaluatorStats stats;
 };
 
+/// Answer to a PathLatencyQuery: the composed end-to-end latency bound.
 struct PathLatencyAnswer {
   std::vector<std::string> chains;
   PathLatencyResult result;
 };
 
+/// Answer to a PathDmmQuery: the composed dmm_path(k) curve.
 struct PathDmmAnswer {
   std::vector<std::string> chains;
   std::vector<PathDmmResult> curve;  ///< one entry per requested k, in order
@@ -211,6 +222,7 @@ struct QueryResult {
                SearchAnswer, PathLatencyAnswer, PathDmmAnswer>
       answer;
 
+  /// True iff the query succeeded (an answer alternative is set).
   [[nodiscard]] bool ok() const { return status.is_ok(); }
 };
 
@@ -268,6 +280,7 @@ struct AnalysisReport {
 // Engine
 // ---------------------------------------------------------------------
 
+/// Construction-time knobs of an Engine (immutable afterwards).
 struct EngineOptions {
   /// Worker threads for query evaluation and intra-ILP work stealing;
   /// 1 = sequential, 0 = all hardware threads.
@@ -277,23 +290,30 @@ struct EngineOptions {
   std::size_t cache_bytes = ArtifactStore::kDefaultByteBudget;
 };
 
-/// The facade.  Thread-compatible: one Engine may be shared by callers
-/// of run()/run_batch() from a single thread; the parallelism happens
-/// inside.  The artifact cache persists across calls.
+/// The facade.  Thread-safe: run()/run_batch()/open_session() and the
+/// stats accessors may be called from concurrent threads — `wharf
+/// serve` opens one session per client connection against a single
+/// shared Engine, and identical concurrent lookups coalesce through the
+/// store's single-flight table.  The sessions handed out are themselves
+/// externally synchronized (see engine/session.hpp); the artifact cache
+/// persists across calls and connections.
 class Engine {
  public:
+  /// Builds an engine (worker pool width + artifact-store budget).
   explicit Engine(EngineOptions options = {});
   ~Engine();
 
   Engine(Engine&&) noexcept;
   Engine& operator=(Engine&&) noexcept;
 
+  /// The options the engine was built with.
   [[nodiscard]] const EngineOptions& options() const;
 
   /// Opens a long-lived session on this engine's shared ArtifactStore:
   /// the stateful API for design-space sweeps — apply typed Deltas,
   /// query incrementally (see engine/session.hpp).  The session must
-  /// not outlive the engine.
+  /// not outlive the engine.  Thread-safe; the *returned session* is
+  /// single-caller (externally synchronized).
   [[nodiscard]] Session open_session(System system, TwcaOptions options = {});
 
   /// Answers one request.  A thin one-shot adapter over an ephemeral
@@ -324,12 +344,16 @@ class Engine {
     std::size_t entries = 0;        ///< current resident artifacts
     std::size_t resident_bytes = 0; ///< current resident weight
   };
+  /// Lifetime hit/miss/shared totals plus current residency.  Thread-safe.
   [[nodiscard]] CacheStats cache_stats() const;
 
   /// Full per-stage store statistics (insertions, evictions, admission
-  /// rejections, residency).
+  /// rejections, single-flight joins, residency).  Thread-safe.
   [[nodiscard]] ArtifactStore::Stats store_stats() const;
 
+  /// Drops every cached artifact (telemetry counters are kept).
+  /// Thread-safe, but answers in-flight on other threads may have
+  /// already resolved against the old contents.
   void clear_cache();
 
  private:

@@ -21,11 +21,18 @@
 ///    Engine::analyze/run of the mutated system, for any jobs value and
 ///    any cache budget (Engine::run itself is a thin adapter over an
 ///    ephemeral Session);
-///  * thread-compatible like Engine: one caller at a time drives
-///    apply()/serve(); the parallelism happens inside (serve() spreads
-///    queries over the worker pool).  speculate() sessions are
-///    independent and may be driven concurrently — that is how the
-///    search evaluator scores whole neighborhoods in parallel.
+///  * **external synchronization required**: a Session is a
+///    single-caller object.  One thread (or one externally locked
+///    caller chain) drives apply()/serve()/query(); no member may be
+///    invoked concurrently with another on the same session, stats()
+///    included.  The parallelism happens *inside* (serve() spreads
+///    queries over the worker pool) and *between* sessions: distinct
+///    sessions of one Engine — each `wharf serve` connection's, every
+///    speculate() candidate — may run concurrently without any locking,
+///    sharing artifacts through the store's thread-safe single-flight
+///    resolve.  That is how the search evaluator scores whole
+///    neighborhoods in parallel and how the concurrent server isolates
+///    clients.
 ///
 /// The epoch/key plumbing: each applied batch advances the shared
 /// store's epoch, so artifacts computed before the delta classify as
@@ -97,6 +104,7 @@ struct RemoveChainDelta {
   std::string chain;
 };
 
+/// Any one typed model mutation a session batch can carry.
 using Delta = std::variant<SetPriorityDelta, SetWcetDelta, SetDeadlineDelta, SetArrivalDelta,
                            AddChainDelta, RemoveChainDelta>;
 
@@ -121,16 +129,19 @@ struct SessionStats {
   std::array<StageDiagnostics, kArtifactStageCount> stages{};
   SliceCache::Stats slices;         ///< per-chain key-fragment memo reuse
 
-  [[nodiscard]] std::size_t lookups() const;
-  [[nodiscard]] std::size_t hits() const;
-  [[nodiscard]] std::size_t misses() const;
-  [[nodiscard]] std::size_t shared() const;
+  [[nodiscard]] std::size_t lookups() const;  ///< store lookups, summed over stages
+  [[nodiscard]] std::size_t hits() const;     ///< resident-before-epoch lookups
+  [[nodiscard]] std::size_t misses() const;   ///< lookups this session computed
+  [[nodiscard]] std::size_t shared() const;   ///< single-flight joins (work coalesced)
 };
 
 // ---------------------------------------------------------------------
 // Session
 // ---------------------------------------------------------------------
 
+/// One long-lived, incrementally mutable analysis conversation.
+/// Externally synchronized (single caller; see the file comment) —
+/// distinct sessions are fully independent and may run concurrently.
 class Session {
  public:
   /// Opens a session on `store` (which must outlive it).  Begins a fresh
@@ -196,6 +207,7 @@ class Session {
   /// ReportDiagnostics::system_hash of reports served at this revision).
   [[nodiscard]] std::uint64_t fingerprint() const;
 
+  /// Lifetime telemetry snapshot (revision, deltas, store counters).
   [[nodiscard]] SessionStats stats() const;
 
  private:

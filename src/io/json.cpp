@@ -1,6 +1,7 @@
 #include "io/json.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "util/expect.hpp"
@@ -18,27 +19,30 @@ void JsonWriter::prefix() {
   }
 }
 
-void JsonWriter::write_string(const std::string& s) {
-  os_ << '"';
-  for (char c : s) {
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
     switch (c) {
-      case '"': os_ << "\\\""; break;
-      case '\\': os_ << "\\\\"; break;
-      case '\n': os_ << "\\n"; break;
-      case '\r': os_ << "\\r"; break;
-      case '\t': os_ << "\\t"; break;
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
           std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os_ << buf;
+          out += buf;
         } else {
-          os_ << c;
+          out += c;
         }
     }
   }
-  os_ << '"';
+  return out;
 }
+
+void JsonWriter::write_string(const std::string& s) { os_ << '"' << json_escape(s) << '"'; }
 
 void JsonWriter::begin_object() {
   prefix();

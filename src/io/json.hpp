@@ -56,6 +56,11 @@ class JsonWriter {
   bool pending_key_ = false;
 };
 
+/// Escapes `text` as the body of a JSON string literal (no surrounding
+/// quotes) — the exact escaping JsonWriter applies, control characters
+/// included.  For hand-framed protocol lines (tests, benches, clients).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
 /// Serializes a LatencyResult as a JSON object.
 [[nodiscard]] std::string to_json(const LatencyResult& result);
 

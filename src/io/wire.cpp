@@ -1,7 +1,11 @@
 #include "io/wire.hpp"
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cctype>
 #include <charconv>
+#include <limits>
 #include <sstream>
 
 #include "io/system_format.hpp"
@@ -9,6 +13,67 @@
 #include "util/strings.hpp"
 
 namespace wharf::io {
+
+// ---------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------
+
+FdStreambuf::FdStreambuf(int fd) : fd_(fd) {
+  setg(in_, in_, in_);
+  setp(out_, out_ + sizeof out_);
+}
+
+FdStreambuf::~FdStreambuf() {
+  sync();
+  ::close(fd_);
+}
+
+FdStreambuf::int_type FdStreambuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  const ssize_t n = ::read(fd_, in_, sizeof in_);
+  if (n <= 0) return traits_type::eof();
+  setg(in_, in_, in_ + n);
+  return traits_type::to_int_type(*gptr());
+}
+
+FdStreambuf::int_type FdStreambuf::overflow(int_type ch) {
+  if (flush_out() != 0) return traits_type::eof();
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+int FdStreambuf::sync() { return flush_out(); }
+
+int FdStreambuf::flush_out() {
+  const char* p = pbase();
+  while (p < pptr()) {
+    // MSG_NOSIGNAL: a peer that vanished mid-response must fail this
+    // connection's stream, not raise SIGPIPE against the whole process.
+    const ssize_t n =
+        ::send(fd_, p, static_cast<std::size_t>(pptr() - p), MSG_NOSIGNAL);
+    if (n <= 0) return -1;
+    p += n;
+  }
+  setp(out_, out_ + sizeof out_);
+  return 0;
+}
+
+bool FramedWriter::write_line(const std::string& line) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  if (failed_) return false;
+  out_ << line << '\n';
+  out_.flush();
+  failed_ = out_.fail();
+  return !failed_;
+}
+
+bool FramedWriter::failed() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return failed_;
+}
 
 // ---------------------------------------------------------------------
 // JsonValue accessors
@@ -426,6 +491,75 @@ Query parse_query(const JsonValue& value) {
 
 }  // namespace
 
+TwcaOptions parse_twca_options(const JsonValue& value) {
+  TwcaOptions options;
+  for (const auto& [key, field] : value.members()) {
+    if (key == "criterion") {
+      const std::string& name = field.as_string();
+      if (name == "sufficient_eq5") {
+        options.criterion = SchedulabilityCriterion::kSufficientEq5;
+      } else if (name == "exact_eq3") {
+        options.criterion = SchedulabilityCriterion::kExactEq3;
+      } else {
+        throw InvalidArgument(util::cat("unknown criterion '", name,
+                                        "' (use sufficient_eq5|exact_eq3)"));
+      }
+    } else if (key == "max_combinations") {
+      const long long v = field.as_int();
+      WHARF_EXPECT(v >= 1, "max_combinations must be >= 1, got " << v);
+      options.max_combinations = static_cast<std::size_t>(v);
+    } else if (key == "minimal_only") {
+      options.minimal_only = field.as_bool();
+    } else if (key == "cap_at_k") {
+      options.cap_at_k = field.as_bool();
+    } else if (key == "use_dfs_packer") {
+      options.use_dfs_packer = field.as_bool();
+    } else if (key == "max_busy_windows") {
+      const long long v = field.as_int();
+      WHARF_EXPECT(v >= 1, "max_busy_windows must be >= 1, got " << v);
+      options.analysis.max_busy_windows = v;
+    } else if (key == "max_fixed_point_iterations") {
+      const long long v = field.as_int();
+      WHARF_EXPECT(v >= 1 && v <= std::numeric_limits<int>::max(),
+                   "max_fixed_point_iterations must be in [1, 2^31), got " << v);
+      options.analysis.max_fixed_point_iterations = static_cast<int>(v);
+    } else if (key == "divergence_guard") {
+      const long long v = field.as_int();
+      WHARF_EXPECT(v >= 1, "divergence_guard must be >= 1, got " << v);
+      options.analysis.divergence_guard = v;
+    } else if (key == "naive_arbitrary") {
+      options.analysis.naive_arbitrary = field.as_bool();
+    } else {
+      throw InvalidArgument(util::cat("unknown analysis option '", key, "'"));
+    }
+  }
+  return options;
+}
+
+void write_twca_options(JsonWriter& w, const TwcaOptions& options) {
+  w.begin_object();
+  w.key("criterion");
+  w.value(options.criterion == SchedulabilityCriterion::kExactEq3 ? "exact_eq3"
+                                                                  : "sufficient_eq5");
+  w.key("max_combinations");
+  w.value(static_cast<long long>(options.max_combinations));
+  w.key("minimal_only");
+  w.value(options.minimal_only);
+  w.key("cap_at_k");
+  w.value(options.cap_at_k);
+  w.key("use_dfs_packer");
+  w.value(options.use_dfs_packer);
+  w.key("max_busy_windows");
+  w.value(options.analysis.max_busy_windows);
+  w.key("max_fixed_point_iterations");
+  w.value(options.analysis.max_fixed_point_iterations);
+  w.key("divergence_guard");
+  w.value(options.analysis.divergence_guard);
+  w.key("naive_arbitrary");
+  w.value(options.analysis.naive_arbitrary);
+  w.end_object();
+}
+
 Expected<WireRequest> parse_request(const std::string& line) {
   return capture([&] {
     const JsonValue root = parse_json(line);
@@ -457,6 +591,9 @@ Expected<WireRequest> parse_request(const std::string& line) {
     switch (request.kind) {
       case WireKind::kOpenSession:
         request.system_text = root.at("system").as_string();
+        if (const JsonValue* options = root.find("options")) {
+          request.options = parse_twca_options(*options);
+        }
         break;
       case WireKind::kApplyDelta:
         for (const JsonValue& d : root.at("deltas").items()) {

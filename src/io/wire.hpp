@@ -1,12 +1,15 @@
 /// \file wire.hpp
-/// The NDJSON wire protocol of `wharf serve`: a long-lived
-/// request/response stream over stdin/stdout (or a TCP socket), one JSON
-/// object per line, framed in the existing JSON report schema.
+/// The NDJSON wire protocol of `wharf serve` plus the transport
+/// primitives the server is built on.  The *normative* protocol
+/// specification — every request/response field, the error envelope,
+/// the exit-code contract, concurrency semantics — lives in
+/// docs/serve-protocol.md; this header documents the C++ surface.
 ///
 /// Requests (`id` is an optional client correlation token, echoed back;
-/// `session` names a session within the stream):
+/// `session` names a session within one connection's conversation):
 ///
-///   {"id":1,"type":"open_session","session":"s","system":"system x\n..."}
+///   {"id":1,"type":"open_session","session":"s","system":"system x\n...",
+///    "options":{"cap_at_k":false}}
 ///   {"id":2,"type":"apply_delta","session":"s","deltas":[{"kind":"set_priority",...}]}
 ///   {"id":3,"type":"query","session":"s","queries":[{"kind":"latency","chain":"a"}]}
 ///   {"id":4,"type":"diagnostics","session":"s"}
@@ -15,11 +18,11 @@
 ///
 /// Every response is one JSON object on one line carrying the echoed
 /// id/type/session plus "status" ("ok" or a StatusCode name) and, on
-/// error, "reason".  Query responses embed a full AnalysisReport (the
-/// exact wharf::to_json schema of `wharf analyze --json`) under
-/// "report".  Per-request errors — unknown session, malformed JSON, a
-/// failing delta — are *responses on the stream*, never a process exit;
-/// only transport failures terminate the server (see cli/serve.hpp).
+/// error, "reason".  Per-request errors — unknown session, malformed
+/// JSON, a failing delta — are *responses on the stream*, never a
+/// process exit; only transport failures terminate the server, and in
+/// TCP mode a transport failure only terminates the affected connection
+/// (see cli/serve.hpp).
 ///
 /// This header also exposes the minimal JSON reader the protocol needs
 /// (JsonValue/parse_json) — the writing side reuses io::JsonWriter.
@@ -29,6 +32,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <ostream>
+#include <streambuf>
 #include <string>
 #include <utility>
 #include <vector>
@@ -47,26 +53,36 @@ namespace wharf::io {
 /// A parsed JSON document node.  Numbers keep both integral and double
 /// views (the protocol's quantities are integral).  Accessors throw
 /// wharf::InvalidArgument on kind mismatches — capture() at the protocol
-/// boundary turns that into an error response.
+/// boundary turns that into an error response.  Immutable once parsed;
+/// concurrent reads are safe, like any const object.
 class JsonValue {
  public:
+  /// The JSON node kinds.
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
 
   JsonValue() = default;
 
+  /// The node's kind tag (object, array, string, ...).
   [[nodiscard]] Kind kind() const { return kind_; }
+  /// True for the JSON `null` literal (and default-constructed nodes).
   [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
 
+  /// The boolean payload; throws unless kind() is kBool.
   [[nodiscard]] bool as_bool() const;
-  [[nodiscard]] long long as_int() const;      ///< requires an integral number
+  /// The integer payload; throws unless the node is an integral number.
+  [[nodiscard]] long long as_int() const;
+  /// The numeric payload widened to double; throws unless kind() is kNumber.
   [[nodiscard]] double as_double() const;
+  /// The string payload; throws unless kind() is kString.
   [[nodiscard]] const std::string& as_string() const;
-  [[nodiscard]] const std::vector<JsonValue>& items() const;  ///< array elements
+  /// The array elements; throws unless kind() is kArray.
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
 
   /// Object member by key, or nullptr when absent (objects only).
   [[nodiscard]] const JsonValue* find(const std::string& key) const;
   /// Object member by key; throws when absent.
   [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  /// All object members in document order; throws unless kind() is kObject.
   [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members() const;
 
  private:
@@ -88,9 +104,67 @@ class JsonValue {
 [[nodiscard]] JsonValue parse_json(const std::string& text);
 
 // ---------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------
+
+/// A minimal bidirectional streambuf over a connected socket fd (owned:
+/// closed on destruction).  Writes use send(MSG_NOSIGNAL), so a peer
+/// that disconnected surfaces as a stream failure on this connection —
+/// never as a process-killing SIGPIPE.  Not thread-safe: one connection
+/// thread owns its streambuf (see FramedWriter for the write framing).
+class FdStreambuf final : public std::streambuf {
+ public:
+  /// Takes ownership of the connected socket `fd`.
+  explicit FdStreambuf(int fd);
+  ~FdStreambuf() override;
+
+  FdStreambuf(const FdStreambuf&) = delete;
+  FdStreambuf& operator=(const FdStreambuf&) = delete;
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type ch) override;
+  int sync() override;
+
+ private:
+  int flush_out();
+
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+/// Thread-safe framed response writer: write_line() emits exactly one
+/// `line + '\n'` and flushes, atomically under an internal mutex, so
+/// concurrent writers on one stream can never interleave partial lines.
+/// A transport failure is sticky and per-writer: write_line() returns
+/// false from then on, isolating one dead client from the rest of the
+/// process (the caller stops serving that connection; nothing throws).
+class FramedWriter {
+ public:
+  /// Wraps `out`, which must outlive the writer.
+  explicit FramedWriter(std::ostream& out) : out_(out) {}
+
+  FramedWriter(const FramedWriter&) = delete;
+  FramedWriter& operator=(const FramedWriter&) = delete;
+
+  /// Writes one framed line; returns false once the stream has failed.
+  bool write_line(const std::string& line);
+
+  /// True after any write_line() observed a stream failure.
+  [[nodiscard]] bool failed() const;
+
+ private:
+  std::ostream& out_;
+  mutable std::mutex mutex_;
+  bool failed_ = false;
+};
+
+// ---------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------
 
+/// The request kinds of the serve protocol, in wire order.
 enum class WireKind {
   kOpenSession,
   kApplyDelta,
@@ -103,20 +177,33 @@ enum class WireKind {
 /// Stable wire name of a request kind ("open_session", ...).
 [[nodiscard]] const char* to_string(WireKind kind);
 
+/// One parsed request line.  Field population depends on `kind`; see
+/// docs/serve-protocol.md for the per-request field tables.
 struct WireRequest {
   WireKind kind = WireKind::kShutdown;
-  long long id = 0;
-  bool has_id = false;
-  std::string session;            ///< empty only for shutdown
-  std::string system_text;        ///< open_session: text-format system
-  std::vector<Delta> deltas;      ///< apply_delta
-  std::vector<Query> queries;     ///< query
+  long long id = 0;             ///< client correlation token (echoed back)
+  bool has_id = false;          ///< whether the request carried an "id"
+  std::string session;          ///< empty only for shutdown
+  std::string system_text;      ///< open_session: text-format system
+  TwcaOptions options;          ///< open_session: analysis knobs ("options")
+  std::vector<Delta> deltas;    ///< apply_delta
+  std::vector<Query> queries;   ///< query
 };
 
 /// Parses one request line.  Errors (malformed JSON, unknown type or
 /// kind, missing fields) come back as a Status — the caller answers with
 /// an error response and keeps the stream alive.
 [[nodiscard]] Expected<WireRequest> parse_request(const std::string& line);
+
+/// Parses an open_session "options" object into TwcaOptions: every
+/// field optional, defaults from TwcaOptions{}, unknown keys refused
+/// (throws InvalidArgument — the protocol is strict, not lenient).
+[[nodiscard]] TwcaOptions parse_twca_options(const JsonValue& value);
+
+/// Writes `options` as the wire "options" object (every field, in the
+/// stable order documented in docs/serve-protocol.md).  Round-trips
+/// through parse_twca_options exactly.
+void write_twca_options(JsonWriter& w, const TwcaOptions& options);
 
 // ---------------------------------------------------------------------
 // Responses

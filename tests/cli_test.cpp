@@ -7,6 +7,7 @@
 
 #include "cli/cli.hpp"
 #include "core/case_studies.hpp"
+#include "io/json.hpp"
 #include "io/system_format.hpp"
 
 namespace wharf::cli {
@@ -388,22 +389,6 @@ TEST(Cli, PathUsage) {
 // serve subcommand (NDJSON session server; see cli/serve.hpp)
 // ---------------------------------------------------------------------------
 
-/// Escapes a system description into a JSON string literal body.
-std::string json_escaped(const std::string& text) {
-  std::string out;
-  for (const char c : text) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (c == '\n') {
-      out += "\\n";
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
 std::vector<std::string> lines_of(const std::string& text) {
   std::vector<std::string> lines;
   std::istringstream stream(text);
@@ -414,7 +399,7 @@ std::vector<std::string> lines_of(const std::string& text) {
 TEST(Cli, ServeFullConversation) {
   const std::string conversation =
       "{\"id\":1,\"type\":\"open_session\",\"session\":\"s\",\"system\":\"" +
-      json_escaped(case_study_text()) +
+      io::json_escape(case_study_text()) +
       "\"}\n"
       R"({"id":2,"type":"query","session":"s","queries":[{"kind":"latency","chain":"sigma_c"},{"kind":"dmm","chain":"sigma_c","ks":[76]}]})"
       "\n"
@@ -451,7 +436,7 @@ TEST(Cli, ServePerRequestErrorsNeverExitNonZero) {
       R"({"id":1,"type":"query","session":"ghost","queries":[]})"
       "\n"
       "{\"id\":2,\"type\":\"open_session\",\"session\":\"s\",\"system\":\"" +
-      json_escaped(case_study_text()) +
+      io::json_escape(case_study_text()) +
       "\"}\n"
       R"({"id":3,"type":"open_session","session":"s","system":"system x"})"
       "\n"
@@ -484,7 +469,7 @@ TEST(Cli, ServeSessionsAreIncrementalAcrossDeltas) {
   // re-keyed) — the incrementality is visible on the wire.
   const std::string conversation =
       "{\"id\":1,\"type\":\"open_session\",\"session\":\"s\",\"system\":\"" +
-      json_escaped(case_study_text()) +
+      io::json_escape(case_study_text()) +
       "\"}\n"
       R"({"id":2,"type":"query","session":"s","queries":[{"kind":"latency","chain":"sigma_c"},{"kind":"latency","chain":"sigma_d"}]})"
       "\n"
@@ -533,7 +518,62 @@ TEST(Cli, HelpDocumentsServeExitCodes) {
   const CliRun help = invoke({"help"});
   EXPECT_EQ(help.exit_code, 0);
   EXPECT_NE(help.out.find("wharf serve"), std::string::npos);
-  EXPECT_NE(help.out.find("4 transport failure"), std::string::npos);
+  EXPECT_NE(help.out.find("--max-connections"), std::string::npos);
+  // The canonical exit-code contract sentence — docs/serve-protocol.md
+  // and the README state the same contract; this line is the normative
+  // wording the CLI prints.
+  EXPECT_NE(help.out.find("serve exit codes: 0 clean shutdown or EOF; 1 usage error; "
+                          "4 transport failure"),
+            std::string::npos);
+  EXPECT_NE(help.out.find("neither ever exits the server"), std::string::npos);
+}
+
+TEST(Cli, ServeHelpPrintsUsageInsteadOfServing) {
+  // `wharf serve --help` must print the usage (with the exit-code
+  // contract) and exit 0 — it used to fall through into the serve loop
+  // and sit reading stdin.
+  const CliRun r = invoke({"serve", "--help"}, "this would be a protocol error\n");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+  EXPECT_NE(r.out.find("serve exit codes: 0 clean shutdown or EOF; 1 usage error; "
+                       "4 transport failure"),
+            std::string::npos);
+  // No serve responses were emitted: the subcommand never ran.
+  EXPECT_EQ(r.out.find("\"type\":\"error\""), std::string::npos);
+}
+
+TEST(Cli, ServeOpenSessionHonorsTwcaOptions) {
+  // Two sessions over the same system: defaults, and a divergence guard
+  // far below the real busy window — the optioned session must answer
+  // differently (unbounded latency), proving the wire options reach the
+  // Session instead of being accepted-but-ignored.
+  const std::string conversation =
+      "{\"id\":1,\"type\":\"open_session\",\"session\":\"plain\",\"system\":\"" +
+      io::json_escape(case_study_text()) +
+      "\"}\n"
+      R"({"id":2,"type":"query","session":"plain","queries":[{"kind":"latency","chain":"sigma_c"}]})"
+      "\n"
+      "{\"id\":3,\"type\":\"open_session\",\"session\":\"guarded\",\"system\":\"" +
+      io::json_escape(case_study_text()) +
+      "\",\"options\":{\"divergence_guard\":50}}\n"
+      R"({"id":4,"type":"query","session":"guarded","queries":[{"kind":"latency","chain":"sigma_c"}]})"
+      "\n";
+  const CliRun r = invoke({"serve"}, conversation);
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const std::vector<std::string> lines = lines_of(r.out);
+  ASSERT_EQ(lines.size(), 4u) << r.out;
+  EXPECT_NE(lines[1].find(R"("bounded":true)"), std::string::npos);
+  EXPECT_NE(lines[1].find(R"("wcl":331)"), std::string::npos);
+  EXPECT_NE(lines[3].find(R"("bounded":false)"), std::string::npos) << lines[3];
+
+  // A bad option is a per-request error response, not a process exit.
+  const std::string bad =
+      "{\"id\":1,\"type\":\"open_session\",\"session\":\"s\",\"system\":\"" +
+      io::json_escape(case_study_text()) + "\",\"options\":{\"frobnicate\":true}}\n";
+  const CliRun rejected = invoke({"serve"}, bad);
+  EXPECT_EQ(rejected.exit_code, 0) << rejected.err;
+  EXPECT_NE(rejected.out.find(R"("status":"invalid-argument")"), std::string::npos);
+  EXPECT_NE(rejected.out.find("unknown analysis option"), std::string::npos);
 }
 
 }  // namespace

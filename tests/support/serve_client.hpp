@@ -1,0 +1,150 @@
+/// \file serve_client.hpp
+/// Shared loopback plumbing for the concurrent-serve test and bench: a
+/// minimal blocking NDJSON client over a 127.0.0.1 TCP socket with
+/// poll()-guarded reads (a server regression reports an error instead
+/// of hanging the harness), plus the answers-only payload extractor the
+/// bit-identity comparisons use.  Header-only; no gtest dependency —
+/// callers inject error reporting via `on_error`.
+
+#ifndef WHARF_TESTS_SUPPORT_SERVE_CLIENT_HPP
+#define WHARF_TESTS_SUPPORT_SERVE_CLIENT_HPP
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <utility>
+
+namespace wharf::testsupport {
+
+/// The per-query "results":[...] payload of a query response line
+/// (answers only — diagnostics legitimately differ between warm, cold
+/// and concurrent runs, answers never may).
+inline std::string results_of(const std::string& response_line) {
+  const auto begin = response_line.find("\"results\":");
+  const auto end = response_line.find(",\"diagnostics\"");
+  if (begin == std::string::npos || end == std::string::npos) return response_line;
+  return response_line.substr(begin, end - begin);
+}
+
+/// One blocking TCP client connection speaking the serve NDJSON
+/// protocol in lockstep (one request line out, one response line in).
+class ServeClient {
+ public:
+  using ErrorHandler = std::function<void(const std::string&)>;
+
+  /// Connects to 127.0.0.1:`port`.  `on_error` (optional) is invoked
+  /// with a message on connect/send/recv failures and timeouts.
+  explicit ServeClient(int port, ErrorHandler on_error = {})
+      : on_error_(std::move(on_error)) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      fail(std::string("socket(): ") + std::strerror(errno));
+      return;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      fail(std::string("connect(): ") + std::strerror(errno));
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  ~ServeClient() { close(); }
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// True while the socket is usable and no transport error occurred.
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Sends one '\n'-framed request line.
+  void send_line(const std::string& line) { send_raw(line + "\n"); }
+
+  /// Sends bytes as-is (no framing — half-request torture scenarios).
+  void send_raw(const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        fail(std::string("send(): ") + std::strerror(errno));
+        return;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Reads one '\n'-framed response line; reports an error and returns
+  /// "" if no complete line arrives within the timeout.
+  std::string recv_line(int timeout_ms = 20000) {
+    while (true) {
+      const auto newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready <= 0) {
+        fail("recv_line: timed out waiting for a response line");
+        return "";
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n <= 0) {
+        fail("recv_line: connection closed by server");
+        return "";
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// One lockstep exchange: send a request line, read its response.
+  std::string roundtrip(const std::string& line, int timeout_ms = 20000) {
+    if (!connected()) return "";
+    send_line(line);
+    return recv_line(timeout_ms);
+  }
+
+  /// Closes the socket immediately; unread responses are discarded
+  /// (the mid-request-disconnect torture path).
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  /// Closes with SO_LINGER 0 — an abortive RST instead of a FIN, so the
+  /// server's next write to this connection fails rather than vanishing
+  /// into a half-closed socket.
+  void abort_close() {
+    if (fd_ < 0) return;
+    linger hard{1, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &hard, sizeof hard);
+    close();
+  }
+
+ private:
+  void fail(const std::string& message) {
+    if (on_error_) on_error_(message);
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+  ErrorHandler on_error_;
+};
+
+}  // namespace wharf::testsupport
+
+#endif  // WHARF_TESTS_SUPPORT_SERVE_CLIENT_HPP

@@ -129,6 +129,92 @@ TEST(WireRequests, ParsesEveryMessageKind) {
   }
 }
 
+// ---------------------------------------------------------------------
+// TwcaOptions on open_session
+// ---------------------------------------------------------------------
+
+TEST(WireOptions, OpenSessionCarriesTwcaOptions) {
+  const Expected<WireRequest> r = parse_request(
+      R"({"type":"open_session","session":"s","system":"system x",)"
+      R"("options":{"criterion":"exact_eq3","max_combinations":1234,"minimal_only":false,)"
+      R"("cap_at_k":false,"use_dfs_packer":true,"max_busy_windows":7,)"
+      R"("max_fixed_point_iterations":99,"divergence_guard":1000,"naive_arbitrary":true}})");
+  ASSERT_TRUE(r) << r.status().to_string();
+  const TwcaOptions& o = r.value().options;
+  EXPECT_EQ(o.criterion, SchedulabilityCriterion::kExactEq3);
+  EXPECT_EQ(o.max_combinations, 1234u);
+  EXPECT_FALSE(o.minimal_only);
+  EXPECT_FALSE(o.cap_at_k);
+  EXPECT_TRUE(o.use_dfs_packer);
+  EXPECT_EQ(o.analysis.max_busy_windows, 7);
+  EXPECT_EQ(o.analysis.max_fixed_point_iterations, 99);
+  EXPECT_EQ(o.analysis.divergence_guard, 1000);
+  EXPECT_TRUE(o.analysis.naive_arbitrary);
+
+  // Absent "options" means defaults — every field.
+  const Expected<WireRequest> plain =
+      parse_request(R"({"type":"open_session","session":"s","system":"system x"})");
+  ASSERT_TRUE(plain) << plain.status().to_string();
+  const TwcaOptions defaults;
+  EXPECT_EQ(plain.value().options.criterion, defaults.criterion);
+  EXPECT_EQ(plain.value().options.cap_at_k, defaults.cap_at_k);
+  EXPECT_EQ(plain.value().options.analysis.divergence_guard,
+            defaults.analysis.divergence_guard);
+}
+
+TEST(WireOptions, TwcaOptionsRoundTripThroughTheWire) {
+  TwcaOptions options;
+  options.criterion = SchedulabilityCriterion::kExactEq3;
+  options.max_combinations = 4321;
+  options.minimal_only = false;
+  options.cap_at_k = false;
+  options.use_dfs_packer = true;
+  options.analysis.max_busy_windows = 11;
+  options.analysis.max_fixed_point_iterations = 22;
+  options.analysis.divergence_guard = 3333;
+  options.analysis.naive_arbitrary = true;
+
+  std::ostringstream os;
+  JsonWriter w(os);
+  write_twca_options(w, options);
+  const TwcaOptions parsed = parse_twca_options(parse_json(os.str()));
+  EXPECT_EQ(parsed.criterion, options.criterion);
+  EXPECT_EQ(parsed.max_combinations, options.max_combinations);
+  EXPECT_EQ(parsed.minimal_only, options.minimal_only);
+  EXPECT_EQ(parsed.cap_at_k, options.cap_at_k);
+  EXPECT_EQ(parsed.use_dfs_packer, options.use_dfs_packer);
+  EXPECT_EQ(parsed.analysis.max_busy_windows, options.analysis.max_busy_windows);
+  EXPECT_EQ(parsed.analysis.max_fixed_point_iterations,
+            options.analysis.max_fixed_point_iterations);
+  EXPECT_EQ(parsed.analysis.divergence_guard, options.analysis.divergence_guard);
+  EXPECT_EQ(parsed.analysis.naive_arbitrary, options.analysis.naive_arbitrary);
+
+  // Defaults round-trip too (the writer emits every field).
+  std::ostringstream defaults_os;
+  JsonWriter defaults_writer(defaults_os);
+  write_twca_options(defaults_writer, TwcaOptions{});
+  const TwcaOptions defaults = parse_twca_options(parse_json(defaults_os.str()));
+  EXPECT_EQ(defaults.criterion, TwcaOptions{}.criterion);
+  EXPECT_EQ(defaults.max_combinations, TwcaOptions{}.max_combinations);
+  EXPECT_EQ(defaults.analysis.divergence_guard, TwcaOptions{}.analysis.divergence_guard);
+}
+
+TEST(WireOptions, RejectsUnknownOrInvalidOptionFields) {
+  const struct {
+    const char* line;
+  } cases[] = {
+      {R"({"type":"open_session","session":"s","system":"x","options":{"frobnicate":1}})"},
+      {R"({"type":"open_session","session":"s","system":"x","options":{"criterion":"psychic"}})"},
+      {R"({"type":"open_session","session":"s","system":"x","options":{"max_combinations":0}})"},
+      {R"({"type":"open_session","session":"s","system":"x","options":{"divergence_guard":-5}})"},
+  };
+  for (const auto& c : cases) {
+    const Expected<WireRequest> r = parse_request(c.line);
+    ASSERT_FALSE(r.has_value()) << c.line;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << c.line;
+  }
+}
+
 TEST(WireRequests, MalformedRequestsAreStatusesNotThrows) {
   const struct {
     const char* line;
@@ -223,7 +309,8 @@ TEST(WireTcp, ListenerServesAConversationAndShutsDown) {
 
   int exit_code = -1;
   std::ostringstream err;
-  std::thread server([&] { exit_code = cli::serve_listener(engine, listener.value(), err); });
+  std::thread server(
+      [&] { exit_code = cli::serve_listener(engine, listener.value(), 2, err); });
 
   const std::string conversation =
       R"({"id":1,"type":"open_session","session":"s","system":"system t\nchain a kind=sync activation=periodic(100) deadline=90\n  task a1 prio=1 wcet=10\n"})"

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Doc-comment checker for wharf's public headers.
+
+A deliberately simple, grep-style gate (no real C++ parsing): every
+*public* type or function declaration in the given headers must be
+documented — a `///` (or `//`/`/*...*/`) comment on the line(s) directly
+above, a trailing `///<`, or membership in a contiguous, comment-headed
+declaration group (a comment followed by declarations with no blank line
+between them covers the whole run).
+
+Checked: namespace-scope and public class-scope declarations of
+classes/structs/enums, `using` aliases, and functions.  Exempt: data
+members, forward declarations, access specifiers, boilerplate special
+members (destructors, copy/move constructors and assignments, `= default`
+/ `= delete`), and anything private/protected.
+
+Exit 0 when everything is documented; 1 lists offenders.
+
+Usage: check_doc_comments.py HEADER [HEADER ...]
+"""
+
+import re
+import sys
+
+COMMENT_RE = re.compile(r"^\s*(///|//|\*|/\*)")
+ACCESS_RE = re.compile(r"^\s*(public|private|protected)\s*:")
+TYPE_DECL_RE = re.compile(r"^\s*(template\s*<.*>\s*)?(class|struct|enum(\s+class)?)\s+\w+")
+USING_RE = re.compile(r"^\s*using\s+\w+\s*=")
+FUNCTION_RE = re.compile(
+    r"^\s*(\[\[nodiscard\]\]\s*)?(template\s*<.*>\s*)?"
+    r"(static\s+|inline\s+|constexpr\s+|explicit\s+|virtual\s+|friend\s+)*"
+    r"[~A-Za-z_][\w:<>,&*\s]*\(")
+SPECIAL_MEMBER_RE = re.compile(
+    r"^\s*~?\w+\s*\(\s*(const\s+)?(\w+\s*&&?\s*\w*)?\s*\)\s*"
+    r"(noexcept)?\s*(override)?\s*(=\s*(default|delete))?\s*;")
+ASSIGN_OP_RE = re.compile(r"operator\s*=")
+DEFAULT_DELETE_RE = re.compile(r"=\s*(default|delete)\s*;")
+
+
+def is_comment(line: str) -> bool:
+    stripped = line.strip()
+    return bool(COMMENT_RE.match(line)) or stripped.endswith("*/")
+
+
+def check_header(path: str):
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+
+    failures = []
+    # Access-specifier stack per brace depth of class/struct bodies.
+    # depth counts all braces; class_stack holds (entry_depth, access).
+    depth = 0
+    class_stack = []
+    prev_covered = False  # previous line was a documented declaration
+    prev_blank_or_boundary = True
+    pending_continuation = False  # inside a multi-line declaration
+
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        code = stripped
+        if not code or code.startswith("#"):
+            prev_blank_or_boundary = True
+            prev_covered = prev_covered and bool(code)
+            continue
+        if is_comment(line):
+            prev_blank_or_boundary = False
+            continue
+
+        in_public = not class_stack or class_stack[-1][1] == "public"
+        access = ACCESS_RE.match(line)
+        if access:
+            if class_stack:
+                class_stack[-1] = (class_stack[-1][0], access.group(1))
+            prev_blank_or_boundary = True
+            prev_covered = False
+            continue
+
+        is_decl_start = not pending_continuation
+        documented = (index > 0 and is_comment(lines[index - 1])) or "///<" in line
+        grouped = prev_covered and not prev_blank_or_boundary
+
+        checkable = (
+            is_decl_start
+            and in_public
+            and (TYPE_DECL_RE.match(line) or USING_RE.match(line)
+                 or FUNCTION_RE.match(line))
+            # forward declarations: `class X;`
+            and not re.match(r"^\s*(class|struct|enum(\s+class)?)\s+\w+\s*;", line)
+            # boilerplate special members
+            and not SPECIAL_MEMBER_RE.match(line)
+            and not ASSIGN_OP_RE.search(line)
+            and not DEFAULT_DELETE_RE.search(line)
+        )
+
+        if checkable:
+            if documented or grouped:
+                prev_covered = True
+            else:
+                failures.append((index + 1, stripped))
+                prev_covered = False
+        elif is_decl_start:
+            prev_covered = False
+
+        # Continuation: a code line that ends a statement/body resets it.
+        pending_continuation = not (
+            code.endswith(";") or code.endswith("{") or code.endswith("}")
+            or code.endswith(":") or code.endswith("};"))
+
+        # Brace / class-body bookkeeping (counts only braces outside strings,
+        # good enough for headers).
+        for char in code:
+            if char == "{":
+                depth += 1
+            elif char == "}":
+                depth -= 1
+                while class_stack and depth < class_stack[-1][0]:
+                    class_stack.pop()
+        body_open = TYPE_DECL_RE.match(line) and code.endswith("{")
+        if body_open:
+            default_access = "private" if re.search(r"\bclass\b", code) else "public"
+            class_stack.append((depth, default_access))
+        prev_blank_or_boundary = False
+
+    return failures
+
+
+def main(argv):
+    headers = argv[1:]
+    if not headers:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    total = 0
+    for path in headers:
+        for line, text in check_header(path):
+            print(f"{path}:{line}: undocumented public symbol: {text}")
+            total += 1
+    if total:
+        print(f"{total} undocumented public symbol(s)")
+        return 1
+    print(f"ok: {len(headers)} header(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

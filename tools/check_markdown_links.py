@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README.md and docs/.
+
+Verifies every [text](target) link in the given markdown files:
+  * relative file targets exist (resolved against the file's directory);
+  * #anchors (same-file or cross-file into another checked .md) match a
+    heading, using GitHub's slugification;
+  * http(s) targets are accepted without network access.
+
+Exit 0 when every link resolves, 1 otherwise (all failures listed).
+
+Usage: check_markdown_links.py FILE.md [FILE.md ...]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: drop markup, lowercase, strip punctuation
+    (keeping word characters, spaces and hyphens), spaces -> hyphens."""
+    text = heading.strip()
+    text = text.replace("`", "")  # inline code markup does not reach the slug
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def parse_markdown(path: str):
+    """Returns (links, anchors): links as (line_number, target), anchors
+    as the set of heading slugs.  Fenced code blocks are skipped."""
+    links = []
+    anchors = set()
+    seen = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            heading = HEADING_RE.match(line)
+            if heading:
+                slug = github_slug(heading.group(2))
+                # GitHub de-duplicates repeated headings with -1, -2, ...
+                count = seen.get(slug, 0)
+                seen[slug] = count + 1
+                anchors.add(slug if count == 0 else f"{slug}-{count}")
+                continue
+            for match in LINK_RE.finditer(line):
+                links.append((number, match.group(1)))
+    return links, anchors
+
+
+def main(argv):
+    files = argv[1:]
+    if not files:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    parsed = {}
+    for path in files:
+        if not os.path.isfile(path):
+            print(f"error: no such file: {path}", file=sys.stderr)
+            return 2
+        parsed[os.path.abspath(path)] = parse_markdown(path)
+
+    failures = []
+    # list(): anchors into files outside the checked set are parsed on
+    # demand below, which must not mutate the dict mid-iteration.
+    for path, (links, anchors) in list(parsed.items()):
+        base = os.path.dirname(path)
+        for line, target in links:
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            where = f"{os.path.relpath(path)}:{line}"
+            if target.startswith("#"):
+                if target[1:] not in anchors:
+                    failures.append(f"{where}: broken anchor '{target}'")
+                continue
+            file_part, _, anchor = target.partition("#")
+            resolved = os.path.abspath(os.path.join(base, file_part))
+            if not os.path.exists(resolved):
+                failures.append(f"{where}: missing target '{target}'")
+                continue
+            if anchor:
+                if resolved not in parsed:
+                    # Anchor into a file outside the checked set: parse on demand.
+                    parsed_target = parse_markdown(resolved)
+                    parsed[resolved] = parsed_target
+                if anchor not in parsed[resolved][1]:
+                    failures.append(f"{where}: broken anchor '{target}'")
+
+    for failure in failures:
+        print(failure)
+    if failures:
+        print(f"{len(failures)} broken link(s)")
+        return 1
+    print(f"ok: {sum(len(links) for links, _ in parsed.values())} links checked "
+          f"across {len(parsed)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
