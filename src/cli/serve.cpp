@@ -5,13 +5,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
-#include <condition_variable>
-#include <cstring>
 #include <istream>
 #include <list>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
@@ -20,7 +18,9 @@
 #include "engine/session.hpp"
 #include "io/system_format.hpp"
 #include "io/wire.hpp"
+#include "util/mutex.hpp"
 #include "util/strings.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace wharf::cli {
 
@@ -228,9 +228,9 @@ std::string handle_request(Conversation& conversation, const io::WireRequest& re
 /// connection-slot accounting the accept loop blocks on.
 struct ListenerState {
   std::atomic<bool> shutdown{false};
-  std::mutex mutex;
-  std::condition_variable slot_cv;
-  int active = 0;  ///< guarded by mutex (the cv predicate)
+  util::Mutex mutex;
+  util::CondVar slot_cv;
+  int active WHARF_GUARDED_BY(mutex) = 0;  ///< live connections (the cv predicate)
 };
 
 /// One accepted connection: its serving thread plus a done flag the
@@ -297,7 +297,7 @@ bool serve_stream(Engine& engine, std::istream& in, std::ostream& out,
 
 Expected<int> bind_serve_socket(int port, int& bound_port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Status::internal(util::cat("socket(): ", std::strerror(errno)));
+  if (fd < 0) return Status::internal(util::cat("socket(): ", util::errno_message(errno)));
 
   const int enable = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
@@ -308,14 +308,14 @@ Expected<int> bind_serve_socket(int port, int& bound_port) {
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
     const Status status =
-        Status::internal(util::cat("bind(127.0.0.1:", port, "): ", std::strerror(errno)));
+        Status::internal(util::cat("bind(127.0.0.1:", port, "): ", util::errno_message(errno)));
     ::close(fd);
     return status;
   }
   // The backlog queues clients beyond --max-connections instead of
   // refusing them; SOMAXCONN lets the kernel cap it.
   if (::listen(fd, SOMAXCONN) != 0) {
-    const Status status = Status::internal(util::cat("listen(): ", std::strerror(errno)));
+    const Status status = Status::internal(util::cat("listen(): ", util::errno_message(errno)));
     ::close(fd);
     return status;
   }
@@ -342,10 +342,11 @@ int serve_listener(Engine& engine, int listener_fd, int max_connections, std::os
     {
       // Bound the pool: accept only when a connection slot is free (a
       // queued client waits in the listen backlog, never dropped).
-      std::unique_lock<std::mutex> lock(state.mutex);
-      state.slot_cv.wait(lock, [&] {
-        return state.active < max_connections || state.shutdown.load(std::memory_order_acquire);
-      });
+      const util::MutexLock lock(state.mutex);
+      while (state.active >= max_connections &&
+             !state.shutdown.load(std::memory_order_acquire)) {
+        state.slot_cv.wait(state.mutex);
+      }
     }
     if (state.shutdown.load(std::memory_order_acquire)) break;
     reap_finished(connections);
@@ -354,7 +355,7 @@ int serve_listener(Engine& engine, int listener_fd, int max_connections, std::os
     if (client < 0) {
       if (state.shutdown.load(std::memory_order_acquire)) break;  // woken by shutdown
       if (errno == EINTR || errno == ECONNABORTED) continue;
-      err << "serve: accept(): " << std::strerror(errno) << "\n";
+      err << "serve: accept(): " << util::errno_message(errno) << "\n";
       result = kTransportError;
       break;
     }
@@ -365,7 +366,7 @@ int serve_listener(Engine& engine, int listener_fd, int max_connections, std::os
     }
 
     {
-      const std::lock_guard<std::mutex> lock(state.mutex);
+      const util::MutexLock lock(state.mutex);
       ++state.active;
     }
     telemetry.connections_served.fetch_add(1, std::memory_order_relaxed);
@@ -389,7 +390,7 @@ int serve_listener(Engine& engine, int listener_fd, int max_connections, std::os
       }
       telemetry.connections_active.fetch_sub(1, std::memory_order_relaxed);
       {
-        const std::lock_guard<std::mutex> lock(state.mutex);
+        const util::MutexLock lock(state.mutex);
         --state.active;
       }
       connection.done.store(true, std::memory_order_release);

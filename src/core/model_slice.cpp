@@ -140,12 +140,12 @@ void append_combination_options_slice(std::string& out, const TwcaOptions& optio
 // ---------------------------------------------------------------------
 
 void SliceCache::invalidate() {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   entries_.clear();
 }
 
 SliceCache::Stats SliceCache::stats() const {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   return stats_;
 }
 
@@ -173,7 +173,7 @@ const std::string& SliceCache::acquire(Kind kind, const System& system, int a, i
   }
 
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const util::MutexLock guard(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
@@ -202,7 +202,7 @@ const std::string& SliceCache::acquire(Kind kind, const System& system, int a, i
       append_overload_slice(built, system.chain(a), system.chain(b));
       break;
   }
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   ++stats_.misses;
   std::string& slot = entries_[std::move(key)];
   if (slot.empty()) slot = std::move(built);

@@ -33,12 +33,13 @@
 #define WHARF_CORE_MODEL_SLICE_HPP
 
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "core/system.hpp"
 #include "core/twca.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace wharf {
 
@@ -99,9 +100,9 @@ class SliceCache {
 
   const std::string& acquire(Kind kind, const System& system, int a, int b);
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::string> entries_;
-  Stats stats_;
+  mutable util::Mutex mutex_;
+  std::unordered_map<std::string, std::string> entries_ WHARF_GUARDED_BY(mutex_);
+  Stats stats_ WHARF_GUARDED_BY(mutex_);
 };
 
 /// Full canonical encoding of one chain (name, kind, arrival curve,

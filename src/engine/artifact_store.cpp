@@ -35,14 +35,14 @@ const char* to_string(ArtifactStage stage) {
 ArtifactStore::ArtifactStore(std::size_t byte_budget) : byte_budget_(byte_budget) {}
 
 std::uint64_t ArtifactStore::begin_epoch() {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   return ++epoch_;
 }
 
 std::optional<ArtifactStore::Found> ArtifactStore::lookup(ArtifactStage stage,
                                                           const std::string& key) {
   const std::string tagged = tagged_key(stage, key);
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   const auto it = entries_.find(tagged);
   if (it == entries_.end()) return std::nullopt;
   recency_.splice(recency_.begin(), recency_, it->second.lru);
@@ -52,12 +52,13 @@ std::optional<ArtifactStore::Found> ArtifactStore::lookup(ArtifactStage stage,
 void ArtifactStore::insert(ArtifactStage stage, const std::string& key,
                            std::shared_ptr<const void> value, std::size_t weight) {
   std::string tagged = tagged_key(stage, key);
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   insert_locked(stage, std::move(tagged), std::move(value), weight);
 }
 
 void ArtifactStore::insert_locked(ArtifactStage stage, std::string tagged,
                                   std::shared_ptr<const void> value, std::size_t weight) {
+  mutex_.assert_held();
   const std::size_t charged = weight + tagged.size();
   StageStats& stats = stage_stats_[stage_index(stage)];
   if (byte_budget_ > 0 && charged > byte_budget_) {
@@ -82,7 +83,7 @@ ArtifactStore::Resolved ArtifactStore::resolve(ArtifactStage stage, const std::s
   std::shared_ptr<Flight> flight;
   bool owner = false;
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const util::MutexLock guard(mutex_);
     const auto it = entries_.find(tagged);
     if (it != entries_.end()) {
       recency_.splice(recency_.begin(), recency_, it->second.lru);
@@ -99,8 +100,8 @@ ArtifactStore::Resolved ArtifactStore::resolve(ArtifactStage stage, const std::s
   }
 
   if (!owner) {
-    std::unique_lock<std::mutex> lock(flight->mutex);
-    flight->done_cv.wait(lock, [&] { return flight->done; });
+    const util::MutexLock lock(flight->mutex);
+    while (!flight->done) flight->done_cv.wait(flight->mutex);
     if (flight->error) std::rethrow_exception(flight->error);
     return Resolved{flight->value, 0, ResolveSource::kShared, 0};
   }
@@ -113,11 +114,11 @@ ArtifactStore::Resolved ArtifactStore::resolve(ArtifactStage stage, const std::s
     weight = made.second;
   } catch (...) {
     {
-      const std::lock_guard<std::mutex> guard(mutex_);
+      const util::MutexLock guard(mutex_);
       flights_.erase(tagged);
     }
     {
-      const std::lock_guard<std::mutex> lock(flight->mutex);
+      const util::MutexLock lock(flight->mutex);
       flight->error = std::current_exception();
       flight->done = true;
     }
@@ -130,13 +131,13 @@ ArtifactStore::Resolved ArtifactStore::resolve(ArtifactStage stage, const std::s
     // Publish the entry and retire the flight atomically w.r.t. new
     // resolve() calls: a caller arriving now either finds the entry
     // (resident) or, before this block, the open flight — never neither.
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const util::MutexLock guard(mutex_);
     inserted_epoch = epoch_;
     insert_locked(stage, tagged, value, weight);
     flights_.erase(tagged);
   }
   {
-    const std::lock_guard<std::mutex> lock(flight->mutex);
+    const util::MutexLock lock(flight->mutex);
     flight->value = value;
     flight->done = true;
   }
@@ -145,6 +146,7 @@ ArtifactStore::Resolved ArtifactStore::resolve(ArtifactStage stage, const std::s
 }
 
 void ArtifactStore::evict_to_budget_locked() {
+  mutex_.assert_held();
   while (byte_budget_ > 0 && resident_bytes_ > byte_budget_ && !recency_.empty()) {
     const auto victim = entries_.find(recency_.back());
     StageStats& stats = stage_stats_[stage_index(victim->second.stage)];
@@ -158,7 +160,7 @@ void ArtifactStore::evict_to_budget_locked() {
 }
 
 ArtifactStore::Stats ArtifactStore::stats() const {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   Stats out;
   out.stage = stage_stats_;
   out.resident_entries = entries_.size();
@@ -168,7 +170,7 @@ ArtifactStore::Stats ArtifactStore::stats() const {
 }
 
 void ArtifactStore::clear() {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   entries_.clear();
   recency_.clear();
   resident_bytes_ = 0;

@@ -39,17 +39,18 @@
 #define WHARF_ENGINE_ARTIFACT_STORE_HPP
 
 #include <array>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace wharf {
 
@@ -82,7 +83,7 @@ class ArtifactStore {
   explicit ArtifactStore(std::size_t byte_budget = kDefaultByteBudget);
 
   /// Starts a new epoch (request/batch boundary) and returns its id.
-  std::uint64_t begin_epoch();
+  std::uint64_t begin_epoch() WHARF_EXCLUDES(mutex_);
 
   /// A lookup() result: the artifact plus its insertion epoch.
   struct Found {
@@ -94,7 +95,8 @@ class ArtifactStore {
   /// Looks an artifact up and bumps its recency.  Does not touch the
   /// per-stage lookup counters — the pipeline owns request-local
   /// counting; the store counts only insertions/evictions/residency.
-  [[nodiscard]] std::optional<Found> lookup(ArtifactStage stage, const std::string& key);
+  [[nodiscard]] std::optional<Found> lookup(ArtifactStage stage, const std::string& key)
+      WHARF_EXCLUDES(mutex_);
 
   /// Inserts an artifact of `weight` bytes.  A key already present is
   /// left untouched (first insertion wins — values for equal keys are
@@ -102,7 +104,7 @@ class ArtifactStore {
   /// are rejected, everything else is admitted and the LRU tail is
   /// evicted until the budget holds.
   void insert(ArtifactStage stage, const std::string& key,
-              std::shared_ptr<const void> value, std::size_t weight);
+              std::shared_ptr<const void> value, std::size_t weight) WHARF_EXCLUDES(mutex_);
 
   /// Computation callback of resolve(): produces the artifact and its
   /// weight in bytes.  Runs outside every store lock and may itself call
@@ -135,7 +137,7 @@ class ArtifactStore {
   /// When compute throws, every waiter rethrows the same error and the
   /// flight is retired (a later caller computes afresh).
   [[nodiscard]] Resolved resolve(ArtifactStage stage, const std::string& key,
-                                 const Compute& compute);
+                                 const Compute& compute) WHARF_EXCLUDES(mutex_);
 
   /// Monotonic counters plus current residency, per stage.
   struct StageStats {
@@ -157,13 +159,13 @@ class ArtifactStore {
     std::size_t evictions = 0;         ///< lifetime LRU evictions
   };
   /// A consistent snapshot of the counters (one lock acquisition).
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const WHARF_EXCLUDES(mutex_);
 
   /// The configured weight budget in bytes (0 = unlimited).
   [[nodiscard]] std::size_t byte_budget() const { return byte_budget_; }
 
   /// Drops every artifact (counters other than residency are kept).
-  void clear();
+  void clear() WHARF_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -176,29 +178,34 @@ class ArtifactStore {
   };
 
   /// One in-flight computation: the owner computes, everyone else waits.
+  /// Flight::mutex nests strictly *inside* no other lock — both the
+  /// owner and the waiters touch a flight only after releasing the
+  /// store's mutex_ (resolve() never holds both), so the two levels
+  /// cannot deadlock.
   struct Flight {
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    bool done = false;
-    std::shared_ptr<const void> value;
-    std::exception_ptr error;
+    util::Mutex mutex;
+    util::CondVar done_cv;
+    bool done WHARF_GUARDED_BY(mutex) = false;         ///< compute finished
+    std::shared_ptr<const void> value WHARF_GUARDED_BY(mutex);  ///< its result
+    std::exception_ptr error WHARF_GUARDED_BY(mutex);  ///< or its exception
   };
 
   void insert_locked(ArtifactStage stage, std::string tagged,
-                     std::shared_ptr<const void> value, std::size_t weight);
-  void evict_to_budget_locked();
+                     std::shared_ptr<const void> value, std::size_t weight)
+      WHARF_REQUIRES(mutex_);
+  void evict_to_budget_locked() WHARF_REQUIRES(mutex_);
 
   const std::size_t byte_budget_;
-  mutable std::mutex mutex_;
-  std::uint64_t epoch_ = 0;
-  std::size_t resident_bytes_ = 0;
+  mutable util::Mutex mutex_;
+  std::uint64_t epoch_ WHARF_GUARDED_BY(mutex_) = 0;
+  std::size_t resident_bytes_ WHARF_GUARDED_BY(mutex_) = 0;
   /// Keys in recency order, most recent first (LRU eviction from the
   /// back).  Keys are stage-prefixed, so stages never collide.
-  std::list<std::string> recency_;
-  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> recency_ WHARF_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, Entry> entries_ WHARF_GUARDED_BY(mutex_);
   /// Open single-flight computations by tagged key (resolve()).
-  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
-  std::array<StageStats, kArtifactStageCount> stage_stats_{};
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_ WHARF_GUARDED_BY(mutex_);
+  std::array<StageStats, kArtifactStageCount> stage_stats_ WHARF_GUARDED_BY(mutex_) = {};
 };
 
 }  // namespace wharf

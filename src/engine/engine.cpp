@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <mutex>
 #include <sstream>
 #include <utility>
 
 #include "engine/session.hpp"
 #include "io/json.hpp"
+#include "util/mutex.hpp"
 #include "util/strings.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/worker_pool.hpp"
 
 namespace wharf {
@@ -89,16 +90,16 @@ struct Engine::Impl {
 
   /// Engine-lifetime lookup totals, accumulated from per-request
   /// diagnostics after every served request.
-  std::mutex totals_mutex;
-  std::size_t total_hits = 0;
-  std::size_t total_misses = 0;
-  std::size_t total_shared = 0;
+  util::Mutex totals_mutex;
+  std::size_t total_hits WHARF_GUARDED_BY(totals_mutex) = 0;
+  std::size_t total_misses WHARF_GUARDED_BY(totals_mutex) = 0;
+  std::size_t total_shared WHARF_GUARDED_BY(totals_mutex) = 0;
 
   explicit Impl(EngineOptions opts) : options(opts), store(opts.cache_bytes) {}
 
   /// Folds one served report into the engine-lifetime totals.
-  void accumulate(const AnalysisReport& report) {
-    const std::lock_guard<std::mutex> guard(totals_mutex);
+  void accumulate(const AnalysisReport& report) WHARF_EXCLUDES(totals_mutex) {
+    const util::MutexLock guard(totals_mutex);
     total_hits += report.diagnostics.cache_hits + report.diagnostics.search_hits;
     total_misses += report.diagnostics.cache_misses + report.diagnostics.search_misses;
     total_shared += report.diagnostics.cache_shared + report.diagnostics.search_shared;
@@ -169,7 +170,7 @@ Engine::CacheStats Engine::cache_stats() const {
   out.evictions = stats.evictions;
   out.entries = stats.resident_entries;
   out.resident_bytes = stats.resident_bytes;
-  const std::lock_guard<std::mutex> guard(impl_->totals_mutex);
+  const util::MutexLock guard(impl_->totals_mutex);
   out.hits = impl_->total_hits;
   out.misses = impl_->total_misses;
   out.shared = impl_->total_shared;

@@ -2,13 +2,14 @@
 
 #include <exception>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
 
 #include "core/model_slice.hpp"
 #include "util/expect.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/weight.hpp"
 
 namespace wharf {
@@ -70,6 +71,38 @@ std::string packing_key(const ilp::PackingProblem& problem, bool use_dfs) {
   return os.str();
 }
 
+/// Per-request memo of one per-target stage-key family (State keeps one
+/// per key kind).  Keys are pure functions of (system, options), both
+/// fixed for the pipeline's lifetime, and serializing a slice walks the
+/// chain's segment structure -- on key-heavy workloads (priority search
+/// scoring thousands of candidate pipelines) building each target's key
+/// once per request instead of once per stage access is a ~2x win.
+/// get() builds *outside* the lock (holding it through serialization
+/// would serialize the worker pool's key phase) and inserts first-wins:
+/// racing builders produce equal strings, so the loser's copy is simply
+/// dropped.  Returned references are stable (unordered_map nodes survive
+/// rehashing, and entries are never erased).
+class TargetKeyCache {
+ public:
+  template <typename Build>
+  const std::string& get(int target, Build&& build) WHARF_EXCLUDES(mutex_) {
+    {
+      const util::MutexLock guard(mutex_);
+      const auto it = map_.find(target);
+      if (it != map_.end()) return it->second;
+    }
+    std::string built = build();
+    const util::MutexLock guard(mutex_);
+    std::string& slot = map_[target];
+    if (slot.empty()) slot = std::move(built);
+    return slot;
+  }
+
+ private:
+  util::Mutex mutex_;
+  std::unordered_map<int, std::string> map_ WHARF_GUARDED_BY(mutex_);
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------
@@ -83,8 +116,8 @@ struct Pipeline::Shared {
   ArtifactStore* store = nullptr;
   std::uint64_t epoch = 0;
   int jobs = 1;
-  std::mutex diag_mutex;
-  std::array<StageDiagnostics, kArtifactStageCount> diag{};
+  util::Mutex diag_mutex;
+  std::array<StageDiagnostics, kArtifactStageCount> diag WHARF_GUARDED_BY(diag_mutex) = {};
 };
 
 struct Pipeline::State {
@@ -104,22 +137,24 @@ struct Pipeline::State {
   /// instead of duplicating the lookup — which is what keeps the
   /// per-stage counters deterministic under the worker pool.
   struct Cell {
-    std::mutex mutex;
-    bool done = false;
-    std::shared_ptr<const void> value;
-    std::exception_ptr error;
+    util::Mutex mutex;
+    bool done WHARF_GUARDED_BY(mutex) = false;
+    std::shared_ptr<const void> value WHARF_GUARDED_BY(mutex);
+    std::exception_ptr error WHARF_GUARDED_BY(mutex);
   };
-  std::mutex memo_mutex;
+  util::Mutex memo_mutex;
   /// One map per stage: keys are large (a busy-window key serializes
   /// every interferer slice), so avoid re-prefixing/copying them per
   /// lookup just to disambiguate stages.
-  std::array<std::unordered_map<std::string, std::shared_ptr<Cell>>, kArtifactStageCount> memo;
+  std::array<std::unordered_map<std::string, std::shared_ptr<Cell>>, kArtifactStageCount> memo
+      WHARF_GUARDED_BY(memo_mutex);
 
   /// Budgeted sub-pipelines, memoized per (target, deadline): a k-grid
   /// over one budget reuses the sub-pipeline's request-local memo
   /// instead of re-resolving (and re-counting) the same artifacts per k.
-  std::mutex budgeted_mutex;
-  std::map<std::pair<int, Time>, std::unique_ptr<Pipeline>> budgeted_memo;
+  util::Mutex budgeted_mutex;
+  std::map<std::pair<int, Time>, std::unique_ptr<Pipeline>> budgeted_memo
+      WHARF_GUARDED_BY(budgeted_mutex);
 
   /// Per-request cache of the per-target stage keys.  Keys are pure
   /// functions of (system, options), both fixed for the pipeline's
@@ -130,11 +165,10 @@ struct Pipeline::State {
   /// nested keys compose: overload reuses the busy-window part, dmm the
   /// overload part.  unordered_map nodes are stable, so returned
   /// references outlive later insertions.
-  std::mutex key_mutex;
-  std::unordered_map<int, std::string> ifc_keys;
-  std::unordered_map<int, std::string> bw_keys;
-  std::unordered_map<int, std::string> bw_noov_keys;
-  std::unordered_map<int, std::string> ov_keys;
+  TargetKeyCache ifc_keys;
+  TargetKeyCache bw_keys;
+  TargetKeyCache bw_noov_keys;
+  TargetKeyCache ov_keys;
 
   const std::string& interference_key_for(int target);
   const std::string& busy_window_key_for(int target, bool without_overload);
@@ -144,47 +178,22 @@ struct Pipeline::State {
   std::shared_ptr<const T> acquire(ArtifactStage stage, const std::string& key, Make&& make);
 };
 
-namespace {
-
-/// Serves `map[target]` from the cache, or builds it *outside* the lock
-/// (serialization walks segment structures — holding the mutex through
-/// it would serialize the worker pool's key phase) and inserts
-/// first-wins: racing builders produce equal strings, so the loser's
-/// copy is simply dropped.  Returned references are stable
-/// (unordered_map nodes survive rehashing).
-template <typename Build>
-const std::string& cached_key(std::mutex& mutex, std::unordered_map<int, std::string>& map,
-                              int target, Build&& build) {
-  {
-    const std::lock_guard<std::mutex> guard(mutex);
-    const auto it = map.find(target);
-    if (it != map.end()) return it->second;
-  }
-  std::string built = build();
-  const std::lock_guard<std::mutex> guard(mutex);
-  std::string& slot = map[target];
-  if (slot.empty()) slot = std::move(built);
-  return slot;
-}
-
-}  // namespace
-
 const std::string& Pipeline::State::interference_key_for(int target) {
-  return cached_key(key_mutex, ifc_keys, target,
-                    [&] { return wharf::interference_key(*system, target, slices); });
+  return ifc_keys.get(target,
+                      [&] { return wharf::interference_key(*system, target, slices); });
 }
 
 const std::string& Pipeline::State::busy_window_key_for(int target, bool without_overload) {
-  return cached_key(key_mutex, without_overload ? bw_noov_keys : bw_keys, target, [&] {
+  return (without_overload ? bw_noov_keys : bw_keys).get(target, [&] {
     return wharf::busy_window_key(*system, target, options.analysis, without_overload, slices);
   });
 }
 
 const std::string& Pipeline::State::overload_key_for(int target) {
-  // Resolve the busy-window part first (its own cached_key round), then
+  // Resolve the busy-window part first (its own memo round), then
   // compose the overload key from it outside the lock.
   const std::string& busy_part = busy_window_key_for(target, /*without_overload=*/false);
-  return cached_key(key_mutex, ov_keys, target, [&] {
+  return ov_keys.get(target, [&] {
     return wharf::overload_key(*system, target, options, busy_part, slices);
   });
 }
@@ -194,13 +203,13 @@ std::shared_ptr<const T> Pipeline::State::acquire(ArtifactStage stage, const std
                                                   Make&& make) {
   std::shared_ptr<Cell> cell;
   {
-    const std::lock_guard<std::mutex> guard(memo_mutex);
+    const util::MutexLock guard(memo_mutex);
     std::shared_ptr<Cell>& slot = memo[static_cast<std::size_t>(stage)][key];
     if (!slot) slot = std::make_shared<Cell>();
     cell = slot;
   }
 
-  const std::lock_guard<std::mutex> cell_guard(cell->mutex);
+  const util::MutexLock cell_guard(cell->mutex);
   if (cell->done) {
     if (cell->error) std::rethrow_exception(cell->error);
     return std::static_pointer_cast<const T>(cell->value);
@@ -215,7 +224,7 @@ std::shared_ptr<const T> Pipeline::State::acquire(ArtifactStage stage, const std
     });
   } catch (...) {
     {
-      const std::lock_guard<std::mutex> guard(shared->diag_mutex);
+      const util::MutexLock guard(shared->diag_mutex);
       StageDiagnostics& diag = shared->diag[static_cast<std::size_t>(stage)];
       ++diag.lookups;
       ++diag.misses;
@@ -225,7 +234,7 @@ std::shared_ptr<const T> Pipeline::State::acquire(ArtifactStage stage, const std
     throw;
   }
   {
-    const std::lock_guard<std::mutex> guard(shared->diag_mutex);
+    const util::MutexLock guard(shared->diag_mutex);
     StageDiagnostics& diag = shared->diag[static_cast<std::size_t>(stage)];
     ++diag.lookups;
     if (resolved.source == ArtifactStore::ResolveSource::kResident &&
@@ -340,7 +349,7 @@ std::vector<DmmResult> Pipeline::dmm_curve(int target, const std::vector<Count>&
 }
 
 Pipeline& Pipeline::budgeted(int target, Time deadline) {
-  const std::lock_guard<std::mutex> guard(state_->budgeted_mutex);
+  const util::MutexLock guard(state_->budgeted_mutex);
   std::unique_ptr<Pipeline>& slot = state_->budgeted_memo[{target, deadline}];
   if (!slot) {
     auto owned = std::make_shared<const System>(system().with_deadline(target, deadline));
@@ -382,7 +391,7 @@ PathDmmResult Pipeline::path_dmm(const PathSpec& path, Count k) {
 }
 
 std::array<StageDiagnostics, kArtifactStageCount> Pipeline::stage_diagnostics() const {
-  const std::lock_guard<std::mutex> guard(state_->shared->diag_mutex);
+  const util::MutexLock guard(state_->shared->diag_mutex);
   return state_->shared->diag;
 }
 

@@ -73,6 +73,7 @@ class Pipeline {
   Pipeline(Pipeline&&) noexcept;
   Pipeline& operator=(Pipeline&&) = delete;
 
+  /// The system this pipeline analyzes (borrowed; see the constructor).
   [[nodiscard]] const System& system() const;
 
   /// Stage 1: interference context of `target` (Defs 2-5).

@@ -62,7 +62,7 @@ int FdStreambuf::flush_out() {
 }
 
 bool FramedWriter::write_line(const std::string& line) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   if (failed_) return false;
   out_ << line << '\n';
   out_.flush();
@@ -71,7 +71,7 @@ bool FramedWriter::write_line(const std::string& line) {
 }
 
 bool FramedWriter::failed() const {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const util::MutexLock guard(mutex_);
   return failed_;
 }
 

@@ -32,7 +32,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <ostream>
 #include <streambuf>
 #include <string>
@@ -42,7 +41,9 @@
 #include "engine/engine.hpp"
 #include "engine/session.hpp"
 #include "io/json.hpp"
+#include "util/mutex.hpp"
 #include "util/status.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace wharf::io {
 
@@ -149,15 +150,15 @@ class FramedWriter {
   FramedWriter& operator=(const FramedWriter&) = delete;
 
   /// Writes one framed line; returns false once the stream has failed.
-  bool write_line(const std::string& line);
+  bool write_line(const std::string& line) WHARF_EXCLUDES(mutex_);
 
   /// True after any write_line() observed a stream failure.
-  [[nodiscard]] bool failed() const;
+  [[nodiscard]] bool failed() const WHARF_EXCLUDES(mutex_);
 
  private:
-  std::ostream& out_;
-  mutable std::mutex mutex_;
-  bool failed_ = false;
+  std::ostream& out_ WHARF_GUARDED_BY(mutex_);
+  mutable util::Mutex mutex_;
+  bool failed_ WHARF_GUARDED_BY(mutex_) = false;
 };
 
 // ---------------------------------------------------------------------

@@ -160,7 +160,7 @@ Objective PipelineEvaluator::score(const std::vector<Priority>& priorities, int 
 
   const SessionStats diag = candidate.stats();
   {
-    const std::lock_guard<std::mutex> guard(stats_mutex_);
+    const util::MutexLock guard(stats_mutex_);
     ++stats_.evaluations;
     for (std::size_t s = 0; s < kArtifactStageCount; ++s) {
       stats_.stages[s].lookups += diag.stages[s].lookups;
@@ -192,7 +192,7 @@ std::vector<Objective> PipelineEvaluator::evaluate_many(
 EvaluatorStats PipelineEvaluator::stats() const {
   EvaluatorStats out;
   {
-    const std::lock_guard<std::mutex> guard(stats_mutex_);
+    const util::MutexLock guard(stats_mutex_);
     out = stats_;
   }
   // The slice memo is shared by every candidate session; its lifetime

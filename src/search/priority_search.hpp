@@ -31,13 +31,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/model_slice.hpp"
 #include "core/twca.hpp"
 #include "engine/artifact_store.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "engine/pipeline.hpp"
 
 namespace wharf {
@@ -159,8 +160,8 @@ class PipelineEvaluator final : public Evaluator {
   std::unique_ptr<Session> session_;
   std::vector<Priority> base_priorities_;  ///< flat, aligned with task_names_
   std::vector<std::string> task_names_;    ///< dotted "chain.task" per flat index
-  mutable std::mutex stats_mutex_;
-  EvaluatorStats stats_;
+  mutable util::Mutex stats_mutex_;
+  EvaluatorStats stats_ WHARF_GUARDED_BY(stats_mutex_);
 };
 
 /// The pre-pipeline reference backend: a standalone TwcaAnalyzer per

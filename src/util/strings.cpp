@@ -3,6 +3,7 @@
 #include <cctype>
 #include <charconv>
 #include <cstdlib>
+#include <system_error>
 
 namespace wharf::util {
 
@@ -66,6 +67,12 @@ bool parse_double(std::string_view s, double& out) {
   const char* last = s.data() + s.size();
   auto [ptr, ec] = std::from_chars(first, last, out);
   return ec == std::errc() && ptr == last;
+}
+
+std::string errno_message(int errno_value) {
+  // std::error_code::message() allocates its own string — no shared
+  // static buffer, unlike std::strerror.
+  return std::error_code(errno_value, std::generic_category()).message();
 }
 
 }  // namespace wharf::util

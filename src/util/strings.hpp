@@ -46,6 +46,12 @@ template <typename... Args>
 /// Parses a double; the full string must be consumed.
 [[nodiscard]] bool parse_double(std::string_view s, double& out);
 
+/// Thread-safe strerror: the system message for `errno_value`
+/// (std::strerror writes to shared static storage, which the
+/// concurrency-mt-unsafe tidy check rightly refuses in a server that
+/// formats errors from concurrent connection threads).
+[[nodiscard]] std::string errno_message(int errno_value);
+
 }  // namespace wharf::util
 
 #endif  // WHARF_UTIL_STRINGS_HPP

@@ -1,0 +1,72 @@
+/// \file thread_annotations.hpp
+/// Clang thread-safety-analysis capability macros (WHARF_GUARDED_BY,
+/// WHARF_REQUIRES, ...), expanding to nothing on compilers without the
+/// attributes (GCC).  Builds with `-Wthread-safety -Werror` (the CI
+/// clang-analyze job; CMake adds -Wthread-safety to every clang build) turn the
+/// locking discipline these macros express into compile errors: reading
+/// a WHARF_GUARDED_BY member without its mutex, calling a WHARF_REQUIRES
+/// function unlocked, or leaking a WHARF_ACQUIRE without the matching
+/// release all fail the build.
+///
+/// The annotations attach to util::Mutex / util::MutexLock / util::CondVar
+/// (util/mutex.hpp), not std::mutex: libstdc++'s std::mutex is not a
+/// declared capability, and RAII guards instantiated from system headers
+/// are exempt from the analysis — so the repo-wide rule (enforced by
+/// tools/check_locking.py) is that concurrent code in src/{util,engine,
+/// search,io,cli} holds locks only through the annotated wrappers.
+///
+/// Macro reference (mirror of the Clang documentation's mutex.h example):
+///  * WHARF_CAPABILITY(x)        — declares a class to be a lockable capability
+///  * WHARF_SCOPED_CAPABILITY    — declares an RAII guard class
+///  * WHARF_GUARDED_BY(x)        — member readable/writable only with x held
+///  * WHARF_PT_GUARDED_BY(x)     — pointee guarded by x (pointer itself free)
+///  * WHARF_REQUIRES(...)        — caller must hold the listed capabilities
+///  * WHARF_EXCLUDES(...)        — caller must NOT hold them (non-reentrancy)
+///  * WHARF_ACQUIRE(...)/WHARF_RELEASE(...)      — function acquires/releases
+///  * WHARF_TRY_ACQUIRE(b, ...)  — acquires iff the return value equals b
+///  * WHARF_ASSERT_CAPABILITY(x) — runtime-asserts x is held (AssertHeld)
+///  * WHARF_ACQUIRED_BEFORE/AFTER(...) — static lock-order declaration
+///  * WHARF_RETURN_CAPABILITY(x) — function returns a reference to capability x
+///  * WHARF_NO_THREAD_SAFETY_ANALYSIS — opt a function out (trusted internals)
+
+#ifndef WHARF_UTIL_THREAD_ANNOTATIONS_HPP
+#define WHARF_UTIL_THREAD_ANNOTATIONS_HPP
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define WHARF_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#endif
+#endif
+#ifndef WHARF_THREAD_ANNOTATION_ATTRIBUTE
+#define WHARF_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside clang
+#endif
+
+#define WHARF_CAPABILITY(x) WHARF_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define WHARF_SCOPED_CAPABILITY WHARF_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define WHARF_GUARDED_BY(x) WHARF_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define WHARF_PT_GUARDED_BY(x) WHARF_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define WHARF_ACQUIRED_BEFORE(...) WHARF_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define WHARF_ACQUIRED_AFTER(...) WHARF_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define WHARF_REQUIRES(...) WHARF_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define WHARF_ACQUIRE(...) WHARF_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define WHARF_RELEASE(...) WHARF_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define WHARF_TRY_ACQUIRE(...) WHARF_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define WHARF_EXCLUDES(...) WHARF_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define WHARF_ASSERT_CAPABILITY(x) WHARF_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define WHARF_RETURN_CAPABILITY(x) WHARF_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define WHARF_NO_THREAD_SAFETY_ANALYSIS WHARF_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // WHARF_UTIL_THREAD_ANNOTATIONS_HPP

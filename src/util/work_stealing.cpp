@@ -1,21 +1,22 @@
 #include "util/work_stealing.hpp"
 
 #include <algorithm>
-#include <exception>
 #include <thread>
 #include <vector>
 
+#include "util/first_error.hpp"
+#include "util/mutex.hpp"
 #include "util/worker_pool.hpp"
 
 namespace wharf::util {
 
 void WorkStealingDeque::push(std::size_t task) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const MutexLock guard(mutex_);
   tasks_.push_back(task);
 }
 
 bool WorkStealingDeque::pop(std::size_t& task) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const MutexLock guard(mutex_);
   if (tasks_.empty()) return false;
   task = tasks_.back();
   tasks_.pop_back();
@@ -23,7 +24,7 @@ bool WorkStealingDeque::pop(std::size_t& task) {
 }
 
 bool WorkStealingDeque::steal(std::size_t& task) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const MutexLock guard(mutex_);
   if (tasks_.empty()) return false;
   task = tasks_.front();
   tasks_.pop_front();
@@ -31,7 +32,7 @@ bool WorkStealingDeque::steal(std::size_t& task) {
 }
 
 std::size_t WorkStealingDeque::size() const {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const MutexLock guard(mutex_);
   return tasks_.size();
 }
 
@@ -51,8 +52,7 @@ void work_steal_for_index(std::size_t n, int jobs,
   std::vector<WorkStealingDeque> deques(workers);
   for (std::size_t i = 0; i < n; ++i) deques[i % workers].push(i);
 
-  std::exception_ptr first_error;
-  std::mutex error_lock;
+  FirstError first_error;
 
   const auto worker = [&](std::size_t self) {
     for (;;) {
@@ -65,12 +65,7 @@ void work_steal_for_index(std::size_t n, int jobs,
       // deque empty is terminal: this worker is done (no spinning while
       // slower workers drain in-flight tasks).
       if (!found) return;
-      try {
-        body(task);
-      } catch (...) {
-        const std::lock_guard<std::mutex> guard(error_lock);
-        if (!first_error) first_error = std::current_exception();
-      }
+      first_error.capture([&] { body(task); });
     }
   };
 
@@ -80,7 +75,7 @@ void work_steal_for_index(std::size_t n, int jobs,
   worker(0);  // the caller thread participates
   for (std::thread& t : threads) t.join();
 
-  if (first_error) std::rethrow_exception(first_error);
+  first_error.rethrow_if_set();
 }
 
 }  // namespace wharf::util

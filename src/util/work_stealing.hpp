@@ -22,7 +22,9 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace wharf::util {
 
@@ -35,21 +37,21 @@ namespace wharf::util {
 class WorkStealingDeque {
  public:
   /// Appends a task at the bottom (owner side).
-  void push(std::size_t task);
+  void push(std::size_t task) WHARF_EXCLUDES(mutex_);
 
   /// Pops the most recently pushed task (owner side).  Returns false
   /// when the deque is empty.
-  bool pop(std::size_t& task);
+  bool pop(std::size_t& task) WHARF_EXCLUDES(mutex_);
 
   /// Steals the oldest task (thief side).  Returns false when empty.
-  bool steal(std::size_t& task);
+  bool steal(std::size_t& task) WHARF_EXCLUDES(mutex_);
 
   /// Snapshot size (approximate under concurrency; exact when quiescent).
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const WHARF_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::deque<std::size_t> tasks_;
+  mutable Mutex mutex_;
+  std::deque<std::size_t> tasks_ WHARF_GUARDED_BY(mutex_);
 };
 
 /// Runs body(0), ..., body(n-1) on `jobs` workers with work stealing:

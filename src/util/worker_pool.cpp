@@ -1,10 +1,10 @@
 #include "util/worker_pool.hpp"
 
 #include <atomic>
-#include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/first_error.hpp"
 
 namespace wharf::util {
 
@@ -26,19 +26,13 @@ void parallel_for_index(std::size_t n, int jobs,
   }
 
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_lock;
+  FirstError first_error;
 
   const auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
-      try {
-        body(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> guard(error_lock);
-        if (!first_error) first_error = std::current_exception();
-      }
+      first_error.capture([&] { body(i); });
     }
   };
 
@@ -48,7 +42,7 @@ void parallel_for_index(std::size_t n, int jobs,
   worker();  // the caller thread participates
   for (std::thread& t : threads) t.join();
 
-  if (first_error) std::rethrow_exception(first_error);
+  first_error.rethrow_if_set();
 }
 
 }  // namespace wharf::util

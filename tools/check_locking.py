@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Locking-discipline checker for wharf's concurrency layer.
+
+Clang's thread-safety analysis (-Wthread-safety) only sees what is
+annotated, and std::mutex / the std RAII guards live in system headers
+that the analysis exempts — code that uses them silently opts out.
+This grep-style gate (no real C++ parsing; comments and string literals
+are stripped first) keeps the gated directories honest:
+
+  1. No std synchronization primitives (std::mutex and friends,
+     std::condition_variable{,_any}, std::lock_guard / unique_lock /
+     scoped_lock / shared_lock).  Use util::Mutex, util::MutexLock and
+     util::CondVar (src/util/mutex.hpp), which carry the capability
+     annotations the analysis needs.
+  2. No naked .lock() / .unlock() calls — locking is RAII-only
+     (util::MutexLock), so no path can leak a held mutex.
+  3. Every Mutex member must guard something: a file declaring a
+     `Mutex foo_;` member must also reference it in at least one
+     WHARF_GUARDED_BY / WHARF_PT_GUARDED_BY / WHARF_REQUIRES /
+     WHARF_ACQUIRE annotation — an unreferenced mutex means unannotated
+     shared state.
+  4. No std::thread::detach() — every thread is joined, so TSan and the
+     fork-join error contracts see its whole lifetime.
+
+Exempt: src/util/mutex.hpp (the one place allowed to wrap std::mutex)
+and src/util/thread_annotations.hpp (macro definitions).  A line ending
+in `// locking: <reason>` is exempt from rules 1-2-4 (used for audited
+exceptions; none exist today).
+
+Exit 0 when clean; 1 lists offenders as file:line: message.
+
+Usage: check_locking.py DIR [DIR ...]
+"""
+
+import os
+import re
+import sys
+
+EXEMPT_FILES = {
+    os.path.join("src", "util", "mutex.hpp"),
+    os.path.join("src", "util", "thread_annotations.hpp"),
+}
+
+STD_PRIMITIVE_RE = re.compile(
+    r"std\s*::\s*(recursive_mutex|timed_mutex|recursive_timed_mutex|shared_mutex"
+    r"|shared_timed_mutex|mutex|condition_variable_any|condition_variable"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+NAKED_LOCK_RE = re.compile(r"[.\->]\s*(unlock|lock)\s*\(\s*\)")
+DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:util\s*::\s*)?Mutex\s+(\w+)\s*;")
+SUPPRESS_RE = re.compile(r"//\s*locking:")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving newlines."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            # Keep the suppression marker visible to the rules below.
+            comment = text[i:end]
+            out.append("// locking:" if SUPPRESS_RE.search(comment) else "")
+            i = end
+        elif ch == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            out.append("\n" * text.count("\n", i, end))
+            i = end
+        elif ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + quote)
+            i = j + 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def check_file(path: str, rel: str):
+    with open(path, encoding="utf-8") as handle:
+        raw = handle.read()
+    code = strip_comments_and_strings(raw)
+    lines = code.splitlines()
+    failures = []
+
+    mutex_members = []  # (line_number, member_name)
+    for number, line in enumerate(lines, start=1):
+        suppressed = bool(SUPPRESS_RE.search(line))
+        match = STD_PRIMITIVE_RE.search(line)
+        if match and not suppressed:
+            failures.append((number, f"std::{match.group(1)} is forbidden here; "
+                             "use util::Mutex/MutexLock/CondVar (src/util/mutex.hpp) "
+                             "so -Wthread-safety sees the capability"))
+        if not suppressed:
+            for match in NAKED_LOCK_RE.finditer(line):
+                failures.append((number, f"naked .{match.group(1)}() call; locking "
+                                 "is RAII-only (util::MutexLock)"))
+        if DETACH_RE.search(line) and not suppressed:
+            failures.append((number, "detached thread; every thread must be joined"))
+        member = MUTEX_MEMBER_RE.match(line)
+        if member:
+            mutex_members.append((number, member.group(1)))
+
+    for number, name in mutex_members:
+        used = re.search(
+            r"WHARF_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|EXCLUDES"
+            r"|ASSERT_CAPABILITY)\s*\(\s*" + re.escape(name) + r"\b", code)
+        if not used:
+            failures.append((number, f"Mutex member '{name}' guards nothing: add "
+                             "WHARF_GUARDED_BY/WHARF_REQUIRES annotations naming it"))
+
+    return [(rel, number, message) for number, message in sorted(failures)]
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    root = os.getcwd()
+    failures = []
+    for directory in argv[1:]:
+        for dirpath, _, filenames in os.walk(directory):
+            for filename in sorted(filenames):
+                if not filename.endswith((".hpp", ".cpp", ".h", ".cc")):
+                    continue
+                path = os.path.join(dirpath, filename)
+                rel = os.path.relpath(path, root)
+                if rel in EXEMPT_FILES:
+                    continue
+                failures.extend(check_file(path, rel))
+    for rel, number, message in failures:
+        print(f"{rel}:{number}: {message}")
+    if failures:
+        print(f"\n{len(failures)} locking-discipline violation(s).")
+        return 1
+    print("locking discipline: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
