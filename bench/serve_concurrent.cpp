@@ -18,11 +18,13 @@
 // Emits machine-readable "BENCH {...}" JSON lines next to the tables;
 // CI gates on identical_to_serialized, on the concurrent variant
 // performing strictly fewer busy-window solves than the serialized one,
-// and on cross_connection_reuse > 0.  "shared_flights" (in-flight
-// joins) is also reported but not gated: with microsecond-scale solves
-// it needs two resolve() calls inside one compute window, which a
-// single-CPU runner cannot guarantee (tests/single_flight_test.cpp pins
-// that mechanism deterministically with a gated arrival model).
+// on cross_connection_reuse > 0, and on shared_flights > 0: each serve
+// round now resolves its busy windows under one coarse batched flight
+// (Pipeline::prime_busy_windows) and the fixture's near-unit
+// utilization keeps that flight open for milliseconds, so concurrently
+// arriving clients reliably join it — even on a single CPU, where the
+// owner gets preempted mid-compute.  (tests/single_flight_test.cpp pins
+// the join mechanism deterministically with a gated arrival model.)
 //
 //   $ ./bench_serve_concurrent
 
@@ -55,18 +57,32 @@ constexpr std::size_t kBusyWindowStage =
     static_cast<std::size_t>(static_cast<int>(ArtifactStage::kBusyWindow));
 
 System sweep_base() {
-  // Heavier than the serve_stream fixture on purpose: the busy-window /
-  // dmm solves must take long enough that concurrently arriving clients
-  // overlap inside one computation (the single-flight window).
-  gen::RandomSystemSpec spec;
-  spec.min_chains = 8;
-  spec.max_chains = 8;
-  spec.min_tasks = 2;
-  spec.max_tasks = 3;
-  spec.utilization = 0.7;
-  spec.overload_chains = 1;
-  std::mt19937_64 rng(42);
-  return gen::random_system(spec, rng, "serve_concurrent");
+  // Much heavier than the serve_stream fixture on purpose: each serve
+  // round resolves its busy windows under one coarse batched flight
+  // (Pipeline::prime_busy_windows), and at utilization ~0.9994 the busy
+  // windows are long enough (milliseconds per cold round) that the
+  // flight stays open while the other clients' identical lookups arrive
+  // — the in-flight joins the gated shared_flights > 0 counts.  Built by
+  // hand because the integer-rounded random generator cannot dial
+  // utilization this close to (but below) 1.
+  std::vector<Chain> chains;
+  for (int i = 0; i < 10; ++i) {
+    Chain::Spec spec;
+    spec.name = "chain" + std::to_string(i);
+    const Time period = 100'000 + 1'000 * i;
+    spec.arrival = periodic(period);
+    spec.deadline = period;
+    spec.tasks = {Task{"a", Priority(1 + 2 * i), i == 0 ? 5'234 : 5'218},
+                  Task{"b", Priority(2 + 2 * i), 5'218}};
+    chains.emplace_back(std::move(spec));
+  }
+  Chain::Spec ov;
+  ov.name = "ov";
+  ov.arrival = sporadic(5'000'000);
+  ov.overload = true;
+  ov.tasks = {Task{"o", 100, 2'000}};
+  chains.emplace_back(std::move(ov));
+  return System("serve_concurrent", std::move(chains));
 }
 
 std::string query_line(int id) {
@@ -257,7 +273,7 @@ void emit_bench_json(const char* variant, int clients, const Outcome& o, bool id
 }
 
 void print_tables() {
-  constexpr int kClients = 4;
+  constexpr int kClients = 8;
   constexpr int kSteps = 10;
   const System base = sweep_base();
   const std::vector<std::string> conversation = sweep_conversation(base, kSteps, 7);

@@ -40,6 +40,10 @@ class PeriodicModel final : public ArrivalModel {
 
   double rate_upper() const override { return 1.0 / static_cast<double>(period_); }
 
+  std::optional<ArrivalTailSpec> tail_spec() const override {
+    return ArrivalTailSpec{1, 1, period_};
+  }
+
   std::string describe() const override { return util::cat("periodic(", period_, ")"); }
 
  private:
@@ -88,6 +92,15 @@ class PeriodicJitterModel final : public ArrivalModel {
 
   double rate_upper() const override { return 1.0 / static_cast<double>(period_); }
 
+  std::optional<ArrivalTailSpec> tail_spec() const override {
+    // With period == min_distance the distance term (q-1)*min_distance
+    // dominates everywhere, so the curve is arithmetic from q = 1.
+    // Otherwise the period term (q-1)*period - jitter takes over once
+    // (q-1)*(period - min_distance) >= jitter.
+    if (period_ == min_distance_) return ArrivalTailSpec{1, 1, period_};
+    return ArrivalTailSpec{1 + ceil_div(jitter_, period_ - min_distance_), 1, period_};
+  }
+
   std::string describe() const override {
     return util::cat("periodic_jitter(", period_, ",", jitter_, ",", min_distance_, ")");
   }
@@ -120,6 +133,10 @@ class SporadicModel final : public ArrivalModel {
   Time delta_plus(Count q) const override { return q <= 1 ? 0 : kTimeInfinity; }
 
   double rate_upper() const override { return 1.0 / static_cast<double>(min_distance_); }
+
+  std::optional<ArrivalTailSpec> tail_spec() const override {
+    return ArrivalTailSpec{1, 1, min_distance_};
+  }
 
   std::string describe() const override { return util::cat("sporadic(", min_distance_, ")"); }
 
@@ -167,14 +184,10 @@ class DeltaCurveModel final : public ArrivalModel {
     if (window <= 0) return 0;
     if (is_infinite(window)) return kCountInfinity;
     // eta_plus(dt) = max{ q | delta_minus(q) < dt }; delta_minus(1) = 0 < dt.
-    Count q = 1;
-    for (std::size_t i = 0; i < prefix_.size(); ++i) {
-      if (prefix_[i] < window) {
-        q = static_cast<Count>(i) + 2;
-      } else {
-        return q;
-      }
-    }
+    // The prefix is non-decreasing, so the count of entries < window is a
+    // binary search (prefix_[i] holds delta_minus(i + 2)).
+    const auto it = std::lower_bound(prefix_.begin(), prefix_.end(), window);
+    if (it != prefix_.end()) return static_cast<Count>(it - prefix_.begin()) + 1;
     // Beyond the prefix: delta_minus(q) = back + (q - n - 1) * tail, where
     // n = prefix length + 1 is the largest q covered by the prefix.
     const Count n = static_cast<Count>(prefix_.size()) + 1;
@@ -189,15 +202,10 @@ class DeltaCurveModel final : public ArrivalModel {
     if (plus_prefix_.empty() || window <= 0) return 0;
     if (is_infinite(window)) return kCountInfinity;
     // Largest q >= 0 with delta_plus(q + 1) <= window: any window of that
-    // length must contain at least q activations.
-    Count q = 0;
-    for (std::size_t i = 0; i < plus_prefix_.size(); ++i) {
-      if (plus_prefix_[i] <= window) {
-        q = static_cast<Count>(i) + 1;
-      } else {
-        return q;
-      }
-    }
+    // length must contain at least q activations.  The count of prefix
+    // entries <= window is again a binary search.
+    const auto it = std::upper_bound(plus_prefix_.begin(), plus_prefix_.end(), window);
+    if (it != plus_prefix_.end()) return static_cast<Count>(it - plus_prefix_.begin());
     const Count n = static_cast<Count>(plus_prefix_.size()) + 1;
     const Count extra = floor_div(window - plus_prefix_.back(), plus_tail_);
     return n + extra - 1;
@@ -221,6 +229,12 @@ class DeltaCurveModel final : public ArrivalModel {
   }
 
   double rate_upper() const override { return 1.0 / static_cast<double>(tail_period_); }
+
+  std::optional<ArrivalTailSpec> tail_spec() const override {
+    // The prefix covers q in [2, n] with n = prefix length + 1; from q = n
+    // on, every step adds the tail slope.
+    return ArrivalTailSpec{static_cast<Count>(prefix_.size()) + 1, 1, tail_period_};
+  }
 
   std::string describe() const override {
     std::ostringstream os;
@@ -284,6 +298,11 @@ class SporadicBurstModel final : public ArrivalModel {
 
   double rate_upper() const override {
     return static_cast<double>(burst_) / static_cast<double>(period_);
+  }
+
+  std::optional<ArrivalTailSpec> tail_spec() const override {
+    // Shifting by one whole burst adds exactly one outer period.
+    return ArrivalTailSpec{1, burst_, period_};
   }
 
   std::string describe() const override {

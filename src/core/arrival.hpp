@@ -19,12 +19,26 @@
 #define WHARF_CORE_ARRIVAL_HPP
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "util/types.hpp"
 
 namespace wharf {
+
+/// Arithmetic tail of a delta_minus curve: for every q >= `valid_from`,
+///   delta_minus(q + block) == delta_minus(q) + span   (saturating).
+/// Every library model is eventually arithmetic — periodic/sporadic
+/// curves from q = 1, jitter curves once the period term dominates the
+/// min-distance term, explicit curves beyond their prefix, bursts with
+/// block = burst size — which is what lets ArrivalTable (arrival_table.hpp)
+/// evaluate them via a dense prefix plus O(block) tail arithmetic.
+struct ArrivalTailSpec {
+  Count valid_from = 1;  ///< first q the recurrence holds from (>= 1)
+  Count block = 1;       ///< recurrence stride in activations (>= 1)
+  Time span = 1;         ///< distance gained per block (>= 1)
+};
 
 /// Abstract activation model (immutable; shared between chains).
 class ArrivalModel {
@@ -51,6 +65,12 @@ class ArrivalModel {
   /// Long-run upper bound on the activation rate (events per tick), i.e.
   /// lim sup eta_plus(dt)/dt.  Used for utilization tests.
   [[nodiscard]] virtual double rate_upper() const = 0;
+
+  /// The eventually-arithmetic structure of this model's delta_minus
+  /// curve, if it has one (see ArrivalTailSpec).  Models returning
+  /// nullopt are still analyzed correctly — ArrivalTable just falls back
+  /// to virtual evaluation for them.  Every library model overrides this.
+  [[nodiscard]] virtual std::optional<ArrivalTailSpec> tail_spec() const { return std::nullopt; }
 
   /// Canonical, parseable textual form (e.g. "periodic(200)"); `io::`
   /// serialization reuses this exact syntax.

@@ -12,6 +12,7 @@
 #define WHARF_CORE_BUSY_WINDOW_HPP
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/interference.hpp"
@@ -63,10 +64,26 @@ struct LatencyResult {
                                             Count q, const AnalysisOptions& options,
                                             const std::vector<int>& exclude = {});
 
-/// One labelled contribution to a busy time (for reports/debugging).
+/// One contribution to a busy time (for reports/debugging).  Stores the
+/// structured facts; the human-readable label is rendered on demand via
+/// label(), so the analysis never builds diagnostic strings it may not
+/// need (the old eager util::cat labels allocated per term).
 struct BusyTimeTerm {
-  std::string label;  ///< e.g. "2 x C_b", "sigma_a (arbitrary)"
-  Time amount = 0;
+  /// Which Eq. (1) term this is (selects the label wording).
+  enum class Kind {
+    kDemand,         ///< q x C_b: the analyzed chain's own demand
+    kSelfHeader,     ///< async self header pile-up (2nd line of Eq. 1)
+    kArbitrary,      ///< arbitrarily interfering chain: eta x C_a
+    kDeferredAsync,  ///< deferred async: eta x C_header + one per segment
+    kDeferredSync,   ///< deferred sync: critical segment only
+  };
+  Kind kind = Kind::kDemand;  ///< term kind
+  int chain = -1;             ///< contributing chain (the target for kDemand/kSelfHeader)
+  Count q = 0;                ///< activation count under analysis (kDemand label)
+  Time amount = 0;            ///< the term's value at the evaluated window
+  /// Renders the label, e.g. "2 x C_gamma (demand)" or
+  /// "alpha — deferred sync (critical segment)".
+  [[nodiscard]] std::string label(const System& system) const;
 };
 
 /// Term-by-term itemization of Eq. (1) evaluated at the busy time `B`
@@ -81,6 +98,13 @@ struct BusyTimeTerm {
 
 /// Theorem 2 + Lemma 3: full latency analysis of chain `target`.
 [[nodiscard]] LatencyResult latency_analysis(const System& system, int target,
+                                             const AnalysisOptions& options = {},
+                                             const std::vector<int>& exclude = {});
+
+/// As above, but reusing a prebuilt interference context of the target
+/// (e.g. the engine's cached stage-1 artifact) instead of rebuilding it.
+[[nodiscard]] LatencyResult latency_analysis(const System& system,
+                                             const InterferenceContext& ctx,
                                              const AnalysisOptions& options = {},
                                              const std::vector<int>& exclude = {});
 
@@ -116,6 +140,25 @@ struct BusyTimeTerm {
 [[nodiscard]] Time exact_combination_slack(const System& system, const InterferenceContext& ctx,
                                            Count K, Time max_cost,
                                            const AnalysisOptions& options);
+
+/// The pre-flattening (PR <= 6) busy-window implementation, preserved
+/// verbatim as the bit-identity oracle for the data-oriented kernel:
+/// bench/core_solver.cpp and the property tests gate the flat path
+/// against these on every run.  Virtual-dispatch per eta/delta call —
+/// correct but slow; not for production use.
+namespace reference {
+
+/// Pre-flattening Theorem 1 fixed point (see the namespace comment).
+[[nodiscard]] std::optional<Time> busy_time(const System& system, const InterferenceContext& ctx,
+                                            Count q, const AnalysisOptions& options,
+                                            const std::vector<int>& exclude = {});
+
+/// Pre-flattening Theorem 2 + Lemma 3 analysis (see the namespace comment).
+[[nodiscard]] LatencyResult latency_analysis(const System& system, int target,
+                                             const AnalysisOptions& options = {},
+                                             const std::vector<int>& exclude = {});
+
+}  // namespace reference
 
 }  // namespace wharf
 

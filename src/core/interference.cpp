@@ -12,12 +12,14 @@ InterferenceContext make_interference_context(const System& system, int target) 
   const Chain& b = system.chain(target);
   ctx.self_header = header_subchain(b);
   ctx.self_header_cost = cost_of(b, ctx.self_header);
+  ctx.self_table = std::make_shared<const ArrivalTable>(b.arrival_ptr());
 
   for (int a = 0; a < system.size(); ++a) {
     if (a == target) continue;
     const Chain& chain_a = system.chain(a);
     ChainInterference info;
     info.chain = a;
+    info.table = std::make_shared<const ArrivalTable>(chain_a.arrival_ptr());
     info.deferred = is_deferred(chain_a, b);
     if (info.deferred) {
       info.segments = segments_wrt(chain_a, b);

@@ -6,9 +6,11 @@
 #ifndef WHARF_CORE_INTERFERENCE_HPP
 #define WHARF_CORE_INTERFERENCE_HPP
 
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "core/arrival_table.hpp"
 #include "core/segments.hpp"
 #include "core/system.hpp"
 
@@ -24,6 +26,11 @@ struct ChainInterference {
   std::vector<int> header_segment;     ///< Def. 5 (w.r.t. b), task indices
   Time header_segment_cost = 0;        ///< C_{s_header_{a,b}}
   Time segments_total_cost = 0;        ///< Σ_{s ∈ S^a_b} C_s
+  /// Flat arrival table of σ_a (arrival_table.hpp), built once with the
+  /// context so the busy-window kernel evaluates η⁺ without virtual
+  /// dispatch.  May be null in hand-built contexts; the kernel then
+  /// falls back to the chain's arrival model.
+  std::shared_ptr<const ArrivalTable> table;
 };
 
 /// Everything the latency analysis of chain σ_b needs to know about the
@@ -37,6 +44,8 @@ struct InterferenceContext {
   Time self_header_cost = 0;
   /// One entry per chain other than σ_b, in chain order.
   std::vector<ChainInterference> others;
+  /// Flat arrival table of σ_b itself (null in hand-built contexts).
+  std::shared_ptr<const ArrivalTable> self_table;
 };
 
 /// Builds the interference context of chain `target`.

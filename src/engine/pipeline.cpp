@@ -1,5 +1,6 @@
 #include "engine/pipeline.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <map>
 #include <sstream>
@@ -24,12 +25,29 @@ using util::heap_bytes;
 
 std::size_t weight_of(const InterferenceContext& ctx) {
   std::size_t total = sizeof(ctx) + heap_bytes(ctx.self_header);
+  if (ctx.self_table) total += sizeof(ArrivalTable) + ctx.self_table->heap_bytes();
   for (const ChainInterference& info : ctx.others) {
     total += sizeof(info) + heap_bytes(info.header_segment);
     for (const Segment& s : info.segments) total += sizeof(s) + heap_bytes(s.tasks);
     if (info.critical.has_value()) total += heap_bytes(info.critical->tasks);
+    if (info.table) total += sizeof(ArrivalTable) + info.table->heap_bytes();
   }
   return total;
+}
+
+/// The batched busy-window artifact of Pipeline::prime_busy_windows():
+/// a marker whose *computation* resolves every member through the
+/// normal per-member path (so members are stored, counted and reused
+/// individually) under one coarse single-flight window.  The marker
+/// itself only pins the member results it gathered.
+struct BusyWindowBatch {
+  std::vector<std::shared_ptr<const LatencyResult>> results;  ///< one per member
+};
+
+std::size_t weight_of(const BusyWindowBatch& batch) {
+  // Members are weighed by their own store entries; the marker carries
+  // only the pointer array.
+  return sizeof(batch) + batch.results.capacity() * sizeof(batch.results[0]);
 }
 
 std::size_t weight_of(const LatencyResult& r) {
@@ -291,8 +309,11 @@ std::shared_ptr<const InterferenceContext> Pipeline::interference(int target) {
 std::shared_ptr<const LatencyResult> Pipeline::latency(int target) {
   return state_->acquire<LatencyResult>(
       ArtifactStage::kBusyWindow,
-      state_->busy_window_key_for(target, /*without_overload=*/false),
-      [&] { return latency_analysis(system(), target, state_->options.analysis); });
+      state_->busy_window_key_for(target, /*without_overload=*/false), [&] {
+        // Reuse the cached stage-1 context (and its flat arrival
+        // tables) instead of rebuilding it inside the analysis.
+        return latency_analysis(system(), *interference(target), state_->options.analysis);
+      });
 }
 
 std::shared_ptr<const LatencyResult> Pipeline::latency_without_overload(int target) {
@@ -300,9 +321,45 @@ std::shared_ptr<const LatencyResult> Pipeline::latency_without_overload(int targ
       ArtifactStage::kBusyWindow,
       state_->busy_window_key_for(target, /*without_overload=*/true),
       [&] {
-        return latency_analysis(system(), target, state_->options.analysis,
+        return latency_analysis(system(), *interference(target), state_->options.analysis,
                                 system().overload_indices());
       });
+}
+
+void Pipeline::prime_busy_windows(const std::vector<std::pair<int, bool>>& members) {
+  // Canonical member set: valid chain indices only (invalid ones surface
+  // their errors in the individual queries), sorted and deduplicated so
+  // the batch key is order-independent.
+  std::vector<std::pair<int, bool>> sorted;
+  sorted.reserve(members.size());
+  for (const auto& member : members) {
+    if (member.first >= 0 && member.first < system().size()) sorted.push_back(member);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  if (sorted.size() < 2) return;  // nothing to batch
+
+  // Batch key: the member busy-window keys joined — the same member set
+  // over the same model slices names the same artifact.
+  std::string key = "bwb|";
+  for (const auto& [target, without_overload] : sorted) {
+    key += state_->busy_window_key_for(target, without_overload);
+    key += '\x1f';
+  }
+  try {
+    (void)state_->acquire<BusyWindowBatch>(ArtifactStage::kBusyWindow, key, [&] {
+      BusyWindowBatch batch;
+      batch.results.reserve(sorted.size());
+      for (const auto& [target, without_overload] : sorted) {
+        batch.results.push_back(without_overload ? latency_without_overload(target)
+                                                 : latency(target));
+      }
+      return batch;
+    });
+  } catch (...) {
+    // A failing member poisons only the batch marker; the individual
+    // queries re-resolve the member and report its own error.
+  }
 }
 
 std::shared_ptr<const TargetArtifacts> Pipeline::overload_artifacts(int target) {

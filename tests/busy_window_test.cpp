@@ -215,12 +215,13 @@ TEST_F(CaseStudy, BreakdownSigmaCAtQ1) {
   const auto terms = busy_time_breakdown(system, ctx, 1, 331);
   ASSERT_EQ(terms.size(), 4u);
   EXPECT_EQ(terms[0].amount, 51);
-  EXPECT_NE(terms[0].label.find("demand"), std::string::npos);
+  EXPECT_NE(terms[0].label(system).find("demand"), std::string::npos);
   Time sigma_d_amount = 0;
   for (const auto& t : terms) {
-    if (t.label.find("sigma_d") != std::string::npos) sigma_d_amount = t.amount;
-    if (t.label.find("sigma_") == 0) {
-      EXPECT_NE(t.label.find("arbitrary"), std::string::npos) << t.label;
+    const std::string label = t.label(system);
+    if (label.find("sigma_d") != std::string::npos) sigma_d_amount = t.amount;
+    if (label.find("sigma_") == 0) {
+      EXPECT_NE(label.find("arbitrary"), std::string::npos) << label;
     }
   }
   EXPECT_EQ(sigma_d_amount, 230);
@@ -231,8 +232,9 @@ TEST_F(CaseStudy, BreakdownSigmaDShowsCriticalSegment) {
   const auto terms = busy_time_breakdown(system, ctx, 1, 175);
   bool found = false;
   for (const BusyTimeTerm& t : terms) {
-    if (t.label.find("sigma_c") != std::string::npos) {
-      EXPECT_NE(t.label.find("critical segment"), std::string::npos);
+    const std::string label = t.label(system);
+    if (label.find("sigma_c") != std::string::npos) {
+      EXPECT_NE(label.find("critical segment"), std::string::npos);
       EXPECT_EQ(t.amount, 10);
       found = true;
     }
@@ -245,8 +247,9 @@ TEST_F(CaseStudy, BreakdownRespectsExclusion) {
   const auto terms = busy_time_breakdown(system, ctx, 1, 166, {}, system.overload_indices());
   Time sum = 0;
   for (const BusyTimeTerm& t : terms) {
-    EXPECT_EQ(t.label.find("sigma_b"), std::string::npos);
-    EXPECT_EQ(t.label.find("sigma_a"), std::string::npos);
+    const std::string label = t.label(system);
+    EXPECT_EQ(label.find("sigma_b"), std::string::npos);
+    EXPECT_EQ(label.find("sigma_a"), std::string::npos);
     sum += t.amount;
   }
   EXPECT_EQ(sum, 166);
