@@ -34,20 +34,25 @@ const char kUsage[] = R"(wharf — weakly-hard analysis of SPP task-chain system
 
 usage:
   wharf analyze  <file> [--k K1,K2,...] [--json] [--jobs N] [--cache-bytes N]
+                 [--store-dir DIR]
   wharf dmm      <file> <chain> [--k K] [--breakpoints KMAX] [--json]
   wharf path     <file> <chain1,chain2,...> [--deadline D] [--budgets B1,B2,...]
                  [--k K1,K2,...] [--json] [--jobs N]
   wharf simulate <file> [--horizon H] [--seed S] [--extra-gap G] [--gantt WIDTH]
   wharf search   <file> [--k K] [--strategy hill|random|exhaustive] [--budget N]
                  [--restarts R] [--max-permutations N] [--seed S] [--json]
-                 [--jobs N] [--cache-bytes N]
-  wharf serve    [--jobs N] [--cache-bytes N] [--listen PORT]
+                 [--jobs N] [--cache-bytes N] [--store-dir DIR]
+  wharf serve    [--jobs N] [--cache-bytes N] [--store-dir DIR] [--listen PORT]
                  [--max-connections N]
   wharf validate <file>
   wharf help
 
 <file> is a system description (see io/system_format.hpp); '-' reads stdin.
 any subcommand accepts --help (print this text, exit 0).
+--store-dir DIR persists the artifact store across runs: analysis
+artifacts load from DIR/wharf_store.snapshot at startup and spill back
+on clean exit, so repeat invocations start warm.  Corrupt or
+version-mismatched snapshots fall back to a cold start (never an error).
 exit codes: 0 ok; 1 usage error; 2 input error; 3 analysis gave no guarantee.
 
 serve: a long-lived NDJSON request/response loop over stdin/stdout, or a
@@ -81,7 +86,8 @@ bool option_takes_value(const std::string& name) {
          name == "--extra-gap" || name == "--gantt" || name == "--strategy" ||
          name == "--budget" || name == "--restarts" || name == "--max-permutations" ||
          name == "--jobs" || name == "--cache-bytes" || name == "--deadline" ||
-         name == "--budgets" || name == "--listen" || name == "--max-connections";
+         name == "--budgets" || name == "--listen" || name == "--max-connections" ||
+         name == "--store-dir";
 }
 
 bool parse_options(const std::vector<std::string>& args, std::size_t first, Options& out,
@@ -140,6 +146,17 @@ bool parse_cache_bytes(const Options& options, std::size_t& bytes, std::ostream&
   }
   bytes = static_cast<std::size_t>(v);
   return true;
+}
+
+/// Spills the engine's store back to --store-dir when one was given.
+/// A failing save is a stderr warning, never an exit-code change — the
+/// analysis answer was already produced; persistence only affects how
+/// warm the *next* run starts.
+void spill_store(Engine& engine, std::ostream& err) {
+  const StoreSaveResult saved = engine.persist();
+  if (!saved.status.is_ok()) {
+    err << "warning: snapshot save failed: " << saved.status.message() << "\n";
+  }
 }
 
 std::optional<System> load_system(const std::string& path, std::istream& in, std::ostream& err) {
@@ -203,8 +220,9 @@ int cmd_analyze(const Options& options, std::istream& in, std::ostream& out, std
   std::size_t cache_bytes = 0;
   if (!parse_cache_bytes(options, cache_bytes, err)) return kUsageError;
 
-  Engine engine{EngineOptions{jobs, cache_bytes}};
+  Engine engine{EngineOptions{jobs, cache_bytes, options.get("--store-dir", "")}};
   const AnalysisReport report = engine.run(AnalysisRequest::standard(*system, ks));
+  spill_store(engine, err);
 
   if (options.has("--json")) {
     out << to_json(report) << "\n";
@@ -315,7 +333,7 @@ int cmd_path(const Options& options, std::istream& in, std::ostream& out, std::o
   int jobs = 1;
   if (!parse_jobs(options, jobs, err)) return kUsageError;
 
-  Engine engine{EngineOptions{jobs, EngineOptions{}.cache_bytes}};
+  Engine engine{EngineOptions{jobs, EngineOptions{}.cache_bytes, ""}};
   const AnalysisReport report = engine.run(request);
 
   if (options.has("--json")) {
@@ -467,8 +485,9 @@ int cmd_search(const Options& options, std::istream& in, std::ostream& out, std:
   std::size_t cache_bytes = 0;
   if (!parse_cache_bytes(options, cache_bytes, err)) return kUsageError;
 
-  Engine engine{EngineOptions{jobs, cache_bytes}};
+  Engine engine{EngineOptions{jobs, cache_bytes, options.get("--store-dir", "")}};
   const AnalysisReport report = engine.run(AnalysisRequest{*system, {}, {query}});
+  spill_store(engine, err);
   const QueryResult& result = report.results.front();
   if (!result.ok()) {
     if (options.has("--json")) {
@@ -527,7 +546,8 @@ int cmd_serve_dispatch(const Options& options, std::istream& in, std::ostream& o
     }
     max_connections = static_cast<int>(value);
   }
-  return cmd_serve(jobs, cache_bytes, listen_port, max_connections, in, out, err);
+  return cmd_serve(jobs, cache_bytes, options.get("--store-dir", ""), listen_port,
+                   max_connections, in, out, err);
 }
 
 int cmd_validate(const Options& options, std::istream& in, std::ostream& out, std::ostream& err) {

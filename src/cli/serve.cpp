@@ -173,6 +173,14 @@ std::string handle_diagnostics(Conversation& conversation, const io::WireRequest
     // share is the "shared" counter of its stats above).
     w.key("shared_flights");
     w.value(static_cast<long long>(shared_flights));
+    // Startup snapshot-load outcome (both zero without --store-dir or
+    // on a genuinely cold start; load_skipped_corrupt > 0 means the
+    // snapshot was rejected and the store started cold).
+    const Engine::PersistenceStats& persistence = conversation.engine->persistence_stats();
+    w.key("persisted_artifacts");
+    w.value(static_cast<long long>(persistence.persisted_artifacts));
+    w.key("load_skipped_corrupt");
+    w.value(static_cast<long long>(persistence.load_skipped_corrupt));
     w.end_object();
     w.key("sessions_open");
     w.value(static_cast<long long>(conversation.sessions.size()));
@@ -407,9 +415,24 @@ int serve_listener(Engine& engine, int listener_fd, int max_connections, std::os
   return result;
 }
 
-int cmd_serve(int jobs, std::size_t cache_bytes, int listen_port, int max_connections,
-              std::istream& in, std::ostream& out, std::ostream& err) {
-  Engine engine{EngineOptions{jobs, cache_bytes}};
+namespace {
+
+/// Graceful-exit spill: persists the engine's store to --store-dir (a
+/// no-op without one).  Failures are reported on `err` but never change
+/// the exit code — persistence is an optimization, not a correctness
+/// requirement of the serve contract.
+void spill_store(Engine& engine, std::ostream& err) {
+  const StoreSaveResult saved = engine.persist();
+  if (!saved.status.is_ok()) {
+    err << "serve: snapshot save failed: " << saved.status.message() << "\n";
+  }
+}
+
+}  // namespace
+
+int cmd_serve(int jobs, std::size_t cache_bytes, const std::string& store_dir, int listen_port,
+              int max_connections, std::istream& in, std::ostream& out, std::ostream& err) {
+  Engine engine{EngineOptions{jobs, cache_bytes, store_dir}};
   if (listen_port < 0) {
     // stdio mode is one implicit connection; diagnostics still report
     // the server object so the response shape matches TCP mode.
@@ -417,6 +440,10 @@ int cmd_serve(int jobs, std::size_t cache_bytes, int listen_port, int max_connec
     telemetry.connections_served.store(1, std::memory_order_relaxed);
     telemetry.connections_active.store(1, std::memory_order_relaxed);
     serve_stream(engine, in, out, &telemetry);
+    // Both graceful endings — clean EOF and a shutdown wire request —
+    // pass through here; only a broken output stream skips the spill's
+    // "graceful" label, and even then the save itself is still safe.
+    spill_store(engine, err);
     if (out.fail()) {
       err << "serve: output stream failed\n";
       return kTransportError;
@@ -432,7 +459,11 @@ int cmd_serve(int jobs, std::size_t cache_bytes, int listen_port, int max_connec
   }
   err << "serve: listening on 127.0.0.1:" << bound_port << "\n";
   err.flush();
-  return serve_listener(engine, listener.value(), max_connections, err);
+  const int result = serve_listener(engine, listener.value(), max_connections, err);
+  // serve_listener returns only after every connection drained, so the
+  // spill sees the final store state (shutdown requests included).
+  spill_store(engine, err);
+  return result;
 }
 
 }  // namespace wharf::cli

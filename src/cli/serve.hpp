@@ -76,8 +76,11 @@ int serve_listener(Engine& engine, int listener_fd, int max_connections, std::os
 
 /// The `wharf serve` subcommand: `listen_port` < 0 means stdio mode;
 /// `max_connections` <= 0 means hardware_concurrency (TCP mode only).
-int cmd_serve(int jobs, std::size_t cache_bytes, int listen_port, int max_connections,
-              std::istream& in, std::ostream& out, std::ostream& err);
+/// A non-empty `store_dir` loads the persistent artifact snapshot at
+/// startup and spills it back on graceful exit (EOF, shutdown request,
+/// drained listener) — see engine/store_persist.hpp.
+int cmd_serve(int jobs, std::size_t cache_bytes, const std::string& store_dir, int listen_port,
+              int max_connections, std::istream& in, std::ostream& out, std::ostream& err);
 
 }  // namespace wharf::cli
 

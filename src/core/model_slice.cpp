@@ -136,6 +136,43 @@ void append_combination_options_slice(std::string& out, const TwcaOptions& optio
 }  // namespace
 
 // ---------------------------------------------------------------------
+// KeyInterner
+// ---------------------------------------------------------------------
+
+std::uint32_t KeyInterner::intern(std::string_view piece) {
+  const util::MutexLock guard(mutex_);
+  const auto it = index_.find(piece);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(fragments_.size());
+  fragments_.emplace_back(piece);
+  index_.emplace(std::string_view(fragments_.back()), id);
+  return id;
+}
+
+const std::string& KeyInterner::fragment(std::uint32_t id) const {
+  const util::MutexLock guard(mutex_);
+  return fragments_.at(id);
+}
+
+std::size_t KeyInterner::size() const {
+  const util::MutexLock guard(mutex_);
+  return fragments_.size();
+}
+
+void KeyInterner::append_id(std::string& out, std::uint32_t id) {
+  out += static_cast<char>(id & 0xffu);
+  out += static_cast<char>((id >> 8) & 0xffu);
+  out += static_cast<char>((id >> 16) & 0xffu);
+  out += static_cast<char>((id >> 24) & 0xffu);
+}
+
+std::uint32_t KeyInterner::read_id(const char* bytes) {
+  const auto* u = reinterpret_cast<const unsigned char*>(bytes);
+  return static_cast<std::uint32_t>(u[0]) | (static_cast<std::uint32_t>(u[1]) << 8) |
+         (static_cast<std::uint32_t>(u[2]) << 16) | (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+// ---------------------------------------------------------------------
 // SliceCache
 // ---------------------------------------------------------------------
 
@@ -267,12 +304,54 @@ std::string combination_options_slice(const TwcaOptions& options) {
   return out;
 }
 
-std::string interference_key(const System& system, int target, SliceCache* slices) {
+namespace {
+
+// Appends one fragment to an interned key: intern the text, emit the id.
+void append_fragment(std::string& out, KeyInterner& interner, std::string_view piece) {
+  KeyInterner::append_id(out, interner.intern(piece));
+}
+
+}  // namespace
+
+std::string interference_key(const System& system, int target, SliceCache* slices,
+                             KeyInterner* interner) {
   // The cached InterferenceContext embeds absolute chain indices
   // (ctx.target, others[].chain) that consumers dereference against the
   // *current* system, so the key pins every position: two systems
   // listing the same chains in a different order must not collide.
   std::string out;
+  if (interner != nullptr) {
+    // Interned encoding: one id per fragment, same decomposition as the
+    // textual key below (header, target content, one "@a"-pinned slice
+    // per interferer) — equal fragment sequences ⇔ equal id sequences.
+    out.reserve(KeyInterner::kIdBytes * (static_cast<std::size_t>(system.size()) + 1));
+    std::string piece;
+    piece.reserve(64);
+    piece += "ifc|t=";
+    append_num(piece, target);
+    piece += ';';
+    append_fragment(out, *interner, piece);
+    if (slices != nullptr) {
+      append_fragment(out, *interner, slices->chain_content(system, target));
+    } else {
+      piece.clear();
+      append_chain_content(piece, system.chain(target));
+      append_fragment(out, *interner, piece);
+    }
+    for (int a = 0; a < system.size(); ++a) {
+      if (a == target) continue;
+      piece.clear();
+      piece += '@';
+      append_num(piece, a);
+      if (slices != nullptr) {
+        piece += slices->interference_slice(system, a, target);
+      } else {
+        append_interference_slice(piece, system.chain(a), system.chain(target));
+      }
+      append_fragment(out, *interner, piece);
+    }
+    return out;
+  }
   out.reserve(64 * static_cast<std::size_t>(system.size()));
   out += "ifc|t=";
   append_num(out, target);
@@ -296,8 +375,35 @@ std::string interference_key(const System& system, int target, SliceCache* slice
 }
 
 std::string busy_window_key(const System& system, int target, const AnalysisOptions& options,
-                            bool without_overload, SliceCache* slices) {
+                            bool without_overload, SliceCache* slices, KeyInterner* interner) {
   std::string out;
+  if (interner != nullptr) {
+    out.reserve(KeyInterner::kIdBytes * (static_cast<std::size_t>(system.size()) + 1));
+    std::string piece;
+    piece.reserve(96);
+    piece += without_overload ? "bw-noov|" : "bw|";
+    append_analysis_options_slice(piece, options);
+    append_fragment(out, *interner, piece);
+    if (slices != nullptr) {
+      append_fragment(out, *interner, slices->chain_content(system, target));
+    } else {
+      piece.clear();
+      append_chain_content(piece, system.chain(target));
+      append_fragment(out, *interner, piece);
+    }
+    for (int a = 0; a < system.size(); ++a) {
+      if (a == target) continue;
+      if (without_overload && system.chain(a).is_overload()) continue;
+      if (slices != nullptr) {
+        append_fragment(out, *interner, slices->busy_interference_slice(system, a, target));
+      } else {
+        piece.clear();
+        append_busy_interference_slice(piece, system.chain(a), system.chain(target));
+        append_fragment(out, *interner, piece);
+      }
+    }
+    return out;
+  }
   out.reserve(96 * static_cast<std::size_t>(system.size()));
   out += without_overload ? "bw-noov|" : "bw|";
   append_analysis_options_slice(out, options);
@@ -325,7 +431,8 @@ std::string overload_key(const System& system, int target, const TwcaOptions& op
 }
 
 std::string overload_key(const System& system, int target, const TwcaOptions& options,
-                         const std::string& busy_window_part, SliceCache* slices) {
+                         const std::string& busy_window_part, SliceCache* slices,
+                         KeyInterner* interner) {
   // The k-independent artifacts read the full latency result (whose key
   // is the busy-window slice), the typical/exact slack (same reads, with
   // overload chains excluded — a subset), and the active segments of
@@ -335,6 +442,33 @@ std::string overload_key(const System& system, int target, const TwcaOptions& op
   // so — unlike the busy-window key, whose artifact is pure data — the
   // target and overload positions are pinned into the key.
   std::string out;
+  if (interner != nullptr) {
+    // Interned: header fragment, then the (already interned) busy-window
+    // part verbatim, then one "@a"-pinned fragment per overload chain.
+    out.reserve(busy_window_part.size() +
+                KeyInterner::kIdBytes * (system.overload_indices().size() + 1));
+    std::string piece;
+    piece.reserve(64);
+    piece += "ov|t=";
+    append_num(piece, target);
+    piece += ';';
+    append_combination_options_slice(piece, options);
+    append_fragment(out, *interner, piece);
+    out += busy_window_part;
+    for (const int a : system.overload_indices()) {
+      if (a == target) continue;
+      piece.clear();
+      piece += '@';
+      append_num(piece, a);
+      if (slices != nullptr) {
+        piece += slices->overload_slice(system, a, target);
+      } else {
+        append_overload_slice(piece, system.chain(a), system.chain(target));
+      }
+      append_fragment(out, *interner, piece);
+    }
+    return out;
+  }
   out.reserve(busy_window_part.size() + 64 * system.overload_indices().size() + 48);
   out += "ov|t=";
   append_num(out, target);
@@ -358,16 +492,20 @@ std::string dmm_key(const System& system, int target, Count k, const TwcaOptions
   return dmm_key(k, options, overload_key(system, target, options));
 }
 
-std::string dmm_key(Count k, const TwcaOptions& options, const std::string& overload_part) {
+std::string dmm_key(Count k, const TwcaOptions& options, const std::string& overload_part,
+                    KeyInterner* interner) {
   std::string out;
-  out.reserve(overload_part.size() + 40);
-  out += "dmm|k=";
-  append_num(out, k);
-  out += ";cap=";
-  append_num(out, options.cap_at_k);
-  out += ";dfs=";
-  append_num(out, options.use_dfs_packer);
-  out += ';';
+  out.reserve(overload_part.size() + (interner != nullptr ? KeyInterner::kIdBytes : 40));
+  std::string piece;
+  std::string& header = interner != nullptr ? piece : out;
+  header += "dmm|k=";
+  append_num(header, k);
+  header += ";cap=";
+  append_num(header, options.cap_at_k);
+  header += ";dfs=";
+  append_num(header, options.use_dfs_packer);
+  header += ';';
+  if (interner != nullptr) append_fragment(out, *interner, piece);
   out += overload_part;
   return out;
 }

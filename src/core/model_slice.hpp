@@ -33,7 +33,10 @@
 #define WHARF_CORE_MODEL_SLICE_HPP
 
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "core/system.hpp"
@@ -42,6 +45,49 @@
 #include "util/thread_annotations.hpp"
 
 namespace wharf {
+
+/// Append-only intern table mapping key *fragments* (the slice strings
+/// the key builders below compose) to dense 32-bit ids.  With an
+/// interner, a cache key is a flat sequence of 4-byte little-endian ids
+/// instead of the concatenated fragment text — typically 10-30x shorter,
+/// which shrinks store memory, key-hash cost on the in-memory lookup
+/// path, and the persistent snapshot (store_persist.hpp serializes keys
+/// as file-local ids plus one shared fragment table).
+///
+/// Ids are assigned in first-intern order and never change or disappear,
+/// so a key built earlier in the process compares byte-equal to the same
+/// key built later — the store-key soundness argument of the textual
+/// builders carries over verbatim (equal fragment sequences ⇔ equal id
+/// sequences).  Thread-safe; `fragment()` references are stable for the
+/// interner's lifetime.
+class KeyInterner {
+ public:
+  /// Bytes one encoded id occupies inside a key string.
+  static constexpr std::size_t kIdBytes = 4;
+
+  /// Id of `piece`, interning it first if unseen.
+  [[nodiscard]] std::uint32_t intern(std::string_view piece);
+
+  /// The fragment text behind `id` (stable reference).  Throws
+  /// std::out_of_range for ids never handed out.
+  [[nodiscard]] const std::string& fragment(std::uint32_t id) const;
+
+  /// Number of distinct fragments interned so far (ids are 0..size-1).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Appends `id` to `out` as 4 little-endian bytes.
+  static void append_id(std::string& out, std::uint32_t id);
+
+  /// Decodes one 4-byte little-endian id starting at `bytes`.
+  [[nodiscard]] static std::uint32_t read_id(const char* bytes);
+
+ private:
+  mutable util::Mutex mutex_;
+  // deque: stable element addresses under append, so fragment() refs and
+  // the string_view map keys survive growth.
+  std::deque<std::string> fragments_ WHARF_GUARDED_BY(mutex_);
+  std::unordered_map<std::string_view, std::uint32_t> index_ WHARF_GUARDED_BY(mutex_);
+};
 
 /// Cross-candidate memo of serialized per-chain slice strings — the
 /// floor of the warm design-space path on µs-cheap systems is key
@@ -141,19 +187,26 @@ class SliceCache {
 /// and interferer *positions* in addition to their content: the cached
 /// context embeds absolute chain indices that consumers dereference
 /// against the current system.  A non-null `slices` memoizes the
-/// per-chain parts (byte-identical output).
+/// per-chain parts (byte-identical output).  A non-null `interner`
+/// switches the key to the compact interned-id encoding: the same
+/// fragment decomposition, one 4-byte little-endian id per fragment (a
+/// store must be keyed consistently with or without an interner — the
+/// two encodings are distinct key spaces).
 [[nodiscard]] std::string interference_key(const System& system, int target,
-                                           SliceCache* slices = nullptr);
+                                           SliceCache* slices = nullptr,
+                                           KeyInterner* interner = nullptr);
 
 /// Cache key of the busy-window/latency stage of `target`.  When
 /// `without_overload` is set, overload chains are excluded from the walk
 /// (the paper's "second analysis"), so their slices do not taint the key
 /// and overload-model changes cannot invalidate it.  A non-null `slices`
-/// memoizes the per-chain parts (byte-identical output).
+/// memoizes the per-chain parts (byte-identical output); a non-null
+/// `interner` selects the compact interned-id encoding.
 [[nodiscard]] std::string busy_window_key(const System& system, int target,
                                           const AnalysisOptions& options,
                                           bool without_overload,
-                                          SliceCache* slices = nullptr);
+                                          SliceCache* slices = nullptr,
+                                          KeyInterner* interner = nullptr);
 
 /// Cache key of the k-independent overload artifacts of `target` (slack,
 /// overload structure, unschedulable combinations, Thm 3 preconditions).
@@ -167,20 +220,25 @@ class SliceCache {
 /// nest (dmm ⊃ overload ⊃ busy window), so callers that key several
 /// stages for one target — the Engine pipeline's per-request key cache —
 /// build the expensive shared part once instead of per stage.  A
-/// non-null `slices` memoizes the per-chain parts.
+/// non-null `slices` memoizes the per-chain parts; a non-null `interner`
+/// selects the compact interned-id encoding (`busy_window_part` must
+/// then be interned too — it is embedded verbatim).
 [[nodiscard]] std::string overload_key(const System& system, int target,
                                        const TwcaOptions& options,
                                        const std::string& busy_window_part,
-                                       SliceCache* slices = nullptr);
+                                       SliceCache* slices = nullptr,
+                                       KeyInterner* interner = nullptr);
 
 /// Cache key of one dmm(k) query result for `target`.
 [[nodiscard]] std::string dmm_key(const System& system, int target, Count k,
                                   const TwcaOptions& options);
 
 /// Composing variant: `overload_part` must be
-/// overload_key(system, target, options) for the queried target.
+/// overload_key(system, target, options) for the queried target, built
+/// with the same `interner` (or none).
 [[nodiscard]] std::string dmm_key(Count k, const TwcaOptions& options,
-                                  const std::string& overload_part);
+                                  const std::string& overload_part,
+                                  KeyInterner* interner = nullptr);
 
 }  // namespace wharf
 

@@ -87,6 +87,9 @@ Status AnalysisReport::worst_status() const {
 struct Engine::Impl {
   EngineOptions options;
   ArtifactStore store;
+  /// Startup snapshot-load outcome; written once in the constructor,
+  /// read-only afterwards (so lock-free access is safe).
+  PersistenceStats persistence;
 
   /// Engine-lifetime lookup totals, accumulated from per-request
   /// diagnostics after every served request.
@@ -95,7 +98,16 @@ struct Engine::Impl {
   std::size_t total_misses WHARF_GUARDED_BY(totals_mutex) = 0;
   std::size_t total_shared WHARF_GUARDED_BY(totals_mutex) = 0;
 
-  explicit Impl(EngineOptions opts) : options(opts), store(opts.cache_bytes) {}
+  explicit Impl(EngineOptions opts) : options(std::move(opts)), store(options.cache_bytes) {
+    if (options.store_dir.empty()) return;
+    // Best-effort warm start: an unwritable dir or corrupt snapshot
+    // leaves the engine cold and fully functional.
+    (void)ensure_store_dir(options.store_dir);
+    const StoreLoadResult loaded = store.load(store_snapshot_path(options.store_dir));
+    persistence.persisted_artifacts = loaded.records_loaded;
+    persistence.load_skipped_corrupt = loaded.records_skipped;
+    persistence.load_reason = loaded.reason;
+  }
 
   /// Folds one served report into the engine-lifetime totals.
   void accumulate(const AnalysisReport& report) WHARF_EXCLUDES(totals_mutex) {
@@ -106,7 +118,7 @@ struct Engine::Impl {
   }
 };
 
-Engine::Engine(EngineOptions options) : impl_(std::make_unique<Impl>(options)) {}
+Engine::Engine(EngineOptions options) : impl_(std::make_unique<Impl>(std::move(options))) {}
 Engine::~Engine() = default;
 Engine::Engine(Engine&&) noexcept = default;
 Engine& Engine::operator=(Engine&&) noexcept = default;
@@ -180,6 +192,15 @@ Engine::CacheStats Engine::cache_stats() const {
 ArtifactStore::Stats Engine::store_stats() const { return impl_->store.stats(); }
 
 void Engine::clear_cache() { impl_->store.clear(); }
+
+const Engine::PersistenceStats& Engine::persistence_stats() const { return impl_->persistence; }
+
+StoreSaveResult Engine::persist() const {
+  if (impl_->options.store_dir.empty()) return StoreSaveResult{};
+  const Status dir = ensure_store_dir(impl_->options.store_dir);
+  if (!dir.is_ok()) return StoreSaveResult{dir, 0, 0, 0};
+  return impl_->store.save(store_snapshot_path(impl_->options.store_dir));
+}
 
 // ---------------------------------------------------------------------
 // JSON serialization

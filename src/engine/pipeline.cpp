@@ -8,70 +8,35 @@
 #include <utility>
 
 #include "core/model_slice.hpp"
+#include "engine/artifact_types.hpp"
 #include "util/expect.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
-#include "util/weight.hpp"
 
 namespace wharf {
 
 namespace {
 
 // ---------------------------------------------------------------------
-// Artifact weights (bytes resident per artifact type)
+// Artifact type tags (artifact_types.hpp holds the weights and the tag
+// enum; this maps the stage value types onto their persistent tags so
+// acquire<T> can record them without per-call-site plumbing)
 // ---------------------------------------------------------------------
 
-using util::heap_bytes;
-
-std::size_t weight_of(const InterferenceContext& ctx) {
-  std::size_t total = sizeof(ctx) + heap_bytes(ctx.self_header);
-  if (ctx.self_table) total += sizeof(ArrivalTable) + ctx.self_table->heap_bytes();
-  for (const ChainInterference& info : ctx.others) {
-    total += sizeof(info) + heap_bytes(info.header_segment);
-    for (const Segment& s : info.segments) total += sizeof(s) + heap_bytes(s.tasks);
-    if (info.critical.has_value()) total += heap_bytes(info.critical->tasks);
-    if (info.table) total += sizeof(ArrivalTable) + info.table->heap_bytes();
-  }
-  return total;
-}
-
-/// The batched busy-window artifact of Pipeline::prime_busy_windows():
-/// a marker whose *computation* resolves every member through the
-/// normal per-member path (so members are stored, counted and reused
-/// individually) under one coarse single-flight window.  The marker
-/// itself only pins the member results it gathered.
-struct BusyWindowBatch {
-  std::vector<std::shared_ptr<const LatencyResult>> results;  ///< one per member
-};
-
-std::size_t weight_of(const BusyWindowBatch& batch) {
-  // Members are weighed by their own store entries; the marker carries
-  // only the pointer array.
-  return sizeof(batch) + batch.results.capacity() * sizeof(batch.results[0]);
-}
-
-std::size_t weight_of(const LatencyResult& r) {
-  return sizeof(r) + heap_bytes(r.busy_times) + heap_bytes(r.reason);
-}
-
-std::size_t weight_of(const TargetArtifacts& a) {
-  std::size_t total = sizeof(a);
-  for (const OverloadActiveSegments& pc : a.structure.per_chain) {
-    total += sizeof(pc);
-    for (const ActiveSegment& s : pc.active) total += sizeof(s) + heap_bytes(s.tasks);
-  }
-  for (const Combination& c : a.unschedulable) total += sizeof(c) + heap_bytes(c.segments);
-  if (a.no_guarantee_reason.has_value()) total += heap_bytes(*a.no_guarantee_reason);
-  return total;
-}
-
-std::size_t weight_of(const DmmResult& r) {
-  return sizeof(r) + heap_bytes(r.omegas) + heap_bytes(r.reason);
-}
-
-std::size_t weight_of(const ilp::PackingSolution& s) {
-  return sizeof(s) + heap_bytes(s.counts);
-}
+template <typename T>
+constexpr ArtifactType artifact_tag = ArtifactType::kUntyped;
+template <>
+constexpr ArtifactType artifact_tag<InterferenceContext> = ArtifactType::kInterferenceContext;
+template <>
+constexpr ArtifactType artifact_tag<LatencyResult> = ArtifactType::kLatencyResult;
+template <>
+constexpr ArtifactType artifact_tag<TargetArtifacts> = ArtifactType::kTargetArtifacts;
+template <>
+constexpr ArtifactType artifact_tag<DmmResult> = ArtifactType::kDmmResult;
+template <>
+constexpr ArtifactType artifact_tag<ilp::PackingSolution> = ArtifactType::kPackingSolution;
+template <>
+constexpr ArtifactType artifact_tag<BusyWindowBatch> = ArtifactType::kBusyWindowBatch;
 
 /// Canonical content encoding of a packing problem (the ILP stage key —
 /// two targets or k values yielding the same capacities and incidence
@@ -148,6 +113,10 @@ struct Pipeline::State {
   /// sub-pipelines substitute the target's deadline — a structural
   /// change under the SliceCache contract — so they key uncached.
   SliceCache* slices = nullptr;
+  /// The store's fragment intern table: every key this pipeline builds
+  /// is a compact id sequence against it (model_slice.hpp), so store
+  /// lookups hash a handful of bytes instead of kilobyte slice text.
+  KeyInterner* interner = nullptr;
 
   /// Request-local memo: one cell per (stage, key); the first visitor
   /// resolves the artifact through the store's single-flight resolve()
@@ -197,13 +166,14 @@ struct Pipeline::State {
 };
 
 const std::string& Pipeline::State::interference_key_for(int target) {
-  return ifc_keys.get(target,
-                      [&] { return wharf::interference_key(*system, target, slices); });
+  return ifc_keys.get(
+      target, [&] { return wharf::interference_key(*system, target, slices, interner); });
 }
 
 const std::string& Pipeline::State::busy_window_key_for(int target, bool without_overload) {
   return (without_overload ? bw_noov_keys : bw_keys).get(target, [&] {
-    return wharf::busy_window_key(*system, target, options.analysis, without_overload, slices);
+    return wharf::busy_window_key(*system, target, options.analysis, without_overload, slices,
+                                  interner);
   });
 }
 
@@ -212,7 +182,7 @@ const std::string& Pipeline::State::overload_key_for(int target) {
   // compose the overload key from it outside the lock.
   const std::string& busy_part = busy_window_key_for(target, /*without_overload=*/false);
   return ov_keys.get(target, [&] {
-    return wharf::overload_key(*system, target, options, busy_part, slices);
+    return wharf::overload_key(*system, target, options, busy_part, slices, interner);
   });
 }
 
@@ -235,11 +205,14 @@ std::shared_ptr<const T> Pipeline::State::acquire(ArtifactStage stage, const std
 
   ArtifactStore::Resolved resolved;
   try {
-    resolved = shared->store->resolve(stage, key, [&] {
-      auto value = std::make_shared<const T>(make());
-      const std::size_t weight = weight_of(*value);
-      return std::pair<std::shared_ptr<const void>, std::size_t>(std::move(value), weight);
-    });
+    resolved = shared->store->resolve(
+        stage, key,
+        [&] {
+          auto value = std::make_shared<const T>(make());
+          const std::size_t weight = weight_of(*value);
+          return std::pair<std::shared_ptr<const void>, std::size_t>(std::move(value), weight);
+        },
+        static_cast<std::uint8_t>(artifact_tag<T>));
   } catch (...) {
     {
       const util::MutexLock guard(shared->diag_mutex);
@@ -280,6 +253,7 @@ Pipeline::Pipeline(const System& system, const TwcaOptions& options, ArtifactSto
   state_->system = &system;
   state_->options = options;
   state_->slices = slices;
+  state_->interner = &store.interner();
   state_->shared = std::make_shared<Shared>();
   state_->shared->store = &store;
   state_->shared->epoch = epoch;
@@ -293,6 +267,7 @@ Pipeline::Pipeline(std::shared_ptr<const System> owned, const TwcaOptions& optio
   state_->system = state_->owned.get();
   state_->options = options;
   state_->shared = std::move(shared);
+  state_->interner = &state_->shared->store->interner();
 }
 
 Pipeline::~Pipeline() = default;
@@ -340,12 +315,24 @@ void Pipeline::prime_busy_windows(const std::vector<std::pair<int, bool>>& membe
   if (sorted.size() < 2) return;  // nothing to batch
 
   // Batch key: the member busy-window keys joined — the same member set
-  // over the same model slices names the same artifact.
-  std::string key = "bwb|";
+  // over the same model slices names the same artifact.  Member keys are
+  // interned id sequences, so a header fragment pins the member count
+  // and each member's byte length (the raw concatenation alone would be
+  // ambiguous between different splits of the same id stream).
+  std::string header = "bwb|n=";
+  header += std::to_string(sorted.size());
+  header += ";lens=";
+  std::string member_bytes;
   for (const auto& [target, without_overload] : sorted) {
-    key += state_->busy_window_key_for(target, without_overload);
-    key += '\x1f';
+    const std::string& member = state_->busy_window_key_for(target, without_overload);
+    header += std::to_string(member.size());
+    header += ',';
+    member_bytes += member;
   }
+  std::string key;
+  key.reserve(KeyInterner::kIdBytes + member_bytes.size());
+  KeyInterner::append_id(key, state_->interner->intern(header));
+  key += member_bytes;
   try {
     (void)state_->acquire<BusyWindowBatch>(ArtifactStage::kBusyWindow, key, [&] {
       BusyWindowBatch batch;
@@ -382,15 +369,21 @@ DmmResult Pipeline::dmm(int target, Count k) {
 
   const auto result = state_->acquire<DmmResult>(
       ArtifactStage::kDmmCurve,
-      dmm_key(k, state_->options, state_->overload_key_for(target)), [&] {
+      dmm_key(k, state_->options, state_->overload_key_for(target), state_->interner), [&] {
         const auto full = latency(target);
         const auto artifacts = overload_artifacts(target);
         const PackingSolver solver = [this](const ilp::PackingProblem& problem) {
-          return *state_->acquire<ilp::PackingSolution>(
-              ArtifactStage::kIlp, packing_key(problem, state_->options.use_dfs_packer), [&] {
-                return ilp::solve_packing_split(problem, state_->shared->jobs,
-                                                state_->options.use_dfs_packer);
-              });
+          // The content encoding is interned whole (one id): packing
+          // problems repeat across targets and k values, so the long
+          // text is hashed once and every later lookup keys 4 bytes.
+          std::string key;
+          KeyInterner::append_id(
+              key, state_->interner->intern(
+                       packing_key(problem, state_->options.use_dfs_packer)));
+          return *state_->acquire<ilp::PackingSolution>(ArtifactStage::kIlp, key, [&] {
+            return ilp::solve_packing_split(problem, state_->shared->jobs,
+                                            state_->options.use_dfs_packer);
+          });
         };
         return dmm_from_artifacts(system(), target, *full, *artifacts, k, state_->options,
                                   solver);

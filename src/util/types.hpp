@@ -57,8 +57,12 @@ inline constexpr Count kCountInfinity = std::numeric_limits<Count>::max();
 }
 
 /// Ceiling division for non-negative numerator and positive denominator.
+/// Infinity is absorbing, and the quotient/remainder form stays exact for
+/// numerators near the representable maximum, where `(num + den - 1)`
+/// would overflow.
 [[nodiscard]] constexpr Time ceil_div(Time num, Time den) noexcept {
-  return (num + den - 1) / den;
+  if (is_infinite(num)) return kTimeInfinity;
+  return num / den + static_cast<Time>(num % den != 0);
 }
 
 /// Floor division (plain integer division for non-negative operands, kept
