@@ -9,15 +9,14 @@
 #include <cerrno>
 #include <istream>
 #include <list>
-#include <map>
 #include <ostream>
 #include <string>
 #include <thread>
 #include <utility>
 
-#include "engine/session.hpp"
-#include "io/system_format.hpp"
 #include "io/wire.hpp"
+#include "net/server.hpp"
+#include "net/service.hpp"
 #include "util/mutex.hpp"
 #include "util/strings.hpp"
 #include "util/thread_annotations.hpp"
@@ -26,244 +25,14 @@ namespace wharf::cli {
 
 namespace {
 
-// ---------------------------------------------------------------------
-// Request handling
-// ---------------------------------------------------------------------
-
-/// The per-conversation state: named sessions over the engine's shared
-/// store.  One conversation belongs to one connection thread — sessions
-/// are never shared across connections; the ArtifactStore underneath is.
-struct Conversation {
-  Engine* engine = nullptr;
-  const ServeTelemetry* server = nullptr;
-  std::map<std::string, Session> sessions;
-};
-
-/// Resolves the session a request addresses, or nullptr (the caller
-/// answers not-found).
-Session* find_session(Conversation& conversation, const std::string& name) {
-  const auto it = conversation.sessions.find(name);
-  return it == conversation.sessions.end() ? nullptr : &it->second;
-}
-
-void write_session_stats(io::JsonWriter& w, const SessionStats& stats) {
-  w.key("revision");
-  w.value(static_cast<long long>(stats.revision));
-  w.key("deltas_applied");
-  w.value(stats.deltas_applied);
-  w.key("queries_served");
-  w.value(stats.queries_served);
-  w.key("store");
-  w.begin_object();
-  w.key("hits");
-  w.value(static_cast<long long>(stats.hits()));
-  w.key("misses");
-  w.value(static_cast<long long>(stats.misses()));
-  w.key("shared");
-  w.value(static_cast<long long>(stats.shared()));
-  w.key("stages");
-  w.begin_object();
-  for (std::size_t s = 0; s < kArtifactStageCount; ++s) {
-    w.key(to_string(static_cast<ArtifactStage>(static_cast<int>(s))));
-    w.begin_object();
-    w.key("lookups");
-    w.value(static_cast<long long>(stats.stages[s].lookups));
-    w.key("hits");
-    w.value(static_cast<long long>(stats.stages[s].hits));
-    w.key("misses");
-    w.value(static_cast<long long>(stats.stages[s].misses));
-    w.key("shared");
-    w.value(static_cast<long long>(stats.stages[s].shared));
-    w.end_object();
-  }
-  w.end_object();
-  w.end_object();
-  w.key("slices");
-  w.begin_object();
-  w.key("hits");
-  w.value(static_cast<long long>(stats.slices.hits));
-  w.key("misses");
-  w.value(static_cast<long long>(stats.slices.misses));
-  w.end_object();
-}
-
-std::string handle_open(Conversation& conversation, const io::WireRequest& request) {
-  if (find_session(conversation, request.session) != nullptr) {
-    return io::wire_response(
-        request,
-        Status::invalid_argument(util::cat("session '", request.session, "' is already open")));
-  }
-  const Expected<System> system = capture([&] { return io::parse_system(request.system_text); });
-  if (!system) return io::wire_response(request, system.status());
-
-  Session session = conversation.engine->open_session(system.value(), request.options);
-  const int chains = session.system().size();
-  const int tasks = session.system().task_count();
-  conversation.sessions.emplace(request.session, std::move(session));
-  return io::wire_response(request, Status::ok(), [&](io::JsonWriter& w) {
-    w.key("system");
-    w.value(system.value().name());
-    w.key("chains");
-    w.value(chains);
-    w.key("tasks");
-    w.value(tasks);
-    w.key("revision");
-    w.value(0);
-  });
-}
-
-std::string handle_apply(Conversation& conversation, const io::WireRequest& request) {
-  Session* session = find_session(conversation, request.session);
-  if (session == nullptr) {
-    return io::wire_response(
-        request, Status::not_found(util::cat("unknown session '", request.session, "'")));
-  }
-  const Status applied = session->apply(request.deltas);
-  if (!applied.is_ok()) return io::wire_response(request, applied);
-  return io::wire_response(request, Status::ok(), [&](io::JsonWriter& w) {
-    w.key("revision");
-    w.value(static_cast<long long>(session->revision()));
-    w.key("deltas_applied");
-    w.value(static_cast<long long>(request.deltas.size()));
-  });
-}
-
-std::string handle_query(Conversation& conversation, const io::WireRequest& request) {
-  Session* session = find_session(conversation, request.session);
-  if (session == nullptr) {
-    return io::wire_response(
-        request, Status::not_found(util::cat("unknown session '", request.session, "'")));
-  }
-  const AnalysisReport report = session->serve(request.queries);
-  return io::wire_response(request, Status::ok(), [&](io::JsonWriter& w) {
-    w.key("revision");
-    w.value(static_cast<long long>(session->revision()));
-    // The exact report schema of `wharf analyze --json` (per-query
-    // status entries included — a failing query is a structured result,
-    // not a stream error).
-    w.key("report");
-    w.raw(to_json(report));
-  });
-}
-
-std::string handle_diagnostics(Conversation& conversation, const io::WireRequest& request) {
-  Session* session = find_session(conversation, request.session);
-  if (session == nullptr) {
-    return io::wire_response(
-        request, Status::not_found(util::cat("unknown session '", request.session, "'")));
-  }
-  const SessionStats stats = session->stats();
-  const ArtifactStore::Stats store = conversation.engine->store_stats();
-  std::size_t shared_flights = 0;
-  for (const ArtifactStore::StageStats& stage : store.stage) {
-    shared_flights += stage.flights_shared;
-  }
-  return io::wire_response(request, Status::ok(), [&](io::JsonWriter& w) {
-    write_session_stats(w, stats);
-    w.key("engine_store");
-    w.begin_object();
-    w.key("resident_entries");
-    w.value(static_cast<long long>(store.resident_entries));
-    w.key("resident_bytes");
-    w.value(static_cast<long long>(store.resident_bytes));
-    w.key("evictions");
-    w.value(static_cast<long long>(store.evictions));
-    // Engine-lifetime single-flight joins from any source — batch
-    // workers, sibling sessions, other connections (each session's own
-    // share is the "shared" counter of its stats above).
-    w.key("shared_flights");
-    w.value(static_cast<long long>(shared_flights));
-    // Startup snapshot-load outcome (both zero without --store-dir or
-    // on a genuinely cold start; load_skipped_corrupt > 0 means the
-    // snapshot was rejected and the store started cold).
-    const Engine::PersistenceStats& persistence = conversation.engine->persistence_stats();
-    w.key("persisted_artifacts");
-    w.value(static_cast<long long>(persistence.persisted_artifacts));
-    w.key("load_skipped_corrupt");
-    w.value(static_cast<long long>(persistence.load_skipped_corrupt));
-    w.end_object();
-    w.key("sessions_open");
-    w.value(static_cast<long long>(conversation.sessions.size()));
-    if (conversation.server != nullptr) {
-      w.key("server");
-      w.begin_object();
-      w.key("connections_active");
-      w.value(conversation.server->connections_active.load(std::memory_order_relaxed));
-      w.key("connections_served");
-      w.value(conversation.server->connections_served.load(std::memory_order_relaxed));
-      w.end_object();
-    }
-  });
-}
-
-std::string handle_close(Conversation& conversation, const io::WireRequest& request) {
-  const auto it = conversation.sessions.find(request.session);
-  if (it == conversation.sessions.end()) {
-    return io::wire_response(
-        request, Status::not_found(util::cat("unknown session '", request.session, "'")));
-  }
-  const SessionStats stats = it->second.stats();
-  conversation.sessions.erase(it);
-  return io::wire_response(request, Status::ok(), [&](io::JsonWriter& w) {
-    w.key("revision");
-    w.value(static_cast<long long>(stats.revision));
-    w.key("queries_served");
-    w.value(stats.queries_served);
-  });
-}
-
-/// Dispatches one parsed request; sets `shutdown` for the shutdown kind.
-std::string handle_request(Conversation& conversation, const io::WireRequest& request,
-                           bool& shutdown) {
-  switch (request.kind) {
-    case io::WireKind::kOpenSession: return handle_open(conversation, request);
-    case io::WireKind::kApplyDelta: return handle_apply(conversation, request);
-    case io::WireKind::kQuery: return handle_query(conversation, request);
-    case io::WireKind::kDiagnostics: return handle_diagnostics(conversation, request);
-    case io::WireKind::kClose: return handle_close(conversation, request);
-    case io::WireKind::kShutdown:
-      shutdown = true;
-      return io::wire_response(request, Status::ok());
-  }
-  return io::wire_protocol_error(Status::internal("unhandled request kind"));
-}
-
-// ---------------------------------------------------------------------
-// Connection pool
-// ---------------------------------------------------------------------
-
-/// Shared state of one listener: the shutdown latch and the bounded
-/// connection-slot accounting the accept loop blocks on.
-struct ListenerState {
-  std::atomic<bool> shutdown{false};
-  util::Mutex mutex;
-  util::CondVar slot_cv;
-  int active WHARF_GUARDED_BY(mutex) = 0;  ///< live connections (the cv predicate)
-};
-
-/// One accepted connection: its serving thread plus a done flag the
-/// accept loop uses to reap finished threads without blocking.
-struct Connection {
-  std::thread thread;
-  std::atomic<bool> done{false};
-};
-
-/// Joins and erases every finished connection (keeps the pool list
-/// bounded by the number of *live* connections on long-running servers).
-void reap_finished(std::list<Connection>& connections) {
-  for (auto it = connections.begin(); it != connections.end();) {
-    if (it->done.load(std::memory_order_acquire)) {
-      it->thread.join();
-      it = connections.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
 int default_max_connections() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 4 : static_cast<int>(hw);
+}
+
+/// True for whitespace-only request lines (skipped, not answered).
+bool blank_line(const std::string& line) {
+  return line.empty() || line.find_first_not_of(" \t\r") == std::string::npos;
 }
 
 }  // namespace
@@ -272,25 +41,51 @@ int default_max_connections() {
 // Public surface
 // ---------------------------------------------------------------------
 
-bool serve_stream(Engine& engine, std::istream& in, std::ostream& out,
-                  const ServeTelemetry* server) {
-  Conversation conversation;
+bool serve_stream(Engine& engine, std::istream& in, std::ostream& out, ServeTelemetry* server) {
+  net::Conversation conversation;
   conversation.engine = &engine;
   conversation.server = server;
   io::FramedWriter writer(out);
 
   std::string line;
   bool shutdown = false;
-  while (!shutdown && std::getline(in, line)) {
-    if (line.empty() || line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    const Expected<io::WireRequest> request = io::parse_request(line);
+  while (!shutdown) {
+    bool oversized = false;
+    if (!io::read_line_bounded(in, line, io::kMaxWireLineBytes, oversized)) break;
     std::string response;
-    if (!request) {
-      // A malformed line is a per-request error: answer it and keep the
-      // stream alive (the framing is by line, so we are still in sync).
-      response = io::wire_protocol_error(request.status());
+    if (oversized) {
+      // An over-bound line is a per-request error like any other: the
+      // reader already discarded through the next newline, so the
+      // framing is intact and the conversation continues.
+      if (server != nullptr) {
+        server->oversized_lines.fetch_add(1, std::memory_order_relaxed);
+      }
+      response = io::oversized_line_error(io::kMaxWireLineBytes);
     } else {
-      response = handle_request(conversation, request.value(), shutdown);
+      if (blank_line(line)) continue;
+      const Expected<io::WireRequest> request = io::parse_request(line);
+      if (!request) {
+        // A malformed line is a per-request error: answer it and keep
+        // the stream alive (the framing is by line, so we are in sync).
+        response = io::wire_protocol_error(request.status());
+      } else if (request.value().kind == io::WireKind::kQuery && request.value().stream) {
+        // Streaming runs synchronously here — frames come back-to-back
+        // through the same writer (and deadlines never expire, since
+        // execution starts immediately).
+        net::StreamProgress progress;
+        const net::Emit emit = [&](const std::string& l) { return writer.write_line(l); };
+        (void)net::run_query_stream(conversation, request.value(), progress, emit, {});
+        if (server != nullptr) {
+          server->requests_served.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (writer.failed()) return shutdown;
+        continue;
+      } else {
+        response = net::handle_request(conversation, request.value(), shutdown);
+        if (server != nullptr) {
+          server->requests_served.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
     }
     if (!writer.write_line(response)) {
       // The client is gone (or the pipe broke): a transport failure of
@@ -320,7 +115,7 @@ Expected<int> bind_serve_socket(int port, int& bound_port) {
     ::close(fd);
     return status;
   }
-  // The backlog queues clients beyond --max-connections instead of
+  // The backlog queues clients beyond the admission budget instead of
   // refusing them; SOMAXCONN lets the kernel cap it.
   if (::listen(fd, SOMAXCONN) != 0) {
     const Status status = Status::internal(util::cat("listen(): ", util::errno_message(errno)));
@@ -339,6 +134,51 @@ Expected<int> bind_serve_socket(int port, int& bound_port) {
 }
 
 int serve_listener(Engine& engine, int listener_fd, int max_connections, std::ostream& err) {
+  net::AsyncServeOptions options;
+  options.max_inflight = max_connections;  // <= 0 resolved inside
+  net::AsyncServer server(engine, listener_fd, options, err);
+  return server.serve() ? 0 : kTransportError;
+}
+
+// ---------------------------------------------------------------------
+// Thread-per-connection baseline (bench comparison only)
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Shared state of one threaded listener: the shutdown latch and the
+/// bounded connection-slot accounting the accept loop blocks on.
+struct ListenerState {
+  std::atomic<bool> shutdown{false};
+  util::Mutex mutex;
+  util::CondVar slot_cv;
+  int active WHARF_GUARDED_BY(mutex) = 0;  ///< live connections (the cv predicate)
+};
+
+/// One accepted connection: its serving thread plus a done flag the
+/// accept loop uses to reap finished threads without blocking.
+struct Connection {
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+
+/// Joins and erases every finished connection (keeps the pool list
+/// bounded by the number of *live* connections on long-running servers).
+void reap_finished(std::list<Connection>& connections) {
+  for (auto it = connections.begin(); it != connections.end();) {
+    if (it->done.load(std::memory_order_acquire)) {
+      it->thread.join();
+      it = connections.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace
+
+int serve_listener_threaded(Engine& engine, int listener_fd, int max_connections,
+                            std::ostream& err) {
   if (max_connections <= 0) max_connections = default_max_connections();
 
   ListenerState state;

@@ -1,39 +1,41 @@
 /// \file serve.hpp
 /// `wharf serve`: the long-lived NDJSON request/response server over the
-/// session API (io/wire.hpp speaks the protocol, engine/session.hpp does
-/// the work).  The full protocol specification lives in
-/// docs/serve-protocol.md.
+/// session API (io/wire.hpp speaks the protocol, net/service.hpp does
+/// the request handling, engine/session.hpp does the work).  The full
+/// protocol specification lives in docs/serve-protocol.md.
 ///
 /// Transport modes:
 ///  * stdio (default) — one conversation on stdin/stdout until EOF or a
 ///    shutdown request;
-///  * TCP (`--listen PORT`) — 127.0.0.1 socket serving **multiple
-///    concurrent connections** (connection-per-thread, bounded by
-///    `--max-connections`).  Each connection owns its sessions; all
-///    connections share one Engine/ArtifactStore, so identical lookups
-///    from different clients coalesce through the store's single-flight
-///    table and repeat clients start warm.
+///  * TCP (`--listen PORT`) — 127.0.0.1 socket served by the async core
+///    (net/server.hpp): one epoll reactor thread plus a fixed worker
+///    pool, serving **any number of concurrent connections** with
+///    `--max-connections` as the global in-flight *request* budget.
+///    Each connection owns its sessions; all connections share one
+///    Engine/ArtifactStore, so identical lookups from different clients
+///    coalesce through the store's single-flight table and repeat
+///    clients start warm.
 ///
 /// Exit-code contract (the serve-mode consistency rule): a *per-request*
-/// error — malformed JSON line, unknown session, failing delta, bad
-/// query — is answered with a JSON error response on the stream and the
-/// server keeps going; the process exits non-zero only for usage errors
-/// (1) and transport failures (4: cannot bind/listen/accept, or the
-/// stdio output stream broke).  One client's transport failure — a
-/// disconnect mid-request, an unwritable socket — terminates only that
-/// connection, never the server.  Clean EOF and client-requested
-/// shutdown (which stops accepting and drains the live connections)
-/// exit 0.
+/// error — malformed JSON line, oversized line, unknown session, failing
+/// delta, bad query, expired deadline — is answered with a JSON error
+/// response on the stream and the server keeps going; the process exits
+/// non-zero only for usage errors (1) and transport failures (4: cannot
+/// bind/listen/accept, or the stdio output stream broke).  One client's
+/// transport failure — a disconnect mid-request, an unwritable socket —
+/// terminates only that connection, never the server.  Clean EOF and
+/// client-requested shutdown (which stops accepting and drains the live
+/// connections) exit 0.
 
 #ifndef WHARF_CLI_SERVE_HPP
 #define WHARF_CLI_SERVE_HPP
 
-#include <atomic>
 #include <cstddef>
 #include <iosfwd>
 #include <string>
 
 #include "engine/engine.hpp"
+#include "net/service.hpp"
 #include "util/status.hpp"
 
 namespace wharf::cli {
@@ -42,37 +44,46 @@ namespace wharf::cli {
 /// errors, unwritable stdio output stream).
 inline constexpr int kTransportError = 4;
 
-/// Cross-connection counters of one serve process, surfaced in every
-/// `diagnostics` response.  Thread-safe (plain atomics); shared by all
-/// connection threads of one listener.
-struct ServeTelemetry {
-  std::atomic<long long> connections_served{0};  ///< conversations started
-  std::atomic<int> connections_active{0};        ///< currently live
-};
+/// The serve counters live with the transport-independent handlers now
+/// (net/service.hpp); the alias keeps the historical spelling working.
+using ServeTelemetry = net::ServeTelemetry;
 
 /// Runs one NDJSON conversation on `in`/`out` (sessions live for the
 /// conversation; `engine` provides the shared store and jobs; `server`,
-/// when given, is reported in diagnostics responses).  Responses are
-/// written through an io::FramedWriter, and a failing writer ends the
-/// conversation — transport errors stay confined to this stream.
-/// Returns true when the client requested shutdown, false on EOF or
-/// transport failure.  Thread-safe with respect to sibling
-/// conversations: concurrent serve_stream calls may share one `engine`.
+/// when given, is reported in diagnostics responses and collects the
+/// request counters).  Responses are written through an
+/// io::FramedWriter, and a failing writer ends the conversation —
+/// transport errors stay confined to this stream.  Streaming queries
+/// work here too (frames are written back-to-back); request deadlines
+/// never expire in this mode because execution starts the moment a
+/// request is read.  Returns true when the client requested shutdown,
+/// false on EOF or transport failure.  Thread-safe with respect to
+/// sibling conversations: concurrent serve_stream calls may share one
+/// `engine`.
 bool serve_stream(Engine& engine, std::istream& in, std::ostream& out,
-                  const ServeTelemetry* server = nullptr);
+                  ServeTelemetry* server = nullptr);
 
 /// Binds a listening TCP socket on 127.0.0.1:`port` (0 picks an
 /// ephemeral port, reported via `bound_port`).  Returns the listener fd.
 Expected<int> bind_serve_socket(int port, int& bound_port);
 
-/// Accepts and serves connections concurrently, one thread per
-/// connection, at most `max_connections` at a time (<= 0 means
-/// hardware_concurrency); excess connections queue in the accept
-/// backlog.  A client-requested shutdown stops the accept loop and
+/// Serves the listener with the async core (net::AsyncServer): a single
+/// reactor thread (the calling one) plus a `max_connections`-sized
+/// worker pool, with `max_connections` doubling as the global in-flight
+/// request budget (<= 0 means hardware_concurrency).  Connections
+/// beyond the budget are accepted and held; their requests queue behind
+/// the budget.  A client-requested shutdown stops the accept loop and
 /// drains: live connections keep being served until their clients
 /// disconnect, then the listener closes and 0 is returned.  Returns
-/// kTransportError only when accept() itself fails.
+/// kTransportError only when accept() itself fails fatally.
 int serve_listener(Engine& engine, int listener_fd, int max_connections, std::ostream& err);
+
+/// The PR-5 connection-per-thread listener, kept as the comparison
+/// baseline for bench/serve_async.cpp (thread count grows with the
+/// connection count — exactly the scaling the reactor removes).  Same
+/// contract as serve_listener.
+int serve_listener_threaded(Engine& engine, int listener_fd, int max_connections,
+                            std::ostream& err);
 
 /// The `wharf serve` subcommand: `listen_port` < 0 means stdio mode;
 /// `max_connections` <= 0 means hardware_concurrency (TCP mode only).

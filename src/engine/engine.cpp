@@ -380,47 +380,36 @@ void write_answer(io::JsonWriter& w, const QueryResult& result) {
       result.answer);
 }
 
-}  // namespace
-
-std::string to_json(const AnalysisReport& report) {
-  std::ostringstream os;
-  io::JsonWriter w(os);
+void write_result(io::JsonWriter& w, const QueryResult& result) {
   w.begin_object();
-  w.key("system");
-  w.value(report.system);
-  write_status(w, report.worst_status());
-  w.key("results");
-  w.begin_array();
-  for (const QueryResult& result : report.results) {
-    w.begin_object();
-    if (result.ok()) {
-      write_answer(w, result);
-    }
-    write_status(w, result.status);
-    w.end_object();
+  if (result.ok()) {
+    write_answer(w, result);
   }
-  w.end_array();
-  w.key("diagnostics");
+  write_status(w, result.status);
+  w.end_object();
+}
+
+void write_report_diagnostics(io::JsonWriter& w, const ReportDiagnostics& diagnostics) {
   w.begin_object();
   w.key("system_hash");
   {
     char buf[32];
     std::snprintf(buf, sizeof buf, "%016llx",
-                  static_cast<unsigned long long>(report.diagnostics.system_hash));
+                  static_cast<unsigned long long>(diagnostics.system_hash));
     w.value(std::string(buf));
   }
   w.key("cache_hit");
-  w.value(report.diagnostics.cache_hit);
+  w.value(diagnostics.cache_hit);
   w.key("cache_hits");
-  w.value(static_cast<long long>(report.diagnostics.cache_hits));
+  w.value(static_cast<long long>(diagnostics.cache_hits));
   w.key("cache_misses");
-  w.value(static_cast<long long>(report.diagnostics.cache_misses));
+  w.value(static_cast<long long>(diagnostics.cache_misses));
   w.key("cache_shared");
-  w.value(static_cast<long long>(report.diagnostics.cache_shared));
+  w.value(static_cast<long long>(diagnostics.cache_shared));
   w.key("stages");
   w.begin_object();
   for (std::size_t s = 0; s < kArtifactStageCount; ++s) {
-    const StageDiagnostics& stage = report.diagnostics.stages[s];
+    const StageDiagnostics& stage = diagnostics.stages[s];
     w.key(to_string(static_cast<ArtifactStage>(static_cast<int>(s))));
     w.begin_object();
     w.key("lookups");
@@ -436,22 +425,55 @@ std::string to_json(const AnalysisReport& report) {
     w.end_object();
   }
   w.end_object();
-  if (report.diagnostics.search_evaluations > 0) {
+  if (diagnostics.search_evaluations > 0) {
     w.key("search");
     w.begin_object();
     w.key("evaluations");
-    w.value(report.diagnostics.search_evaluations);
+    w.value(diagnostics.search_evaluations);
     w.key("hits");
-    w.value(static_cast<long long>(report.diagnostics.search_hits));
+    w.value(static_cast<long long>(diagnostics.search_hits));
     w.key("misses");
-    w.value(static_cast<long long>(report.diagnostics.search_misses));
+    w.value(static_cast<long long>(diagnostics.search_misses));
     w.key("shared");
-    w.value(static_cast<long long>(report.diagnostics.search_shared));
+    w.value(static_cast<long long>(diagnostics.search_shared));
     w.end_object();
   }
   w.key("queries_failed");
-  w.value(static_cast<long long>(report.diagnostics.queries_failed));
+  w.value(static_cast<long long>(diagnostics.queries_failed));
   w.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const QueryResult& result) {
+  std::ostringstream os;
+  io::JsonWriter w(os);
+  write_result(w, result);
+  return os.str();
+}
+
+std::string to_json(const ReportDiagnostics& diagnostics) {
+  std::ostringstream os;
+  io::JsonWriter w(os);
+  write_report_diagnostics(w, diagnostics);
+  return os.str();
+}
+
+std::string to_json(const AnalysisReport& report) {
+  std::ostringstream os;
+  io::JsonWriter w(os);
+  w.begin_object();
+  w.key("system");
+  w.value(report.system);
+  write_status(w, report.worst_status());
+  w.key("results");
+  w.begin_array();
+  for (const QueryResult& result : report.results) {
+    write_result(w, result);
+  }
+  w.end_array();
+  w.key("diagnostics");
+  write_report_diagnostics(w, report.diagnostics);
   w.end_object();
   return os.str();
 }

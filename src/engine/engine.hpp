@@ -277,6 +277,15 @@ struct AnalysisReport {
 /// equal reports serialize identically regardless of the jobs knob.
 [[nodiscard]] std::string to_json(const AnalysisReport& report);
 
+/// Serializes one result exactly as it appears inside a report's
+/// "results" array — the streaming serve path emits per-result frames
+/// that are bit-identical to the corresponding monolithic report entry.
+[[nodiscard]] std::string to_json(const QueryResult& result);
+
+/// Serializes the diagnostics object exactly as it appears inside a
+/// report (the streaming terminal-summary frame embeds it verbatim).
+[[nodiscard]] std::string to_json(const ReportDiagnostics& diagnostics);
+
 // ---------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------

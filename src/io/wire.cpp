@@ -5,6 +5,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cstring>
 #include <limits>
 #include <sstream>
 
@@ -17,6 +18,66 @@ namespace wharf::io {
 // ---------------------------------------------------------------------
 // Transport
 // ---------------------------------------------------------------------
+
+void LineAssembler::feed(const char* data, std::size_t n) {
+  if (!discarding_) {
+    buffer_.append(data, n);
+    return;
+  }
+  // Inside an oversized line: only the tail after the next newline may
+  // be kept — everything before it belongs to the line being discarded.
+  const char* nl = static_cast<const char*>(std::memchr(data, '\n', n));
+  if (nl == nullptr) return;  // still discarding; drop the whole chunk
+  discarding_ = false;
+  buffer_.append(nl + 1, static_cast<std::size_t>(data + n - (nl + 1)));
+}
+
+LineAssembler::Result LineAssembler::next(std::string& line) {
+  const std::size_t nl = buffer_.find('\n');
+  if (nl == std::string::npos) {
+    if (buffer_.size() > max_line_) {
+      // The line is already over the bound with no end in sight: report
+      // it now and discard until its newline eventually arrives.
+      buffer_.clear();
+      discarding_ = true;
+      return Result::kOversized;
+    }
+    return Result::kNone;
+  }
+  if (nl > max_line_) {
+    buffer_.erase(0, nl + 1);
+    return Result::kOversized;
+  }
+  line.assign(buffer_, 0, nl);
+  buffer_.erase(0, nl + 1);
+  return Result::kLine;
+}
+
+bool read_line_bounded(std::istream& in, std::string& line, std::size_t max_line_bytes,
+                       bool& oversized) {
+  line.clear();
+  oversized = false;
+  char c = 0;
+  while (in.get(c)) {
+    if (c == '\n') return true;
+    if (line.size() >= max_line_bytes) {
+      // Over the bound: stop storing, eat the rest of the line so the
+      // stream stays framed, and report the line as oversized.
+      oversized = true;
+      line.clear();
+      while (in.get(c) && c != '\n') {
+      }
+      return true;
+    }
+    line += c;
+  }
+  return !line.empty();  // EOF: deliver a final unterminated line, if any
+}
+
+std::string oversized_line_error(std::size_t max_line_bytes) {
+  return wire_protocol_error(Status::invalid_argument(
+      util::cat("request line exceeds the ", max_line_bytes, "-byte protocol bound")));
+}
 
 FdStreambuf::FdStreambuf(int fd) : fd_(fd) {
   setg(in_, in_, in_);
@@ -568,6 +629,11 @@ Expected<WireRequest> parse_request(const std::string& line) {
       request.id = id->as_int();
       request.has_id = true;
     }
+    if (const JsonValue* deadline = root.find("deadline_ms")) {
+      const long long v = deadline->as_int();
+      WHARF_EXPECT(v >= 1, "deadline_ms must be >= 1, got " << v);
+      request.deadline_ms = v;
+    }
     const std::string& type = root.at("type").as_string();
     if (type == "open_session") {
       request.kind = WireKind::kOpenSession;
@@ -603,6 +669,9 @@ Expected<WireRequest> parse_request(const std::string& line) {
       case WireKind::kQuery:
         for (const JsonValue& q : root.at("queries").items()) {
           request.queries.push_back(parse_query(q));
+        }
+        if (const JsonValue* stream = root.find("stream")) {
+          request.stream = stream->as_bool();
         }
         break;
       default: break;

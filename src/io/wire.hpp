@@ -108,6 +108,62 @@ class JsonValue {
 // Transport
 // ---------------------------------------------------------------------
 
+/// Hard bound on one NDJSON request line (bytes, newline excluded).  A
+/// longer line is a protocol violation: the server answers with the
+/// error envelope and discards bytes until the next newline instead of
+/// growing its assembly buffer without limit — the buffer never holds
+/// more than this many payload bytes per connection.
+inline constexpr std::size_t kMaxWireLineBytes = 1 << 20;
+
+/// Incremental NDJSON line assembly over arbitrary byte chunks — the
+/// read-side protocol state machine of the async serve core (and of any
+/// non-blocking transport).  feed() appends whatever arrived; next()
+/// yields complete lines one at a time, flagging (and swallowing) lines
+/// that exceed the byte bound.  Single-caller; memory stays bounded by
+/// the line limit regardless of what the peer sends.
+class LineAssembler {
+ public:
+  /// What next() found.
+  enum class Result {
+    kNone,       ///< no complete line buffered yet
+    kLine,       ///< one complete line produced
+    kOversized,  ///< a line exceeded the bound; it was discarded
+  };
+
+  /// Uses the protocol-wide default bound (kMaxWireLineBytes).
+  LineAssembler() = default;
+  /// Custom bound (tests shrink it to force the oversized path).
+  explicit LineAssembler(std::size_t max_line_bytes) : max_line_(max_line_bytes) {}
+
+  /// Appends `n` raw bytes from the transport.
+  void feed(const char* data, std::size_t n);
+
+  /// Extracts the next complete line into `line` (newline stripped; a
+  /// trailing '\r' is kept — the parser treats it as whitespace).
+  /// kOversized reports one over-bound line exactly once; its bytes to
+  /// the next newline are discarded, keeping the stream in sync.
+  [[nodiscard]] Result next(std::string& line);
+
+  /// Bytes currently buffered (tests; always <= the bound + one chunk).
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  std::size_t max_line_ = kMaxWireLineBytes;
+  bool discarding_ = false;  ///< inside an oversized line, eating to '\n'
+};
+
+/// Bounded std::getline for the blocking stdio conversation: reads one
+/// '\n'-terminated line of at most `max_line_bytes`, sets `oversized`
+/// (and discards to the newline) when the bound is hit.  Returns false
+/// at EOF with nothing read — the serve_stream loop condition.
+bool read_line_bounded(std::istream& in, std::string& line, std::size_t max_line_bytes,
+                       bool& oversized);
+
+/// The error envelope for an over-bound request line (shared wording
+/// between the stdio and async transports).
+[[nodiscard]] std::string oversized_line_error(std::size_t max_line_bytes);
+
 /// A minimal bidirectional streambuf over a connected socket fd (owned:
 /// closed on destruction).  Writes use send(MSG_NOSIGNAL), so a peer
 /// that disconnected surfaces as a stream failure on this connection —
@@ -189,6 +245,15 @@ struct WireRequest {
   TwcaOptions options;          ///< open_session: analysis knobs ("options")
   std::vector<Delta> deltas;    ///< apply_delta
   std::vector<Query> queries;   ///< query
+  /// Optional per-request deadline in milliseconds (0 = none).  In the
+  /// async server a request still *pending* when its deadline elapses is
+  /// answered with a deadline-exceeded envelope and skipped at dequeue;
+  /// work that already started always completes.
+  long long deadline_ms = 0;
+  /// query only: stream each result as its own NDJSON frame followed by
+  /// a terminal summary frame (docs/serve-protocol.md, "Streaming
+  /// responses") instead of one monolithic report response.
+  bool stream = false;
 };
 
 /// Parses one request line.  Errors (malformed JSON, unknown type or

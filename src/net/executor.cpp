@@ -1,0 +1,55 @@
+#include "net/executor.hpp"
+
+#include <utility>
+
+namespace wharf::net {
+
+Executor::Executor(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker(); });
+  }
+}
+
+Executor::~Executor() { stop(); }
+
+void Executor::submit(std::function<void()> fn) {
+  {
+    const util::MutexLock lock(mutex_);
+    if (stopping_) return;
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void Executor::stop() {
+  {
+    const util::MutexLock lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void Executor::worker() {
+  while (true) {
+    std::function<void()> task;
+    {
+      const util::MutexLock lock(mutex_);
+      while (queue_.empty() && !stopping_) {
+        work_cv_.wait(mutex_);
+      }
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace wharf::net

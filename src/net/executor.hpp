@@ -1,0 +1,66 @@
+/// \file executor.hpp
+/// The fixed worker pool of the async serve core: request execution
+/// happens here, never on the reactor loop thread.
+///
+/// This is the bounded hand-off half of the reactor/executor pair (the
+/// Tenzir pipeline-executor idiom): the reactor parses requests and
+/// enqueues closures; a fixed set of worker threads drains them FIFO.
+/// The pool size is decided once at construction — serving one client
+/// or a thousand runs on exactly the same thread count, which is the
+/// property bench/serve_async.cpp gates on.  The queue itself is not
+/// bounded here: the serve core bounds admission upstream (the global
+/// in-flight request budget), which keeps the queue short by
+/// construction and the backpressure decision in one place.
+
+#ifndef WHARF_NET_EXECUTOR_HPP
+#define WHARF_NET_EXECUTOR_HPP
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace wharf::net {
+
+/// A fixed-size FIFO thread pool.  submit() is thread-safe; stop()
+/// drains every already-submitted task, then joins the workers.
+class Executor {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit Executor(std::size_t threads);
+
+  /// Equivalent to stop().
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueues one task.  Thread-safe.  Tasks submitted after stop()
+  /// began are refused (dropped) — by then the serve core has already
+  /// drained every connection, so there is legitimately nothing to run.
+  void submit(std::function<void()> fn) WHARF_EXCLUDES(mutex_);
+
+  /// Stops accepting work, lets the workers finish everything already
+  /// queued, and joins them.  Idempotent.
+  void stop() WHARF_EXCLUDES(mutex_);
+
+  /// The fixed worker count (telemetry and tests).
+  [[nodiscard]] std::size_t threads() const { return workers_.size(); }
+
+ private:
+  void worker() WHARF_EXCLUDES(mutex_);
+
+  util::Mutex mutex_;
+  util::CondVar work_cv_;
+  std::deque<std::function<void()>> queue_ WHARF_GUARDED_BY(mutex_);
+  bool stopping_ WHARF_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wharf::net
+
+#endif  // WHARF_NET_EXECUTOR_HPP

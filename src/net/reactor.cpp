@@ -1,0 +1,172 @@
+#include "net/reactor.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "util/expect.hpp"
+#include "util/strings.hpp"
+
+namespace wharf::net {
+
+namespace {
+
+/// Writes absolute `when` into the timerfd (0 disarms).  steady_clock
+/// is CLOCK_MONOTONIC on Linux, so the time_point converts directly.
+void settime(int timer_fd, std::chrono::steady_clock::time_point when) {
+  itimerspec spec{};
+  if (when != std::chrono::steady_clock::time_point{}) {
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(when.time_since_epoch()).count();
+    spec.it_value.tv_sec = static_cast<time_t>(ns / 1000000000);
+    spec.it_value.tv_nsec = static_cast<long>(ns % 1000000000);
+    // An already-elapsed deadline must still fire: tv_value == 0 would
+    // disarm, so clamp to the smallest representable future instant.
+    if (spec.it_value.tv_sec == 0 && spec.it_value.tv_nsec == 0) spec.it_value.tv_nsec = 1;
+  }
+  (void)::timerfd_settime(timer_fd, TFD_TIMER_ABSTIME, &spec, nullptr);
+}
+
+}  // namespace
+
+Reactor::Reactor() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  WHARF_EXPECT(epoll_fd_ >= 0, "epoll_create1(): " << util::errno_message(errno));
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  WHARF_EXPECT(wake_fd_ >= 0, "eventfd(): " << util::errno_message(errno));
+  timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
+  WHARF_EXPECT(timer_fd_ >= 0, "timerfd_create(): " << util::errno_message(errno));
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  ev.data.fd = timer_fd_;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &ev);
+}
+
+Reactor::~Reactor() {
+  ::close(timer_fd_);
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void Reactor::add_fd(int fd, std::uint32_t events, FdHandler handler) {
+  handlers_[fd] = std::make_shared<FdHandler>(std::move(handler));
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+}
+
+void Reactor::set_interest(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void Reactor::remove_fd(int fd) {
+  handlers_.erase(fd);
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+Reactor::TimerId Reactor::add_timer(std::chrono::steady_clock::time_point when,
+                                    std::function<void()> fn) {
+  const TimerId id = next_timer_id_++;
+  timers_.emplace(id, Timer{when, std::move(fn)});
+  arm_timerfd();
+  return id;
+}
+
+void Reactor::cancel_timer(TimerId id) {
+  if (timers_.erase(id) > 0) arm_timerfd();
+}
+
+void Reactor::arm_timerfd() {
+  std::chrono::steady_clock::time_point earliest{};
+  for (const auto& [id, timer] : timers_) {
+    if (earliest == std::chrono::steady_clock::time_point{} || timer.when < earliest) {
+      earliest = timer.when;
+    }
+  }
+  settime(timer_fd_, earliest);
+}
+
+void Reactor::post(std::function<void()> fn) {
+  {
+    const util::MutexLock lock(mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof one);
+}
+
+void Reactor::stop() {
+  post([this] { stopped_ = true; });  // locking: stopped_ is loop-thread-only
+}
+
+void Reactor::dispatch_wakeup() {
+  std::uint64_t drained = 0;
+  (void)!::read(wake_fd_, &drained, sizeof drained);
+  std::vector<std::function<void()>> batch;
+  {
+    const util::MutexLock lock(mutex_);
+    batch.swap(posted_);
+  }
+  for (std::function<void()>& fn : batch) fn();
+}
+
+void Reactor::dispatch_timerfd() {
+  std::uint64_t expirations = 0;
+  (void)!::read(timer_fd_, &expirations, sizeof expirations);
+  const auto now = std::chrono::steady_clock::now();
+  // Collect-then-run: a timer callback may add or cancel timers, so the
+  // map must not be mid-iteration while callbacks execute.
+  std::vector<std::function<void()>> due;
+  for (auto it = timers_.begin(); it != timers_.end();) {
+    if (it->second.when <= now) {
+      due.push_back(std::move(it->second.fn));
+      it = timers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  arm_timerfd();
+  for (std::function<void()>& fn : due) fn();
+}
+
+void Reactor::run() {
+  epoll_event events[64];
+  while (!stopped_) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // the epoll fd itself is broken; nothing left to drive
+    }
+    for (int i = 0; i < n && !stopped_; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        dispatch_wakeup();
+        continue;
+      }
+      if (fd == timer_fd_) {
+        dispatch_timerfd();
+        continue;
+      }
+      // A handler earlier in this batch may have removed this fd (or
+      // replaced it after a close/reopen race): dispatch only to the
+      // handler currently registered.
+      const auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      const std::shared_ptr<FdHandler> handler = it->second;
+      (*handler)(events[i].events);
+    }
+  }
+}
+
+}  // namespace wharf::net

@@ -1,0 +1,121 @@
+/// \file reactor.hpp
+/// The event loop at the heart of the async serve core: a thin,
+/// single-threaded epoll reactor owning fd readiness, timers, and
+/// cross-thread wakeups.
+///
+/// Threading model (the whole point of the design):
+///  * exactly one thread — the one inside run() — touches the fd
+///    registry, the timer wheel, and every registered handler; that
+///    loop thread never blocks on compute or on a slow peer, it only
+///    sleeps in epoll_wait;
+///  * other threads communicate with the loop exclusively through
+///    post() (and stop(), which is a posted flag): the callable is
+///    queued under a mutex and an eventfd write wakes the loop, which
+///    runs it on the loop thread.  This is the only cross-thread
+///    surface — handlers and timers need no locking of their own.
+///
+/// Interest is level-triggered (EPOLLIN/EPOLLOUT as plain bitmasks via
+/// set_interest), so handlers may consume as little as they like per
+/// wakeup without losing edges.  Timers are a deadline map backed by a
+/// single timerfd armed to the earliest deadline — the "timer wheel"
+/// the serve core schedules request deadlines and accept back-off on.
+
+#ifndef WHARF_NET_REACTOR_HPP
+#define WHARF_NET_REACTOR_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace wharf::net {
+
+/// A single-threaded epoll event loop with posted-callable wakeups and
+/// one-shot timers.  See the file comment for the threading contract:
+/// every member except post() and stop() is loop-thread-only.
+class Reactor {
+ public:
+  /// Invoked on the loop thread with the ready epoll event bits.
+  using FdHandler = std::function<void(std::uint32_t events)>;
+  /// Identifies a pending timer for cancel_timer (never reused).
+  using TimerId = std::uint64_t;
+
+  /// Creates the epoll instance and the wakeup eventfd/timerfd.  Throws
+  /// wharf::Error when the kernel refuses (fd exhaustion at startup).
+  Reactor();
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Registers `fd` with the given level-triggered interest bits.  The
+  /// handler is invoked on the loop thread for every readiness event;
+  /// it may add, re-target, or remove fds (itself included) freely.
+  void add_fd(int fd, std::uint32_t events, FdHandler handler);
+
+  /// Replaces the interest bits of a registered fd (e.g. pausing reads
+  /// for backpressure means dropping EPOLLIN here).
+  void set_interest(int fd, std::uint32_t events);
+
+  /// Deregisters `fd` and drops its handler.  The fd itself stays open
+  /// — the connection owns the close.  Safe to call from inside the
+  /// fd's own handler; events already harvested for it are skipped.
+  void remove_fd(int fd);
+
+  /// Schedules `fn` to run on the loop thread at or after `when`.
+  /// Loop-thread-only (like the fd registry); cross-thread scheduling
+  /// goes through post().
+  TimerId add_timer(std::chrono::steady_clock::time_point when, std::function<void()> fn);
+
+  /// Drops a not-yet-fired timer; a no-op for fired or unknown ids (so
+  /// lazy cancellation — just forgetting the id — is also fine).
+  void cancel_timer(TimerId id);
+
+  /// Queues `fn` for execution on the loop thread and wakes it.  The
+  /// only thread-safe entry point; callable from worker threads and
+  /// from the loop itself.  Safe after run() returned (the callable is
+  /// then simply never executed).
+  void post(std::function<void()> fn) WHARF_EXCLUDES(mutex_);
+
+  /// Makes run() return once the current dispatch pass finishes.
+  /// Thread-safe (it is a post()).
+  void stop() WHARF_EXCLUDES(mutex_);
+
+  /// Runs the loop on the calling thread until stop().  Dispatches fd
+  /// events, due timers, and posted callables, in that order per pass.
+  void run();
+
+ private:
+  struct Timer {
+    std::chrono::steady_clock::time_point when;  ///< absolute deadline
+    std::function<void()> fn;                    ///< fires on the loop thread
+  };
+
+  void dispatch_wakeup();
+  void dispatch_timerfd();
+  void arm_timerfd();  ///< (re)arms the timerfd to the earliest deadline
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;   ///< eventfd: post() notifications
+  int timer_fd_ = -1;  ///< timerfd: earliest timer deadline
+
+  // Loop-thread-only state.  Handlers are held by shared_ptr so a
+  // handler that removes an fd mid-dispatch cannot free the closure
+  // the loop is currently executing.
+  std::map<int, std::shared_ptr<FdHandler>> handlers_;
+  std::map<TimerId, Timer> timers_;
+  TimerId next_timer_id_ = 1;
+  bool stopped_ = false;
+
+  util::Mutex mutex_;
+  std::vector<std::function<void()>> posted_ WHARF_GUARDED_BY(mutex_);
+};
+
+}  // namespace wharf::net
+
+#endif  // WHARF_NET_REACTOR_HPP

@@ -38,6 +38,9 @@ enum class StatusCode {
   kResourceExhausted,
   /// The analysis ran but cannot bound the misses (DmmStatus::kNoGuarantee).
   kNoGuarantee,
+  /// A request's deadline elapsed before its work started (the async
+  /// serve core answers the request with this and skips the work).
+  kDeadlineExceeded,
   /// Unexpected internal failure (std::logic_error, unknown exception).
   kInternal,
 };
@@ -51,6 +54,7 @@ enum class StatusCode {
     case StatusCode::kParseError: return "parse-error";
     case StatusCode::kResourceExhausted: return "resource-exhausted";
     case StatusCode::kNoGuarantee: return "no-guarantee";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
     case StatusCode::kInternal: return "internal";
   }
   return "unknown";
@@ -79,6 +83,9 @@ class Status {
   }
   [[nodiscard]] static Status no_guarantee(std::string m) {
     return {StatusCode::kNoGuarantee, std::move(m)};
+  }
+  [[nodiscard]] static Status deadline_exceeded(std::string m) {
+    return {StatusCode::kDeadlineExceeded, std::move(m)};
   }
   [[nodiscard]] static Status internal(std::string m) {
     return {StatusCode::kInternal, std::move(m)};

@@ -239,6 +239,115 @@ TEST(WireRequests, MalformedRequestsAreStatusesNotThrows) {
   }
 }
 
+TEST(WireRequests, DeadlineAndStreamFieldsParse) {
+  const Expected<WireRequest> both = parse_request(
+      R"({"id":1,"type":"query","session":"s","deadline_ms":250,"stream":true,)"
+      R"("queries":[{"kind":"latency","chain":"c"}]})");
+  ASSERT_TRUE(both) << both.status().to_string();
+  EXPECT_EQ(both.value().deadline_ms, 250);
+  EXPECT_TRUE(both.value().stream);
+
+  // Both default off: an ordinary request has no deadline, no stream.
+  const Expected<WireRequest> plain = parse_request(
+      R"({"type":"query","session":"s","queries":[{"kind":"latency","chain":"c"}]})");
+  ASSERT_TRUE(plain);
+  EXPECT_EQ(plain.value().deadline_ms, 0);
+  EXPECT_FALSE(plain.value().stream);
+
+  // deadline_ms rides any request kind (it bounds queue time, not work).
+  const Expected<WireRequest> close =
+      parse_request(R"({"type":"close","session":"s","deadline_ms":5})");
+  ASSERT_TRUE(close);
+  EXPECT_EQ(close.value().deadline_ms, 5);
+
+  // Zero and negative deadlines are nonsense, not "already expired".
+  for (const char* bad :
+       {R"({"type":"close","session":"s","deadline_ms":0})",
+        R"({"type":"close","session":"s","deadline_ms":-3})"}) {
+    const Expected<WireRequest> r = parse_request(bad);
+    ASSERT_FALSE(r.has_value()) << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Bounded line framing
+// ---------------------------------------------------------------------
+
+TEST(WireFraming, LineAssemblerReassemblesAcrossArbitraryChunks) {
+  LineAssembler assembler;
+  const std::string text = "first line\nsecond\r\n\nlast";
+  // Feed one byte at a time — the torture framing of a dribbling client.
+  std::vector<std::string> lines;
+  std::string line;
+  for (const char c : text) {
+    assembler.feed(&c, 1);
+    while (assembler.next(line) == LineAssembler::Result::kLine) lines.push_back(line);
+  }
+  // "last" has no newline yet: buffered, not produced.
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "first line");
+  EXPECT_EQ(lines[1], "second\r");  // '\r' kept; the parser skips it
+  EXPECT_EQ(lines[2], "");
+  EXPECT_EQ(assembler.buffered(), 4u);
+  assembler.feed("!\n", 2);
+  ASSERT_EQ(assembler.next(line), LineAssembler::Result::kLine);
+  EXPECT_EQ(line, "last!");
+  EXPECT_EQ(assembler.next(line), LineAssembler::Result::kNone);
+}
+
+TEST(WireFraming, LineAssemblerDiscardsOversizedLinesAndResyncs) {
+  LineAssembler assembler(8);
+  std::string line;
+  // The bound trips mid-line, long before the newline arrives, and the
+  // buffer never grows with the discarded bytes.
+  const std::string big(1000, 'x');
+  assembler.feed(big.data(), big.size());
+  ASSERT_EQ(assembler.next(line), LineAssembler::Result::kOversized);
+  EXPECT_LE(assembler.buffered(), 8u);
+  // Still discarding: more oversized bytes and the terminating newline
+  // are swallowed silently, then the next line parses normally.
+  assembler.feed(big.data(), big.size());
+  EXPECT_EQ(assembler.next(line), LineAssembler::Result::kNone);
+  assembler.feed("\nok\n", 4);
+  ASSERT_EQ(assembler.next(line), LineAssembler::Result::kLine);
+  EXPECT_EQ(line, "ok");
+
+  // An exactly-at-bound line passes; one byte more trips.
+  assembler.feed("12345678\n", 9);
+  ASSERT_EQ(assembler.next(line), LineAssembler::Result::kLine);
+  EXPECT_EQ(line, "12345678");
+  assembler.feed("123456789\n", 10);
+  ASSERT_EQ(assembler.next(line), LineAssembler::Result::kOversized);
+  EXPECT_EQ(assembler.next(line), LineAssembler::Result::kNone);
+}
+
+TEST(WireFraming, ReadLineBoundedMirrorsGetlineWithABound) {
+  std::istringstream in("short\n" + std::string(100, 'y') + "\nafter\nfinal");
+  std::string line;
+  bool oversized = false;
+  ASSERT_TRUE(read_line_bounded(in, line, 16, oversized));
+  EXPECT_EQ(line, "short");
+  EXPECT_FALSE(oversized);
+  // The oversized line is reported once and discarded to its newline.
+  ASSERT_TRUE(read_line_bounded(in, line, 16, oversized));
+  EXPECT_TRUE(oversized);
+  ASSERT_TRUE(read_line_bounded(in, line, 16, oversized));
+  EXPECT_EQ(line, "after");
+  EXPECT_FALSE(oversized);
+  // An unterminated final line still counts as a read...
+  ASSERT_TRUE(read_line_bounded(in, line, 16, oversized));
+  EXPECT_EQ(line, "final");
+  // ...and EOF with nothing buffered ends the loop.
+  EXPECT_FALSE(read_line_bounded(in, line, 16, oversized));
+}
+
+TEST(WireFraming, OversizedLineErrorNamesTheBound) {
+  const std::string error = oversized_line_error(4096);
+  EXPECT_NE(error.find(R"("type":"error")"), std::string::npos);
+  EXPECT_NE(error.find("4096-byte protocol bound"), std::string::npos);
+}
+
 TEST(WireResponses, FrameEnvelopeAndExtras) {
   WireRequest request;
   request.kind = WireKind::kApplyDelta;
