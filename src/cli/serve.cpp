@@ -270,9 +270,14 @@ void spill_store(Engine& engine, std::ostream& err) {
 
 }  // namespace
 
-int cmd_serve(int jobs, std::size_t cache_bytes, const std::string& store_dir, int listen_port,
-              int max_connections, std::istream& in, std::ostream& out, std::ostream& err) {
-  Engine engine{EngineOptions{jobs, cache_bytes, store_dir}};
+int cmd_serve(int jobs, std::size_t cache_bytes, const std::string& store_dir,
+              long long persist_interval_ms, int listen_port, int max_connections,
+              std::istream& in, std::ostream& out, std::ostream& err) {
+  if (persist_interval_ms < 0) {
+    persist_interval_ms = store_dir.empty() ? 0 : kDefaultServePersistIntervalMs;
+  }
+  Engine engine{EngineOptions{jobs, cache_bytes, store_dir,
+                              store_dir.empty() ? 0 : persist_interval_ms}};
   if (listen_port < 0) {
     // stdio mode is one implicit connection; diagnostics still report
     // the server object so the response shape matches TCP mode.

@@ -1,0 +1,48 @@
+#include "dist/shard.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace wharf::dist {
+
+std::size_t default_unit_size(std::size_t candidate_count, std::size_t workers) {
+  if (workers == 0) workers = 1;
+  // Aim for ~8 units per worker so the window/steal machinery has slack
+  // to rebalance; the clamp keeps degenerate inputs sane.
+  const std::size_t target = candidate_count / (workers * 8);
+  return std::clamp<std::size_t>(target, 1, 128);
+}
+
+std::vector<WorkUnit> plan_units(const std::vector<std::vector<Priority>>& candidates,
+                                 std::size_t unit_size) {
+  WHARF_EXPECT(unit_size >= 1, "unit_size must be >= 1");
+  WHARF_EXPECT(!candidates.empty(), "cannot plan units over an empty candidate list");
+  std::vector<WorkUnit> units;
+  units.reserve((candidates.size() + unit_size - 1) / unit_size);
+  for (std::size_t first = 0; first < candidates.size(); first += unit_size) {
+    WorkUnit unit;
+    unit.id = units.size() + 1;  // id 0 is the coordinator's nominal unit
+    unit.first = first;
+    const std::size_t last = std::min(first + unit_size, candidates.size());
+    unit.candidates.assign(candidates.begin() + static_cast<std::ptrdiff_t>(first),
+                           candidates.begin() + static_cast<std::ptrdiff_t>(last));
+    units.push_back(std::move(unit));
+  }
+  return units;
+}
+
+search::SearchResult merge_objectives(const std::vector<std::vector<Priority>>& candidates,
+                                      const std::vector<search::Objective>& objectives) {
+  WHARF_EXPECT(!candidates.empty(), "cannot merge an empty candidate list");
+  WHARF_EXPECT(objectives.size() == candidates.size(),
+               "objective table has " << objectives.size() << " entries for "
+                                      << candidates.size() << " candidates");
+  search::SearchResult result;
+  bool have_best = false;
+  search::fold_scores(candidates, objectives, result, have_best);
+  result.evaluations = static_cast<long long>(candidates.size());
+  return result;
+}
+
+}  // namespace wharf::dist

@@ -1,0 +1,74 @@
+/// \file shard.hpp
+/// Work-unit planning and deterministic merging for the distributed
+/// priority sweep.
+///
+/// The coordinator (coordinator.hpp) distributes a *candidate list* —
+/// the exact enumeration a single-process search would score, produced
+/// by search::exhaustive_candidates / search::random_candidates — over
+/// worker processes.  This header owns the two ends that decide
+/// determinism:
+///
+///  * **planning**: the global candidate list is cut into contiguous
+///    WorkUnits.  Each unit remembers the global index of its first
+///    candidate, so results can be placed back regardless of which
+///    worker answered, in which order, or how many times;
+///  * **merging**: merge_objectives() folds the index-aligned objective
+///    table in global candidate order through search::fold_scores — the
+///    same strict-improvement, ties-keep-earlier fold the sequential
+///    search loop uses.  Because objectives are pure functions of the
+///    candidate, the merged SearchResult is bit-identical to a 1-worker
+///    (or in-process) run for any worker count, any scheduling
+///    interleaving, and any kill/re-issue history.
+///
+/// Nothing here does I/O; the functions are pure and synchronous so the
+/// unit/differential tests can exercise the determinism contract
+/// without processes.
+
+#ifndef WHARF_DIST_SHARD_HPP
+#define WHARF_DIST_SHARD_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/system.hpp"
+#include "search/priority_search.hpp"
+
+namespace wharf::dist {
+
+/// One distributable slice of the global candidate list.  `id` is the
+/// wire-visible dedup key (echoed by the worker's evaluate response;
+/// first result wins, duplicates are discarded); `first` anchors the
+/// slice in the global list for the merge.
+struct WorkUnit {
+  std::uint64_t id = 0;                           ///< unique per sweep, issued in plan order
+  std::size_t first = 0;                          ///< global index of candidates[0]
+  std::vector<std::vector<Priority>> candidates;  ///< flat task order, ready for the wire
+};
+
+/// Picks a unit size for `candidate_count` candidates over `workers`
+/// workers: small enough that every worker sees several units (so work
+/// stealing and re-issue have units to move), large enough that one
+/// evaluate round-trip amortizes its framing.  Clamped to [1, 128] —
+/// the upper bound mirrors the sequential search's internal block size.
+[[nodiscard]] std::size_t default_unit_size(std::size_t candidate_count, std::size_t workers);
+
+/// Cuts `candidates` into contiguous units of `unit_size` (the last one
+/// may be short).  Unit ids start at 1 — the coordinator reserves id 0
+/// for the nominal-assignment unit it plans itself.  Throws on
+/// `unit_size == 0` or an empty candidate list.
+[[nodiscard]] std::vector<WorkUnit> plan_units(
+    const std::vector<std::vector<Priority>>& candidates, std::size_t unit_size);
+
+/// Folds the complete, index-aligned objective table back into a
+/// SearchResult exactly like the sequential loop would (global candidate
+/// order, strict improvement).  `objectives[i]` must be the score of
+/// `candidates[i]`; evaluations is the candidate count.  Throws on a
+/// size mismatch or an empty table.
+[[nodiscard]] search::SearchResult merge_objectives(
+    const std::vector<std::vector<Priority>>& candidates,
+    const std::vector<search::Objective>& objectives);
+
+}  // namespace wharf::dist
+
+#endif  // WHARF_DIST_SHARD_HPP

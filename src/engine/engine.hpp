@@ -303,6 +303,14 @@ struct EngineOptions {
   /// missing files degrade to a cold start, never an error) and
   /// persist() spills back to it.  Empty = no persistence.
   std::string store_dir{};
+  /// Periodic persist-on-idle interval in milliseconds (0 = off, and
+  /// always off when store_dir is empty).  When set, a background thread
+  /// re-spills the snapshot whenever new artifacts were inserted since
+  /// the last save, so a process killed without a graceful shutdown
+  /// (SIGKILL'ed sweep worker, OOM) still leaves a warm snapshot behind.
+  /// Each save is the same atomic write-temp-then-rename as persist() —
+  /// a kill mid-save can never corrupt the previous snapshot.
+  long long persist_interval_ms = 0;
 };
 
 /// The facade.  Thread-safe: run()/run_batch()/open_session() and the

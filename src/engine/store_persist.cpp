@@ -794,6 +794,13 @@ Status ensure_store_dir(const std::string& dir) {
     }
     return Status::ok();
   }
+  // mkdir -p: missing parents are created too (the distributed sweep
+  // hands each worker a DIR/worker-<i> family under one root).
+  const auto parent_end = dir.find_last_of('/');
+  if (parent_end != std::string::npos && parent_end > 0) {
+    const Status parent = ensure_store_dir(dir.substr(0, parent_end));
+    if (!parent.is_ok()) return parent;
+  }
   if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
     return Status::invalid_argument("mkdir('" + dir + "'): " + std::strerror(errno));
   }

@@ -104,9 +104,9 @@ class StoreSnapshot {
 /// Canonical snapshot filename inside a --store-dir.
 [[nodiscard]] std::string store_snapshot_path(const std::string& dir);
 
-/// Creates `dir` if absent (one level, like `mkdir`); OK when it already
-/// exists.  Non-OK Status when creation fails or `dir` is not a
-/// directory.
+/// Creates `dir` if absent, missing parents included (like `mkdir -p`);
+/// OK when it already exists.  Non-OK Status when creation fails or
+/// `dir` is not a directory.
 [[nodiscard]] Status ensure_store_dir(const std::string& dir);
 
 }  // namespace wharf

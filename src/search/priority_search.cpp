@@ -44,21 +44,56 @@ std::vector<int> resolve_targets(const System& system, const EvaluationSpec& spe
   return targets;
 }
 
-/// Folds one scored block into the incumbent exactly like the sequential
-/// loop would: candidates in index order, strict improvement only (ties
-/// keep the earlier candidate).
-void fold_block(const std::vector<std::vector<Priority>>& block,
-                const std::vector<Objective>& scores, SearchResult& result, bool& have_best) {
-  for (std::size_t i = 0; i < block.size(); ++i) {
+/// The shared factorial guard of exhaustive_search/exhaustive_candidates:
+/// returns the base priorities sorted into enumeration start order,
+/// throwing when the permutation count exceeds `max_permutations`.
+std::vector<Priority> exhaustive_start(const System& base, long long max_permutations) {
+  std::vector<Priority> priorities = base.flat_priorities();
+  std::sort(priorities.begin(), priorities.end());
+  long long permutations = 1;
+  for (std::size_t i = 2; i <= priorities.size(); ++i) {
+    permutations *= static_cast<long long>(i);
+    WHARF_EXPECT(permutations <= max_permutations,
+                 "exhaustive search over " << priorities.size()
+                                           << " tasks exceeds max_permutations="
+                                           << max_permutations);
+  }
+  return priorities;
+}
+
+}  // namespace
+
+void fold_scores(const std::vector<std::vector<Priority>>& candidates,
+                 const std::vector<Objective>& scores, SearchResult& result, bool& have_best) {
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (!have_best || scores[i] < result.best_objective) {
       have_best = true;
       result.best_objective = scores[i];
-      result.best_priorities = block[i];
+      result.best_priorities = candidates[i];
     }
   }
 }
 
-}  // namespace
+std::vector<std::vector<Priority>> exhaustive_candidates(const System& base,
+                                                         long long max_permutations) {
+  std::vector<Priority> priorities = exhaustive_start(base, max_permutations);
+  std::vector<std::vector<Priority>> candidates;
+  do {
+    candidates.push_back(priorities);
+  } while (std::next_permutation(priorities.begin(), priorities.end()));
+  return candidates;
+}
+
+std::vector<std::vector<Priority>> random_candidates(const System& base, int samples,
+                                                     std::uint64_t seed) {
+  WHARF_EXPECT(samples >= 1, "need at least one sample");
+  std::mt19937_64 rng(seed);
+  const int n = base.task_count();
+  std::vector<std::vector<Priority>> candidates;
+  candidates.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) candidates.push_back(gen::shuffled_priorities(n, rng));
+  return candidates;
+}
 
 // ---------------------------------------------------------------------
 // EvaluatorStats / Evaluator
@@ -245,17 +280,7 @@ Objective evaluate_assignment(const System& system, const EvaluationSpec& spec,
 }
 
 SearchResult exhaustive_search(Evaluator& evaluator, long long max_permutations) {
-  std::vector<Priority> priorities = evaluator.base().flat_priorities();
-  std::sort(priorities.begin(), priorities.end());
-
-  long long permutations = 1;
-  for (std::size_t i = 2; i <= priorities.size(); ++i) {
-    permutations *= static_cast<long long>(i);
-    WHARF_EXPECT(permutations <= max_permutations,
-                 "exhaustive search over " << priorities.size()
-                                           << " tasks exceeds max_permutations="
-                                           << max_permutations);
-  }
+  std::vector<Priority> priorities = exhaustive_start(evaluator.base(), max_permutations);
 
   SearchResult result;
   bool have_best = false;
@@ -265,7 +290,7 @@ SearchResult exhaustive_search(Evaluator& evaluator, long long max_permutations)
   const auto flush = [&] {
     const std::vector<Objective> scores = evaluator.evaluate_many(block);
     result.evaluations += static_cast<long long>(block.size());
-    fold_block(block, scores, result, have_best);
+    fold_scores(block, scores, result, have_best);
     block.clear();
   };
   do {
@@ -294,7 +319,7 @@ SearchResult random_search(Evaluator& evaluator, int samples, std::uint64_t seed
     if (static_cast<int>(block.size()) == kBlock || i + 1 == samples) {
       const std::vector<Objective> scores = evaluator.evaluate_many(block);
       result.evaluations += static_cast<long long>(block.size());
-      fold_block(block, scores, result, have_best);
+      fold_scores(block, scores, result, have_best);
       block.clear();
     }
   }
